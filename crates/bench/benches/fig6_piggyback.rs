@@ -1,0 +1,33 @@
+//! Criterion companion to Fig. 6: times a fault-free LU/BT/SP run per
+//! protocol (the piggyback *volume* itself is printed by the
+//! `reproduce` binary; here Criterion tracks the end-to-end cost the
+//! volume induces).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lclog_core::ProtocolKind;
+use lclog_npb::{run_benchmark, Benchmark, Class};
+use lclog_runtime::{CheckpointPolicy, ClusterConfig, RunConfig};
+
+fn bench_piggyback(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_piggyback");
+    group.sample_size(10);
+    for bench in Benchmark::ALL {
+        for kind in ProtocolKind::ALL {
+            group.bench_function(format!("{bench}/{kind}/n4"), |b| {
+                b.iter(|| {
+                    let cfg = ClusterConfig::new(
+                        4,
+                        RunConfig::new(kind).with_checkpoint(CheckpointPolicy::EverySteps(8)),
+                    );
+                    let report = run_benchmark(bench, Class::Test, &cfg).expect("run");
+                    assert!(report.stats.sends > 0);
+                    report.stats.piggyback_ids
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_piggyback);
+criterion_main!(benches);

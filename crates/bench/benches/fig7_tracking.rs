@@ -1,0 +1,48 @@
+//! Criterion companion to Fig. 7: isolates the dependency-tracking
+//! hooks themselves (`on_send` piggyback construction + `on_deliver`
+//! merge) per protocol, at two system scales — the microbenchmark
+//! behind the paper's tracking-time curves.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use lclog_core::{make_protocol, LoggingProtocol, ProtocolKind};
+
+/// Prime a pair of protocol instances with some history so the hooks
+/// run against realistic state (TAG's graph and TEL's window are
+/// non-trivial).
+fn primed_pair(kind: ProtocolKind, n: usize, history: u64) -> (Box<dyn LoggingProtocol>, Box<dyn LoggingProtocol>) {
+    let mut a = make_protocol(kind, 0, n);
+    let mut b = make_protocol(kind, 1, n);
+    for i in 1..=history {
+        let art = a.on_send(1, i);
+        b.on_deliver(0, i, &art.piggyback).expect("deliver");
+        let art = b.on_send(0, i);
+        a.on_deliver(1, i, &art.piggyback).expect("deliver");
+    }
+    (a, b)
+}
+
+fn bench_tracking(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_tracking");
+    for n in [8usize, 32] {
+        for kind in ProtocolKind::ALL {
+            group.bench_function(format!("{kind}/n{n}/send+deliver"), |bch| {
+                bch.iter_batched(
+                    || primed_pair(kind, n, 32),
+                    |(mut a, mut b)| {
+                        let art = a.on_send(1, 1000);
+                        // Deliverability of index 1000 is protocol
+                        // business; measure the full gate + merge path
+                        // via deliverable() which always decodes.
+                        let _ = b.deliverable(0, 33, &art.piggyback);
+                        art.id_count
+                    },
+                    BatchSize::SmallInput,
+                )
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tracking);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion companion to Fig. 8: end-to-end accomplishment time of a
+//! failure-injected LU run under the blocking (Fig. 4a) vs
+//! non-blocking (Fig. 4b) engine, on the LAN-like delayed fabric.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lclog_bench::experiments::total_steps;
+use lclog_core::ProtocolKind;
+use lclog_npb::{run_benchmark, Benchmark, Class};
+use lclog_runtime::{CheckpointPolicy, ClusterConfig, CommMode, FailurePlan, RunConfig};
+use lclog_simnet::NetConfig;
+
+fn bench_blocking(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_blocking");
+    group.sample_size(10);
+    let steps = total_steps(Benchmark::Lu, Class::Test);
+    for (label, comm) in [
+        ("blocking", CommMode::blocking_default()),
+        ("nonblocking", CommMode::NonBlocking),
+    ] {
+        group.bench_function(format!("lu_failure/{label}/n4"), |b| {
+            b.iter(|| {
+                let cfg = ClusterConfig::new(
+                    4,
+                    RunConfig::new(ProtocolKind::Tdi)
+                        .with_comm(comm)
+                        .with_checkpoint(CheckpointPolicy::EverySteps((steps / 4).max(2))),
+                )
+                .with_net(NetConfig::lan_like(0xF8))
+                .with_failures(FailurePlan::kill_at(1, steps / 2));
+                let report = run_benchmark(Benchmark::Lu, Class::Test, &cfg).expect("run");
+                assert_eq!(report.kills, 1);
+                report.wall
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_blocking);
+criterion_main!(benches);

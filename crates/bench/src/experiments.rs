@@ -1,0 +1,443 @@
+//! The figure-regeneration experiments (see crate docs).
+
+use crate::apps::RingApp;
+use crate::table::Table;
+use lclog_core::ProtocolKind;
+use lclog_npb::{run_benchmark, Benchmark, Class};
+use lclog_runtime::{
+    CheckpointPolicy, Cluster, ClusterConfig, CommMode, FailurePlan, RunConfig,
+};
+use lclog_simnet::NetConfig;
+use std::time::Duration;
+
+/// Shape of an experiment sweep.
+#[derive(Debug, Clone)]
+pub struct ExpConfig {
+    /// Problem scale for the NPB kernels.
+    pub class: Class,
+    /// Process counts to sweep (the paper uses 4, 8, 16, 32).
+    pub procs: Vec<usize>,
+}
+
+impl ExpConfig {
+    /// The paper's full sweep.
+    pub fn full() -> Self {
+        ExpConfig {
+            class: Class::Small,
+            procs: vec![4, 8, 16, 32],
+        }
+    }
+
+    /// A fast sweep for smoke tests.
+    pub fn quick() -> Self {
+        ExpConfig {
+            class: Class::Test,
+            procs: vec![4, 8],
+        }
+    }
+}
+
+/// One cell of the Fig. 6 / Fig. 7 measurement matrix.
+#[derive(Debug, Clone)]
+pub struct OverheadCell {
+    /// Workload.
+    pub bench: Benchmark,
+    /// Process count.
+    pub n: usize,
+    /// Protocol.
+    pub kind: ProtocolKind,
+    /// Fig. 6 metric: identifiers piggybacked per message.
+    pub avg_ids: f64,
+    /// Fig. 7 metric: total tracking time across ranks, ms.
+    pub tracking_ms: f64,
+    /// Supporting data: total application messages.
+    pub sends: u64,
+    /// Supporting data: piggyback bytes per message.
+    pub avg_bytes: f64,
+}
+
+fn base_cfg(n: usize, kind: ProtocolKind) -> ClusterConfig {
+    let mut cfg = ClusterConfig::new(
+        n,
+        RunConfig::new(kind).with_checkpoint(CheckpointPolicy::EverySteps(8)),
+    );
+    cfg.max_wall = Duration::from_secs(600);
+    cfg
+}
+
+/// Run the fault-free overhead matrix shared by Fig. 6 and Fig. 7.
+pub fn overhead_matrix(cfg: &ExpConfig) -> Vec<OverheadCell> {
+    let mut cells = Vec::new();
+    for bench in Benchmark::ALL {
+        for &n in &cfg.procs {
+            for kind in ProtocolKind::ALL {
+                let report = run_benchmark(bench, cfg.class, &base_cfg(n, kind))
+                    .expect("fault-free overhead run");
+                cells.push(OverheadCell {
+                    bench,
+                    n,
+                    kind,
+                    avg_ids: report.stats.avg_ids_per_msg(),
+                    tracking_ms: report.stats.tracking_ms(),
+                    sends: report.stats.sends,
+                    avg_bytes: report.stats.avg_bytes_per_msg(),
+                });
+            }
+        }
+    }
+    cells
+}
+
+/// Fig. 6: average piggyback amount per message (identifier count).
+pub fn fig6_table(cells: &[OverheadCell]) -> Table {
+    let mut t = Table::new(
+        "Fig. 6 — Average piggyback per message (identifiers)",
+        &["bench", "procs", "TDI", "TAG", "TEL", "msgs"],
+    );
+    fill_protocol_columns(&mut t, cells, |c| format!("{:.1}", c.avg_ids));
+    t
+}
+
+/// Fig. 7: dependency-tracking time overhead.
+pub fn fig7_table(cells: &[OverheadCell]) -> Table {
+    let mut t = Table::new(
+        "Fig. 7 — Tracking time overhead (ms, summed over ranks)",
+        &["bench", "procs", "TDI", "TAG", "TEL", "msgs"],
+    );
+    fill_protocol_columns(&mut t, cells, |c| format!("{:.2}", c.tracking_ms));
+    t
+}
+
+fn fill_protocol_columns(
+    t: &mut Table,
+    cells: &[OverheadCell],
+    value: impl Fn(&OverheadCell) -> String,
+) {
+    let mut seen: Vec<(Benchmark, usize)> = Vec::new();
+    for c in cells {
+        if !seen.contains(&(c.bench, c.n)) {
+            seen.push((c.bench, c.n));
+        }
+    }
+    for (bench, n) in seen {
+        let get = |kind: ProtocolKind| {
+            cells
+                .iter()
+                .find(|c| c.bench == bench && c.n == n && c.kind == kind)
+                .expect("matrix cell present")
+        };
+        t.row(vec![
+            bench.to_string(),
+            n.to_string(),
+            value(get(ProtocolKind::Tdi)),
+            value(get(ProtocolKind::Tag)),
+            value(get(ProtocolKind::Tel)),
+            get(ProtocolKind::Tdi).sends.to_string(),
+        ]);
+    }
+}
+
+/// Approximate runtime-step count of a benchmark run (to place the
+/// injected failure mid-computation).
+pub fn total_steps(bench: Benchmark, class: Class) -> u64 {
+    match bench {
+        Benchmark::Lu => {
+            let (_, _, gnz, iters) = class.lu_dims();
+            iters * (2 * gnz as u64 + 1)
+        }
+        Benchmark::Bt => class.adi_dims().1 * 4,
+        Benchmark::Sp => class.adi_dims().1 * 6,
+        // CG: matvec + update per iteration.
+        Benchmark::Cg => lclog_npb::CgApp::dims(class).1 * 2,
+    }
+}
+
+/// Fig. 8: normalized accomplishment time under one mid-run failure,
+/// blocking vs non-blocking communication (TDI protocol, LAN-like
+/// fabric). `gain = 1 − t_nonblocking / t_blocking` is the paper's
+/// improvement metric.
+pub fn fig8_table(cfg: &ExpConfig) -> Table {
+    let mut t = Table::new(
+        "Fig. 8 — Accomplishment time with one failure: blocking vs non-blocking (TDI)",
+        &["bench", "procs", "blocking_ms", "nonblocking_ms", "normalized_nb", "gain_%"],
+    );
+    for bench in Benchmark::ALL {
+        for &n in &cfg.procs {
+            let steps = total_steps(bench, cfg.class);
+            let kill_at = steps / 2;
+            let ckpt = (steps / 6).max(2);
+            let run_mode = |comm: CommMode| -> f64 {
+                let mut c = ClusterConfig::new(
+                    n,
+                    RunConfig::new(ProtocolKind::Tdi)
+                        .with_comm(comm)
+                        .with_checkpoint(CheckpointPolicy::EverySteps(ckpt)),
+                )
+                .with_net(NetConfig::lan_like(0xF16_8 ^ n as u64))
+                .with_failures(FailurePlan::kill_at(1 % n, kill_at));
+                c.max_wall = Duration::from_secs(600);
+                let report = run_benchmark(bench, cfg.class, &c).expect("fig8 run");
+                report.wall.as_secs_f64() * 1e3
+            };
+            // §III.E: the original architecture blocks on *every*
+            // send "until the message has been received by its
+            // receiver" — no eager path (threshold 0).
+            let blocking = run_mode(CommMode::Blocking { eager_threshold: 0 });
+            let nonblocking = run_mode(CommMode::NonBlocking);
+            let normalized = nonblocking / blocking;
+            t.row(vec![
+                bench.to_string(),
+                n.to_string(),
+                format!("{blocking:.1}"),
+                format!("{nonblocking:.1}"),
+                format!("{normalized:.3}"),
+                format!("{:.1}", (1.0 - normalized) * 100.0),
+            ]);
+        }
+    }
+    t
+}
+
+/// Ablation ABL1: piggyback growth vs message history on a fixed-size
+/// ring. TDI stays at `n`; TAG grows with the retained history; TEL
+/// plateaus at the stabilization window.
+pub fn ablation_rate(n: usize) -> Table {
+    let mut t = Table::new(
+        format!("ABL1 — Piggyback (ids/msg) vs message count, ring n={n}"),
+        &["rounds", "TDI", "TAG", "TEL"],
+    );
+    for rounds in [10u64, 20, 40, 80] {
+        let per_kind = |kind: ProtocolKind| -> f64 {
+            let mut cfg = ClusterConfig::new(
+                n,
+                RunConfig::new(kind).with_checkpoint(CheckpointPolicy::Never),
+            );
+            cfg.max_wall = Duration::from_secs(300);
+            Cluster::run(
+                &cfg,
+                RingApp {
+                    rounds,
+                    payload: 64,
+                },
+            )
+            .expect("ablation run")
+            .stats
+            .avg_ids_per_msg()
+        };
+        t.row(vec![
+            rounds.to_string(),
+            format!("{:.1}", per_kind(ProtocolKind::Tdi)),
+            format!("{:.1}", per_kind(ProtocolKind::Tag)),
+            format!("{:.1}", per_kind(ProtocolKind::Tel)),
+        ]);
+    }
+    t
+}
+
+/// Ablation ABL2: rolling-forward cost under adversarial reordering.
+/// Recovery overhead = faulty wall time − fault-free wall time, per
+/// protocol. TDI delivers logged messages as they arrive; PWD
+/// protocols first gather full recovery info, then replay in exact
+/// order.
+pub fn ablation_replay() -> Table {
+    let mut t = Table::new(
+        "ABL2 — Recovery overhead under reordering fabric (LU, 8 ranks, median of 7, ms)",
+        &["protocol", "clean_ms", "faulty_ms", "overhead_ms", "sync_barrier_ms"],
+    );
+    let n = 8;
+    let class = Class::Test;
+    let steps = total_steps(Benchmark::Lu, class);
+    const REPS: usize = 7;
+    for kind in ProtocolKind::ALL {
+        let run_once = |failures: &FailurePlan, seed: u64| -> f64 {
+            let mut c = ClusterConfig::new(
+                n,
+                RunConfig::new(kind).with_checkpoint(CheckpointPolicy::EverySteps(steps / 4)),
+            )
+            .with_net(NetConfig::delayed(
+                Duration::from_micros(30),
+                Duration::from_micros(10),
+                Duration::from_micros(300),
+                0xAB1 ^ seed,
+            ))
+            .with_failures(failures.clone());
+            c.max_wall = Duration::from_secs(300);
+            run_benchmark(Benchmark::Lu, class, &c)
+                .expect("ablation replay run")
+                .wall
+                .as_secs_f64()
+                * 1e3
+        };
+        let median = |failures: FailurePlan| -> f64 {
+            let mut samples: Vec<f64> = (0..REPS)
+                .map(|i| run_once(&failures, i as u64))
+                .collect();
+            samples.sort_by(f64::total_cmp);
+            samples[REPS / 2]
+        };
+        let clean = median(FailurePlan::none());
+        let faulty = median(FailurePlan::kill_at(3, steps / 2));
+        // The direct mechanism measurement: how long the incarnation
+        // was barred from delivering while collecting recovery info.
+        let sync_samples: Vec<f64> = (0..REPS)
+            .map(|i| {
+                let mut c = ClusterConfig::new(
+                    n,
+                    RunConfig::new(kind)
+                        .with_checkpoint(CheckpointPolicy::EverySteps(steps / 4)),
+                )
+                .with_net(NetConfig::delayed(
+                    Duration::from_micros(30),
+                    Duration::from_micros(10),
+                    Duration::from_micros(300),
+                    0xAB1 ^ i as u64,
+                ))
+                .with_failures(FailurePlan::kill_at(3, steps / 2));
+                c.max_wall = Duration::from_secs(300);
+                run_benchmark(Benchmark::Lu, class, &c)
+                    .expect("ablation replay run")
+                    .stats
+                    .recovery_sync_ns as f64
+                    / 1e6
+            })
+            .collect();
+        let mut sorted = sync_samples;
+        sorted.sort_by(f64::total_cmp);
+        let sync = sorted[REPS / 2];
+        t.row(vec![
+            kind.to_string(),
+            format!("{clean:.1}"),
+            format!("{faulty:.1}"),
+            format!("{:.1}", faulty - clean),
+            format!("{sync:.2}"),
+        ]);
+    }
+    t
+}
+
+/// Ablation ABL3: checkpoint-interval sweep. Frequent checkpoints GC
+/// the sender logs aggressively (small memory peak) at the price of
+/// more checkpoint work; sparse checkpoints retain long logs — the
+/// practical trade rollback-recovery deployments tune (the paper used
+/// a fixed 180 s interval).
+pub fn ablation_ckpt() -> Table {
+    let mut t = Table::new(
+        "ABL3 — Checkpoint interval vs log memory and recovery (LU, 4 ranks, TDI)",
+        &["ckpt_every_steps", "log_peak_bytes", "clean_ms", "faulty_ms"],
+    );
+    let class = Class::Small;
+    let steps = total_steps(Benchmark::Lu, class);
+    for interval in [3u64, 6, 12, 25, steps] {
+        let run = |failures: FailurePlan| {
+            let mut c = ClusterConfig::new(
+                4,
+                RunConfig::new(ProtocolKind::Tdi)
+                    .with_checkpoint(CheckpointPolicy::EverySteps(interval)),
+            )
+            .with_failures(failures);
+            c.max_wall = Duration::from_secs(300);
+            run_benchmark(Benchmark::Lu, class, &c).expect("ablation ckpt run")
+        };
+        let clean = run(FailurePlan::none());
+        let faulty = run(FailurePlan::kill_at(2, steps / 2));
+        t.row(vec![
+            interval.to_string(),
+            clean.stats.log_bytes_peak.to_string(),
+            format!("{:.1}", clean.wall.as_secs_f64() * 1e3),
+            format!("{:.1}", faulty.wall.as_secs_f64() * 1e3),
+        ]);
+    }
+    t
+}
+
+/// Ablation ABL4: the full protocol panorama, including the two
+/// extension baselines (f-bounded causal tracking and pessimistic
+/// logging), on a moderate workload. Shows the design space the paper
+/// positions TDI in: piggyback volume (PES 0 < TDI n < TAG-f < TEL <
+/// TAG) against send-path cost (PES pays a logger round-trip per
+/// delivery).
+pub fn ablation_protocols(n: usize) -> Table {
+    let mut t = Table::new(
+        format!("ABL4 — Protocol panorama (SP, {n} ranks)"),
+        &["protocol", "ids_per_msg", "bytes_per_msg", "tracking_ms", "wall_ms"],
+    );
+    for kind in ProtocolKind::EXTENDED {
+        let mut c = ClusterConfig::new(
+            n,
+            RunConfig::new(kind).with_checkpoint(CheckpointPolicy::EverySteps(8)),
+        );
+        c.max_wall = Duration::from_secs(300);
+        let report = run_benchmark(Benchmark::Sp, Class::Small, &c).expect("panorama run");
+        t.row(vec![
+            kind.to_string(),
+            format!("{:.1}", report.stats.avg_ids_per_msg()),
+            format!("{:.1}", report.stats.avg_bytes_per_msg()),
+            format!("{:.2}", report.stats.tracking_ms()),
+            format!("{:.1}", report.wall.as_secs_f64() * 1e3),
+        ]);
+    }
+    t
+}
+
+/// Ablation ABL5: the failure-hypothesis knob. TAG-f's piggyback
+/// plateau falls as `f` shrinks (fewer required holders per
+/// determinant) and approaches unbounded TAG as `f → n − 1`. TDI's
+/// flat `n` is shown for reference.
+pub fn ablation_f_bound(n: usize) -> Table {
+    let mut t = Table::new(
+        format!("ABL5 — TAG-f piggyback vs failure bound f (SP, {n} ranks)"),
+        &["protocol", "ids_per_msg", "bytes_per_msg"],
+    );
+    let mut kinds = vec![ProtocolKind::Tdi];
+    for f in [1u32, 2, 3, 5] {
+        if (f as usize) < n {
+            kinds.push(ProtocolKind::TagF(f));
+        }
+    }
+    kinds.push(ProtocolKind::Tag);
+    for kind in kinds {
+        let mut c = ClusterConfig::new(
+            n,
+            RunConfig::new(kind).with_checkpoint(CheckpointPolicy::EverySteps(8)),
+        );
+        c.max_wall = Duration::from_secs(300);
+        let report = run_benchmark(Benchmark::Sp, Class::Small, &c).expect("f-sweep run");
+        t.row(vec![
+            kind.to_string(),
+            format!("{:.1}", report.stats.avg_ids_per_msg()),
+            format!("{:.1}", report.stats.avg_bytes_per_msg()),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_matrix_produces_full_grid() {
+        let cfg = ExpConfig {
+            class: Class::Test,
+            procs: vec![2, 4],
+        };
+        let cells = overhead_matrix(&cfg);
+        assert_eq!(cells.len(), 3 * 2 * 3);
+        let fig6 = fig6_table(&cells);
+        let fig7 = fig7_table(&cells);
+        assert_eq!(fig6.len(), 6);
+        assert_eq!(fig7.len(), 6);
+        // TDI's Fig. 6 value is exactly n for every workload.
+        for c in cells.iter().filter(|c| c.kind == ProtocolKind::Tdi) {
+            assert_eq!(c.avg_ids, c.n as f64, "{} n={}", c.bench, c.n);
+        }
+    }
+
+    #[test]
+    fn total_steps_matches_phase_structure() {
+        let (_, _, gnz, iters) = Class::Test.lu_dims();
+        assert_eq!(total_steps(Benchmark::Lu, Class::Test), iters * (2 * gnz as u64 + 1));
+        assert_eq!(total_steps(Benchmark::Bt, Class::Test), Class::Test.adi_dims().1 * 4);
+        assert_eq!(total_steps(Benchmark::Sp, Class::Test), Class::Test.adi_dims().1 * 6);
+    }
+}

@@ -1,0 +1,101 @@
+//! `reproduce` — regenerate the paper's figures from the reproduction.
+//!
+//! ```text
+//! reproduce [--quick] [fig6|fig7|fig8|ablation-rate|ablation-replay|
+//!                       ablation-ckpt|ablation-protocols|ablation-f|all]
+//! ```
+//!
+//! Tables are printed to stdout and archived as CSV under `results/`.
+
+use lclog_bench::experiments::{
+    ablation_ckpt, ablation_f_bound, ablation_protocols, ablation_rate, ablation_replay,
+    fig6_table, fig7_table, fig8_table, overhead_matrix, ExpConfig,
+};
+use lclog_bench::Table;
+use std::path::Path;
+
+fn save(table: &Table, name: &str) {
+    let dir = Path::new("results");
+    if std::fs::create_dir_all(dir).is_ok() {
+        let path = dir.join(format!("{name}.csv"));
+        if std::fs::write(&path, table.to_csv()).is_ok() {
+            println!("(saved {})", path.display());
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let which: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    let all = which.is_empty() || which.contains(&"all");
+    let cfg = if quick {
+        ExpConfig::quick()
+    } else {
+        ExpConfig::full()
+    };
+
+    println!(
+        "lclog reproduction — class {}, procs {:?}{}",
+        cfg.class,
+        cfg.procs,
+        if quick { " (quick)" } else { "" }
+    );
+    println!();
+
+    if all || which.contains(&"fig6") || which.contains(&"fig7") {
+        let cells = overhead_matrix(&cfg);
+        if all || which.contains(&"fig6") {
+            let t = fig6_table(&cells);
+            print!("{}", t.render());
+            save(&t, "fig6_piggyback");
+            println!();
+        }
+        if all || which.contains(&"fig7") {
+            let t = fig7_table(&cells);
+            print!("{}", t.render());
+            save(&t, "fig7_tracking");
+            println!();
+        }
+    }
+    if all || which.contains(&"fig8") {
+        let t = fig8_table(&cfg);
+        print!("{}", t.render());
+        save(&t, "fig8_blocking");
+        println!();
+    }
+    if all || which.contains(&"ablation-rate") {
+        let t = ablation_rate(if quick { 4 } else { 8 });
+        print!("{}", t.render());
+        save(&t, "ablation_rate");
+        println!();
+    }
+    if all || which.contains(&"ablation-replay") {
+        let t = ablation_replay();
+        print!("{}", t.render());
+        save(&t, "ablation_replay");
+        println!();
+    }
+    if all || which.contains(&"ablation-ckpt") {
+        let t = ablation_ckpt();
+        print!("{}", t.render());
+        save(&t, "ablation_ckpt");
+        println!();
+    }
+    if all || which.contains(&"ablation-protocols") {
+        let t = ablation_protocols(if quick { 4 } else { 8 });
+        print!("{}", t.render());
+        save(&t, "ablation_protocols");
+        println!();
+    }
+    if all || which.contains(&"ablation-f") {
+        let t = ablation_f_bound(if quick { 4 } else { 8 });
+        print!("{}", t.render());
+        save(&t, "ablation_f_bound");
+        println!();
+    }
+}

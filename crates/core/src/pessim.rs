@@ -1,0 +1,224 @@
+//! PES — pessimistic (synchronous) message logging, the classic
+//! alternative the rollback-recovery survey \[4\] contrasts causal
+//! logging with.
+//!
+//! Every delivery determinant is logged to the stable event logger
+//! *before* the process is allowed to send its next message
+//! ([`LoggingProtocol::send_ready`] gates the runtime). Nothing is
+//! ever piggybacked — the cost moves from bandwidth to send latency:
+//! each delivery inserts a logger round-trip on the critical path.
+//! Recovery needs only the event logger (survivors contribute
+//! nothing).
+//!
+//! Included as an extension baseline: the ablation benchmarks
+//! quantify the latency-vs-piggyback trade against TDI/TAG/TEL.
+
+use crate::protocol::{DeliveryVerdict, LoggingProtocol, SendArtifacts};
+use crate::{Determinant, ProtocolError, ProtocolKind, Rank, ReplayScript};
+
+/// Pessimistic logging baseline.
+#[derive(Debug, Clone)]
+pub struct Pessim {
+    me: Rank,
+    n: usize,
+    deliver_count: u64,
+    /// Highest deliver_index the logger has acknowledged.
+    stable_count: u64,
+    pending_logger: Vec<Determinant>,
+    replay: ReplayScript,
+}
+
+impl Pessim {
+    /// New instance for process `me` of `n`.
+    pub fn new(me: Rank, n: usize) -> Self {
+        assert!(me < n, "rank {me} out of range for n={n}");
+        Pessim {
+            me,
+            n,
+            deliver_count: 0,
+            stable_count: 0,
+            pending_logger: Vec::new(),
+            replay: ReplayScript::new(),
+        }
+    }
+
+    /// Deliveries not yet acknowledged stable.
+    pub fn unstable(&self) -> u64 {
+        self.deliver_count - self.stable_count
+    }
+}
+
+impl LoggingProtocol for Pessim {
+    fn kind(&self) -> ProtocolKind {
+        ProtocolKind::Pessim
+    }
+
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn me(&self) -> Rank {
+        self.me
+    }
+
+    fn delivered_total(&self) -> u64 {
+        self.deliver_count
+    }
+
+    fn on_send(&mut self, _dst: Rank, _send_index: u64) -> SendArtifacts {
+        debug_assert!(
+            self.send_ready(),
+            "runtime must gate sends on send_ready()"
+        );
+        SendArtifacts {
+            piggyback: Vec::new(),
+            id_count: 0,
+        }
+    }
+
+    fn deliverable(&self, src: Rank, send_index: u64, _piggyback: &[u8]) -> DeliveryVerdict {
+        if self.replay.allows(src, send_index, self.deliver_count + 1) {
+            DeliveryVerdict::Deliver
+        } else {
+            DeliveryVerdict::Wait
+        }
+    }
+
+    fn on_deliver(
+        &mut self,
+        src: Rank,
+        send_index: u64,
+        piggyback: &[u8],
+    ) -> Result<(), ProtocolError> {
+        if !piggyback.is_empty() {
+            return Err(ProtocolError::Corrupt("PES piggyback must be empty"));
+        }
+        if !self.replay.allows(src, send_index, self.deliver_count + 1) {
+            return Err(ProtocolError::NotDeliverable { src, send_index });
+        }
+        self.deliver_count += 1;
+        self.pending_logger.push(Determinant {
+            sender: src as u32,
+            send_index,
+            receiver: self.me as u32,
+            deliver_index: self.deliver_count,
+        });
+        Ok(())
+    }
+
+    fn checkpoint_bytes(&self) -> Vec<u8> {
+        lclog_wire::encode_to_vec(&(self.deliver_count, self.stable_count))
+    }
+
+    fn restore_from_checkpoint(&mut self, bytes: &[u8]) -> Result<(), ProtocolError> {
+        let (deliver_count, stable_count): (u64, u64) = lclog_wire::decode_from_slice(bytes)
+            .map_err(|_| ProtocolError::Corrupt("PES checkpoint"))?;
+        self.deliver_count = deliver_count;
+        // Everything the checkpoint covers can never be replayed;
+        // treat it as stable regardless of the logger's view.
+        self.stable_count = stable_count.max(deliver_count);
+        self.pending_logger.clear();
+        self.replay = ReplayScript::new();
+        Ok(())
+    }
+
+    fn on_local_checkpoint(&mut self) {
+        // Checkpointed deliveries need no determinant replay.
+        self.stable_count = self.stable_count.max(self.deliver_count);
+    }
+
+    fn install_recovery_info(&mut self, dets: Vec<Determinant>) {
+        let relevant = dets
+            .into_iter()
+            .filter(|d| d.deliver_index > self.deliver_count);
+        self.replay.install(self.me, relevant);
+    }
+
+    fn needs_full_recovery_info(&self) -> bool {
+        true
+    }
+
+    fn wants_event_logger(&self) -> bool {
+        true
+    }
+
+    fn drain_determinants_for_logger(&mut self) -> Vec<Determinant> {
+        std::mem::take(&mut self.pending_logger)
+    }
+
+    fn on_logger_ack(&mut self, upto: u64) {
+        if upto > self.stable_count {
+            self.stable_count = upto;
+        }
+    }
+
+    fn send_ready(&self) -> bool {
+        // The pessimistic invariant: no message leaves this process
+        // while any of its delivery determinants is unstable.
+        self.stable_count >= self.deliver_count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_blocked_until_logger_ack() {
+        let mut p = Pessim::new(0, 2);
+        assert!(p.send_ready());
+        p.on_deliver(1, 1, &[]).unwrap();
+        assert!(!p.send_ready());
+        assert_eq!(p.unstable(), 1);
+        let drained = p.drain_determinants_for_logger();
+        assert_eq!(drained.len(), 1);
+        assert_eq!(drained[0].deliver_index, 1);
+        p.on_logger_ack(1);
+        assert!(p.send_ready());
+        assert_eq!(p.unstable(), 0);
+    }
+
+    #[test]
+    fn piggyback_is_empty_and_free() {
+        let mut p = Pessim::new(0, 8);
+        let art = p.on_send(1, 1);
+        assert!(art.piggyback.is_empty());
+        assert_eq!(art.id_count, 0);
+    }
+
+    #[test]
+    fn nonempty_piggyback_rejected() {
+        let mut p = Pessim::new(0, 2);
+        assert!(matches!(
+            p.on_deliver(1, 1, &[1]),
+            Err(ProtocolError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn replay_script_gates_recovery_delivery() {
+        let mut p = Pessim::new(0, 3);
+        p.install_recovery_info(vec![Determinant {
+            sender: 2,
+            send_index: 1,
+            receiver: 0,
+            deliver_index: 1,
+        }]);
+        assert_eq!(p.deliverable(1, 1, &[]), DeliveryVerdict::Wait);
+        assert_eq!(p.deliverable(2, 1, &[]), DeliveryVerdict::Deliver);
+    }
+
+    #[test]
+    fn checkpoint_marks_covered_deliveries_stable() {
+        let mut p = Pessim::new(0, 2);
+        p.on_deliver(1, 1, &[]).unwrap();
+        assert!(!p.send_ready());
+        p.on_local_checkpoint();
+        assert!(p.send_ready(), "checkpoint covers the delivery");
+        let blob = p.checkpoint_bytes();
+        let mut fresh = Pessim::new(0, 2);
+        fresh.restore_from_checkpoint(&blob).unwrap();
+        assert_eq!(fresh.deliver_count, 1);
+        assert!(fresh.send_ready());
+    }
+}

@@ -1,0 +1,161 @@
+//! PWD replay scripts for the TAG and TEL baselines.
+//!
+//! Under the piecewise-deterministic model a recovering process must
+//! re-deliver messages in exactly their pre-failure order. The order
+//! is reconstructed from determinants collected from survivors (TAG)
+//! and/or the stable event logger (TEL): a map from the recovering
+//! process's delivery positions to the `(sender, send_index)` that
+//! originally filled them.
+
+use crate::{Determinant, Rank};
+use std::collections::BTreeMap;
+
+/// Replay constraints for one recovering process.
+///
+/// Positions ≤ the restored checkpoint's delivery count are ignored.
+/// Positions with no determinant are "free" slots — no surviving
+/// process depends on what was delivered there, so any choice is
+/// consistent (the classic causal-logging argument) — but a message
+/// that *is* pinned to a later slot must not be delivered early.
+#[derive(Debug, Default, Clone)]
+pub struct ReplayScript {
+    /// deliver_index → (sender, send_index)
+    slots: BTreeMap<u64, (Rank, u64)>,
+    /// (sender, send_index) → deliver_index (reverse map for the
+    /// "don't steal a pinned message early" check).
+    pinned: BTreeMap<(Rank, u64), u64>,
+}
+
+impl ReplayScript {
+    /// An empty script (normal execution; everything is free).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Install determinants describing `me`'s pre-failure deliveries.
+    /// Determinants for other receivers are ignored. Duplicate
+    /// installs (several survivors knowing the same event) must agree;
+    /// disagreement would mean corrupted logs and panics in debug
+    /// builds.
+    pub fn install(&mut self, me: Rank, dets: impl IntoIterator<Item = Determinant>) {
+        for d in dets {
+            if d.receiver as Rank != me {
+                continue;
+            }
+            let prev = self
+                .slots
+                .insert(d.deliver_index, (d.sender as Rank, d.send_index));
+            debug_assert!(
+                prev.is_none() || prev == Some((d.sender as Rank, d.send_index)),
+                "conflicting determinants for deliver_index {}",
+                d.deliver_index
+            );
+            self.pinned
+                .insert((d.sender as Rank, d.send_index), d.deliver_index);
+        }
+    }
+
+    /// Number of pinned slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when nothing is pinned.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// May message `(src, send_index)` be delivered at position
+    /// `next_index` (the receiver's delivery count + 1)?
+    pub fn allows(&self, src: Rank, send_index: u64, next_index: u64) -> bool {
+        match self.slots.get(&next_index) {
+            // This position was observed before the failure: only the
+            // recorded message may fill it.
+            Some(&(s, k)) => (s, k) == (src, send_index),
+            // Free slot: anything goes, unless this particular message
+            // is pinned to a later position.
+            None => match self.pinned.get(&(src, send_index)) {
+                Some(&at) => at == next_index,
+                None => true,
+            },
+        }
+    }
+
+    /// Highest pinned position (0 when empty) — the point after which
+    /// replay mode has no effect.
+    pub fn horizon(&self) -> u64 {
+        self.slots.keys().next_back().copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn det(sender: Rank, send_index: u64, receiver: Rank, deliver_index: u64) -> Determinant {
+        Determinant {
+            sender: sender as u32,
+            send_index,
+            receiver: receiver as u32,
+            deliver_index,
+        }
+    }
+
+    #[test]
+    fn empty_script_allows_everything() {
+        let s = ReplayScript::new();
+        assert!(s.allows(0, 1, 1));
+        assert!(s.allows(5, 99, 42));
+        assert!(s.is_empty());
+        assert_eq!(s.horizon(), 0);
+    }
+
+    #[test]
+    fn pinned_slot_admits_only_recorded_message() {
+        let mut s = ReplayScript::new();
+        s.install(1, [det(0, 1, 1, 3)]);
+        assert!(!s.allows(2, 1, 3), "other message cannot fill slot 3");
+        assert!(!s.allows(0, 2, 3), "other send_index cannot fill slot 3");
+        assert!(s.allows(0, 1, 3));
+        assert_eq!(s.horizon(), 3);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn pinned_message_cannot_be_delivered_early() {
+        let mut s = ReplayScript::new();
+        s.install(1, [det(0, 1, 1, 5)]);
+        // Slot 2 is free, but (0,1) is pinned to slot 5.
+        assert!(!s.allows(0, 1, 2));
+        assert!(s.allows(3, 7, 2), "an unpinned message may fill slot 2");
+        assert!(s.allows(0, 1, 5));
+    }
+
+    #[test]
+    fn foreign_receivers_ignored() {
+        let mut s = ReplayScript::new();
+        s.install(1, [det(0, 1, 2, 1)]);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn duplicate_installs_agree() {
+        let mut s = ReplayScript::new();
+        s.install(1, [det(0, 1, 1, 1)]);
+        s.install(1, [det(0, 1, 1, 1)]); // second survivor, same event
+        assert_eq!(s.len(), 1);
+        assert!(s.allows(0, 1, 1));
+    }
+
+    #[test]
+    fn gap_in_script_leaves_free_slot_between_pins() {
+        let mut s = ReplayScript::new();
+        s.install(0, [det(1, 1, 0, 1), det(2, 1, 0, 3)]);
+        assert!(s.allows(1, 1, 1));
+        // Slot 2 unknown: any unpinned message may fill it.
+        assert!(s.allows(3, 9, 2));
+        // ...but not the one pinned to slot 3.
+        assert!(!s.allows(2, 1, 2));
+        assert!(s.allows(2, 1, 3));
+    }
+}

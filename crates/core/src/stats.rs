@@ -1,0 +1,113 @@
+/// Per-process dependency-tracking cost counters — the raw material of
+/// the paper's Fig. 6 (piggyback data amount) and Fig. 7 (tracking
+/// time overhead).
+///
+/// Owned by the runtime (one per rank thread, no sharing) and summed
+/// across ranks when an experiment ends.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TrackingStats {
+    /// Application messages sent.
+    pub sends: u64,
+    /// Application messages delivered.
+    pub delivers: u64,
+    /// Identifiers piggybacked across all sends (TDI: n per message;
+    /// TAG/TEL: 4 per determinant).
+    pub piggyback_ids: u64,
+    /// Encoded piggyback bytes across all sends.
+    pub piggyback_bytes: u64,
+    /// Nanoseconds spent constructing piggybacks (`on_send`).
+    pub track_send_ns: u64,
+    /// Nanoseconds spent merging piggybacks (`on_deliver`).
+    pub track_deliver_ns: u64,
+    /// Peak bytes retained in the sender-based message log (payloads +
+    /// piggybacks) — the memory cost checkpoint-interval choices trade
+    /// against (ablation ABL3).
+    pub log_bytes_peak: u64,
+    /// Nanoseconds an incarnation spent collecting recovery
+    /// information (ROLLBACK broadcast → last RESPONSE / logger
+    /// answer). PWD protocols cannot deliver anything during this
+    /// window; TDI can — the paper's rolling-forward advantage,
+    /// measured directly (ablation ABL2).
+    pub recovery_sync_ns: u64,
+}
+
+impl TrackingStats {
+    /// Fold another process's counters into this one.
+    pub fn merge(&mut self, other: &TrackingStats) {
+        self.sends += other.sends;
+        self.delivers += other.delivers;
+        self.piggyback_ids += other.piggyback_ids;
+        self.piggyback_bytes += other.piggyback_bytes;
+        self.track_send_ns += other.track_send_ns;
+        self.track_deliver_ns += other.track_deliver_ns;
+        // Peaks aggregate by max, not sum: the cluster-wide peak is
+        // the worst single process (incarnations of one rank reuse
+        // the same memory).
+        self.log_bytes_peak = self.log_bytes_peak.max(other.log_bytes_peak);
+        self.recovery_sync_ns += other.recovery_sync_ns;
+    }
+
+    /// Fig. 6's metric: average identifiers piggybacked per sent
+    /// message.
+    pub fn avg_ids_per_msg(&self) -> f64 {
+        if self.sends == 0 {
+            0.0
+        } else {
+            self.piggyback_ids as f64 / self.sends as f64
+        }
+    }
+
+    /// Average piggyback bytes per sent message.
+    pub fn avg_bytes_per_msg(&self) -> f64 {
+        if self.sends == 0 {
+            0.0
+        } else {
+            self.piggyback_bytes as f64 / self.sends as f64
+        }
+    }
+
+    /// Fig. 7's metric: total tracking time (send-side construction
+    /// plus deliver-side merge), in milliseconds.
+    pub fn tracking_ms(&self) -> f64 {
+        (self.track_send_ns + self.track_deliver_ns) as f64 / 1e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn averages_handle_zero_sends() {
+        let s = TrackingStats::default();
+        assert_eq!(s.avg_ids_per_msg(), 0.0);
+        assert_eq!(s.avg_bytes_per_msg(), 0.0);
+        assert_eq!(s.tracking_ms(), 0.0);
+    }
+
+    #[test]
+    fn merge_sums_fields() {
+        let mut a = TrackingStats {
+            sends: 1,
+            delivers: 2,
+            piggyback_ids: 3,
+            piggyback_bytes: 4,
+            track_send_ns: 5,
+            track_deliver_ns: 6,
+            log_bytes_peak: 7,
+            recovery_sync_ns: 100,
+        };
+        let mut b = a.clone();
+        b.log_bytes_peak = 3;
+        a.merge(&b);
+        assert_eq!(a.sends, 2);
+        assert_eq!(a.delivers, 4);
+        assert_eq!(a.piggyback_ids, 6);
+        assert_eq!(a.piggyback_bytes, 8);
+        assert_eq!(a.track_send_ns, 10);
+        assert_eq!(a.track_deliver_ns, 12);
+        assert_eq!(a.log_bytes_peak, 7, "peaks merge by max");
+        assert_eq!(a.recovery_sync_ns, 200);
+        assert_eq!(a.avg_ids_per_msg(), 3.0);
+    }
+}

@@ -1,0 +1,361 @@
+//! TAG — tracking based on an antecedence graph, the Manetho / LogOn
+//! style baseline (\[6,7\] in the paper).
+//!
+//! Every delivery is a non-deterministic event under PWD, so each
+//! process accumulates a *graph* of determinants — one per delivery it
+//! causally depends on — and, on every send, computes the *increment*
+//! its peer is missing (the set difference against an estimate of what
+//! that peer already holds) and piggybacks it. This is precisely the
+//! cost structure the paper attacks: piggyback volume grows with
+//! message history, and the increment computation itself takes time
+//! ("another source is the calculation of the increment of antecedence
+//! graph", §IV.A).
+//!
+//! Recovery is PWD replay: survivors ship the determinants they hold
+//! about the failed process; the incarnation re-delivers in exactly
+//! the recorded order via a [`ReplayScript`].
+
+use crate::protocol::{DeliveryVerdict, LoggingProtocol, SendArtifacts};
+use crate::{Determinant, ProtocolError, ProtocolKind, Rank, ReplayScript};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Key identifying a determinant: each receiver fills each delivery
+/// position exactly once.
+type DetKey = (u32, u64);
+
+/// Antecedence-graph causal logging baseline.
+#[derive(Debug, Clone)]
+pub struct Tag {
+    me: Rank,
+    n: usize,
+    deliver_count: u64,
+    /// Determinants this process causally depends on (including its
+    /// own deliveries). BTree keeps piggyback encodings deterministic.
+    graph: BTreeMap<DetKey, Determinant>,
+    /// Determinants each peer *provably* holds: what it piggybacked to
+    /// us, plus its own delivery events. The paper's §IV.A observation
+    /// — "there is no way for a process to precisely know the
+    /// antecedence graph that the receiver currently holds, it has to
+    /// piggyback conservatively sufficient metadata" — is exactly why
+    /// this set is NOT updated optimistically on send: a sender keeps
+    /// re-piggybacking until the peer proves knowledge, the redundancy
+    /// the paper attacks.
+    known_by: Vec<BTreeSet<DetKey>>,
+    /// Pre-failure delivery order during rolling forward.
+    replay: ReplayScript,
+}
+
+impl Tag {
+    /// New instance for process `me` of `n`.
+    pub fn new(me: Rank, n: usize) -> Self {
+        assert!(me < n, "rank {me} out of range for n={n}");
+        Tag {
+            me,
+            n,
+            deliver_count: 0,
+            graph: BTreeMap::new(),
+            known_by: vec![BTreeSet::new(); n],
+            replay: ReplayScript::new(),
+        }
+    }
+
+    /// Current graph size (determinant count), exposed for tests and
+    /// the ablation benchmarks.
+    pub fn graph_len(&self) -> usize {
+        self.graph.len()
+    }
+
+    fn decode_piggyback(piggyback: &[u8]) -> Result<Vec<Determinant>, ProtocolError> {
+        lclog_wire::decode_from_slice(piggyback)
+            .map_err(|_| ProtocolError::Corrupt("TAG piggyback determinants"))
+    }
+}
+
+impl LoggingProtocol for Tag {
+    fn kind(&self) -> ProtocolKind {
+        ProtocolKind::Tag
+    }
+
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn me(&self) -> Rank {
+        self.me
+    }
+
+    fn delivered_total(&self) -> u64 {
+        self.deliver_count
+    }
+
+    fn on_send(&mut self, dst: Rank, _send_index: u64) -> SendArtifacts {
+        // The increment: everything in the graph the peer is not
+        // *provably* holding. This set difference is the
+        // graph-traversal cost the paper measures, and the conservative
+        // re-piggybacking is its data-volume cost.
+        let known = &self.known_by[dst];
+        let increment: Vec<Determinant> = self
+            .graph
+            .iter()
+            .filter(|(key, _)| !known.contains(*key))
+            .map(|(_, det)| *det)
+            .collect();
+        let piggyback = lclog_wire::encode_to_vec(&increment);
+        SendArtifacts {
+            piggyback,
+            id_count: increment.len() as u64 * Determinant::ID_COUNT,
+        }
+    }
+
+    fn deliverable(&self, src: Rank, send_index: u64, _piggyback: &[u8]) -> DeliveryVerdict {
+        // PWD: in normal operation any queue-order is *recorded*, not
+        // constrained; during rolling forward the replay script pins
+        // recorded positions.
+        if self.replay.allows(src, send_index, self.deliver_count + 1) {
+            DeliveryVerdict::Deliver
+        } else {
+            DeliveryVerdict::Wait
+        }
+    }
+
+    fn on_deliver(
+        &mut self,
+        src: Rank,
+        send_index: u64,
+        piggyback: &[u8],
+    ) -> Result<(), ProtocolError> {
+        if !self.replay.allows(src, send_index, self.deliver_count + 1) {
+            return Err(ProtocolError::NotDeliverable { src, send_index });
+        }
+        let dets = Self::decode_piggyback(piggyback)?;
+        for det in dets {
+            // The sender held these, so it provably knows them — and
+            // so does whoever created them (the det's receiver).
+            self.known_by[src].insert(det.key());
+            self.known_by[det.receiver as Rank].insert(det.key());
+            self.graph.insert(det.key(), det);
+        }
+        self.deliver_count += 1;
+        // This delivery is itself a new non-deterministic event; its
+        // creator trivially knows it.
+        let own = Determinant {
+            sender: src as u32,
+            send_index,
+            receiver: self.me as u32,
+            deliver_index: self.deliver_count,
+        };
+        self.graph.insert(own.key(), own);
+        self.known_by[self.me].insert(own.key());
+        Ok(())
+    }
+
+    fn checkpoint_bytes(&self) -> Vec<u8> {
+        let graph: Vec<Determinant> = self.graph.values().copied().collect();
+        let known: Vec<Vec<(u32, u64)>> = self
+            .known_by
+            .iter()
+            .map(|set| set.iter().copied().collect())
+            .collect();
+        lclog_wire::encode_to_vec(&(self.deliver_count, graph, known))
+    }
+
+    fn restore_from_checkpoint(&mut self, bytes: &[u8]) -> Result<(), ProtocolError> {
+        let (deliver_count, graph, known): (u64, Vec<Determinant>, Vec<Vec<(u32, u64)>>) =
+            lclog_wire::decode_from_slice(bytes)
+                .map_err(|_| ProtocolError::Corrupt("TAG checkpoint"))?;
+        if known.len() != self.n {
+            return Err(ProtocolError::Corrupt("TAG checkpoint known_by length"));
+        }
+        self.deliver_count = deliver_count;
+        self.graph = graph.into_iter().map(|d| (d.key(), d)).collect();
+        self.known_by = known
+            .into_iter()
+            .map(|keys| keys.into_iter().collect())
+            .collect();
+        self.replay = ReplayScript::new();
+        Ok(())
+    }
+
+    // No checkpoint-based graph pruning: the baseline protocols only
+    // stop piggybacking a determinant once "all processes hold it and
+    // know that all other processes already hold it" (§V) — a
+    // condition that effectively never fires mid-run. The graph tracks
+    // the whole history, exactly the scalability problem the paper
+    // demonstrates. (`on_local_checkpoint` / `on_peer_checkpoint`
+    // intentionally keep their no-op defaults.)
+
+    fn determinants_for(&self, failed: Rank) -> Vec<Determinant> {
+        self.graph
+            .values()
+            .filter(|d| d.receiver as Rank == failed)
+            .copied()
+            .collect()
+    }
+
+    fn install_recovery_info(&mut self, dets: Vec<Determinant>) {
+        // Ignore events the restored checkpoint already covers.
+        let relevant = dets
+            .into_iter()
+            .filter(|d| d.deliver_index > self.deliver_count);
+        self.replay.install(self.me, relevant);
+    }
+
+    fn needs_full_recovery_info(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Route one message between two protocol instances.
+    fn pass(from: &mut Tag, to: &mut Tag, send_index: u64) -> u64 {
+        let a = from.on_send(to.me(), send_index);
+        to.on_deliver(from.me(), send_index, &a.piggyback).unwrap();
+        a.id_count
+    }
+
+    #[test]
+    fn piggyback_grows_with_history_then_dedups() {
+        let mut p0 = Tag::new(0, 3);
+        let mut p1 = Tag::new(1, 3);
+        // First message: p0 has no history, empty piggyback.
+        assert_eq!(pass(&mut p0, &mut p1, 1), 0);
+        // p1 replies: it now depends on its own delivery event — one
+        // determinant, 4 identifiers.
+        assert_eq!(pass(&mut p1, &mut p0, 1), 4);
+        // p0 sends again: p0 now holds 2 dets (p1's delivery + its
+        // own), but p1 already knows its own delivery det, so the
+        // increment is only p0's new delivery det.
+        let a = p0.on_send(1, 2);
+        assert_eq!(a.id_count, 4);
+    }
+
+    #[test]
+    fn increment_to_third_party_carries_transitive_history() {
+        let mut p0 = Tag::new(0, 3);
+        let mut p1 = Tag::new(1, 3);
+        let mut p2 = Tag::new(2, 3);
+        pass(&mut p0, &mut p1, 1); // p1 delivers: det A
+        pass(&mut p1, &mut p2, 1); // p2 delivers: gets A, creates B
+        // p2 -> p0 must piggyback both A and B (p0 knows neither).
+        let a = p2.on_send(0, 1);
+        assert_eq!(a.id_count, 8);
+        p0.on_deliver(2, 1, &a.piggyback).unwrap();
+        assert_eq!(p0.graph_len(), 3); // A, B, and p0's own new det
+    }
+
+    #[test]
+    fn replay_script_enforces_original_order() {
+        let mut p = Tag::new(1, 3);
+        p.install_recovery_info(vec![
+            Determinant { sender: 0, send_index: 1, receiver: 1, deliver_index: 1 },
+            Determinant { sender: 2, send_index: 1, receiver: 1, deliver_index: 2 },
+        ]);
+        // Message from rank 2 arrived first but must wait.
+        assert_eq!(p.deliverable(2, 1, &[0]), DeliveryVerdict::Wait);
+        assert_eq!(p.deliverable(0, 1, &[0]), DeliveryVerdict::Deliver);
+        let empty = lclog_wire::encode_to_vec(&Vec::<Determinant>::new());
+        p.on_deliver(0, 1, &empty).unwrap();
+        assert_eq!(p.deliverable(2, 1, &empty), DeliveryVerdict::Deliver);
+        p.on_deliver(2, 1, &empty).unwrap();
+        // Past the horizon: free again.
+        assert_eq!(p.deliverable(0, 2, &empty), DeliveryVerdict::Deliver);
+    }
+
+    #[test]
+    fn on_deliver_rejects_out_of_script_order() {
+        let mut p = Tag::new(1, 2);
+        p.install_recovery_info(vec![Determinant {
+            sender: 0,
+            send_index: 2,
+            receiver: 1,
+            deliver_index: 1,
+        }]);
+        let empty = lclog_wire::encode_to_vec(&Vec::<Determinant>::new());
+        assert!(matches!(
+            p.on_deliver(0, 1, &empty),
+            Err(ProtocolError::NotDeliverable { .. })
+        ));
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_preserves_graph_and_knowledge() {
+        let mut p0 = Tag::new(0, 2);
+        let mut p1 = Tag::new(1, 2);
+        pass(&mut p0, &mut p1, 1);
+        pass(&mut p1, &mut p0, 1);
+        let blob = p0.checkpoint_bytes();
+        let mut fresh = Tag::new(0, 2);
+        fresh.restore_from_checkpoint(&blob).unwrap();
+        assert_eq!(fresh.deliver_count, p0.deliver_count);
+        assert_eq!(fresh.graph, p0.graph);
+        assert_eq!(fresh.known_by, p0.known_by);
+    }
+
+    #[test]
+    fn checkpoints_do_not_prune_the_graph() {
+        // The baseline keeps full history (§V): checkpoint events
+        // leave the antecedence graph untouched.
+        let mut p0 = Tag::new(0, 2);
+        let mut p1 = Tag::new(1, 2);
+        pass(&mut p0, &mut p1, 1);
+        pass(&mut p1, &mut p0, 1);
+        let before = p0.graph_len();
+        p0.on_local_checkpoint();
+        p0.on_peer_checkpoint(1, 100);
+        assert_eq!(p0.graph_len(), before);
+    }
+
+    #[test]
+    fn conservative_resend_repeats_unproven_determinants() {
+        // §IV.A: with no proof the receiver holds a determinant, it is
+        // piggybacked again on every send.
+        let mut p0 = Tag::new(0, 3);
+        let mut p1 = Tag::new(1, 3);
+        pass(&mut p0, &mut p1, 1); // p1 creates det A
+        pass(&mut p1, &mut p0, 1); // p0 holds A, creates det B
+        // Two consecutive sends p0 -> p2 both carry A and B.
+        let first = p0.on_send(2, 1);
+        let second = p0.on_send(2, 2);
+        assert_eq!(first.id_count, 8);
+        assert_eq!(second.id_count, 8);
+    }
+
+    #[test]
+    fn survivors_hand_over_failed_process_determinants() {
+        let mut p0 = Tag::new(0, 3);
+        let mut p1 = Tag::new(1, 3);
+        let mut p2 = Tag::new(2, 3);
+        pass(&mut p0, &mut p1, 1); // det: p1 delivered (0, 1) at pos 1
+        pass(&mut p1, &mut p2, 1); // p2 learns that det
+        let dets = p2.determinants_for(1);
+        assert_eq!(dets.len(), 1);
+        assert_eq!(dets[0].sender, 0);
+        assert_eq!(dets[0].deliver_index, 1);
+    }
+
+    #[test]
+    fn install_ignores_pre_checkpoint_determinants() {
+        let mut p = Tag::new(1, 2);
+        p.deliver_count = 5; // restored from checkpoint
+        p.install_recovery_info(vec![
+            Determinant { sender: 0, send_index: 1, receiver: 1, deliver_index: 3 },
+            Determinant { sender: 0, send_index: 9, receiver: 1, deliver_index: 6 },
+        ]);
+        let empty = lclog_wire::encode_to_vec(&Vec::<Determinant>::new());
+        // Position 6 pinned to (0, 9).
+        assert_eq!(p.deliverable(0, 8, &empty), DeliveryVerdict::Wait);
+        assert_eq!(p.deliverable(0, 9, &empty), DeliveryVerdict::Deliver);
+    }
+
+    #[test]
+    fn corrupt_piggyback_is_an_error() {
+        let mut p = Tag::new(0, 2);
+        assert!(matches!(
+            p.on_deliver(1, 1, &[0xFF, 0x01]),
+            Err(ProtocolError::Corrupt(_))
+        ));
+    }
+}

@@ -1,0 +1,252 @@
+//! Dense 3-D scalar fields with multiple components — the
+//! checkpointable state of the NPB kernels — plus the face/row packing
+//! helpers the boundary exchanges use.
+
+use lclog_wire::{Decode, Encode, Reader, WireError};
+
+/// A `comps`-component field over a local `nx × ny × nz` block,
+/// stored as one contiguous `Vec<f64>` (component-major is not used;
+/// layout is `[c][k][j][i]` flattened with `i` fastest).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Field3 {
+    /// Local cells along x.
+    pub nx: usize,
+    /// Local cells along y.
+    pub ny: usize,
+    /// Local cells along z.
+    pub nz: usize,
+    /// Components per cell (1 for scalar kernels, 5 for BT).
+    pub comps: usize,
+    data: Vec<f64>,
+}
+
+impl Field3 {
+    /// A field initialized by `f(c, i, j, k)` — deterministic initial
+    /// conditions derived from *global* coordinates keep digests
+    /// independent of the decomposition.
+    pub fn init(
+        nx: usize,
+        ny: usize,
+        nz: usize,
+        comps: usize,
+        mut f: impl FnMut(usize, usize, usize, usize) -> f64,
+    ) -> Self {
+        let mut data = Vec::with_capacity(nx * ny * nz * comps);
+        for c in 0..comps {
+            for k in 0..nz {
+                for j in 0..ny {
+                    for i in 0..nx {
+                        data.push(f(c, i, j, k));
+                    }
+                }
+            }
+        }
+        Field3 {
+            nx,
+            ny,
+            nz,
+            comps,
+            data,
+        }
+    }
+
+    #[inline]
+    fn idx(&self, c: usize, i: usize, j: usize, k: usize) -> usize {
+        debug_assert!(c < self.comps && i < self.nx && j < self.ny && k < self.nz);
+        ((c * self.nz + k) * self.ny + j) * self.nx + i
+    }
+
+    /// Read one cell.
+    #[inline]
+    pub fn get(&self, c: usize, i: usize, j: usize, k: usize) -> f64 {
+        self.data[self.idx(c, i, j, k)]
+    }
+
+    /// Write one cell.
+    #[inline]
+    pub fn set(&mut self, c: usize, i: usize, j: usize, k: usize, v: f64) {
+        let idx = self.idx(c, i, j, k);
+        self.data[idx] = v;
+    }
+
+    /// Total `f64` values stored.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True for degenerate zero-size fields.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Pack row `j` of plane `k` (all components): the LU north/south
+    /// exchange payload.
+    pub fn pack_row(&self, j: usize, k: usize) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.nx * self.comps);
+        for c in 0..self.comps {
+            for i in 0..self.nx {
+                out.push(self.get(c, i, j, k));
+            }
+        }
+        out
+    }
+
+    /// Pack column `i` of plane `k` (all components): the LU east/west
+    /// exchange payload.
+    pub fn pack_col(&self, i: usize, k: usize) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.ny * self.comps);
+        for c in 0..self.comps {
+            for j in 0..self.ny {
+                out.push(self.get(c, i, j, k));
+            }
+        }
+        out
+    }
+
+    /// Pack the `i = index` face (`ny × nz × comps` values): the ADI
+    /// x-direction exchange payload.
+    pub fn pack_face_x(&self, i: usize) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.ny * self.nz * self.comps);
+        for c in 0..self.comps {
+            for k in 0..self.nz {
+                for j in 0..self.ny {
+                    out.push(self.get(c, i, j, k));
+                }
+            }
+        }
+        out
+    }
+
+    /// Pack the `j = index` face (`nx × nz × comps` values): the ADI
+    /// y-direction exchange payload.
+    pub fn pack_face_y(&self, j: usize) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.nx * self.nz * self.comps);
+        for c in 0..self.comps {
+            for k in 0..self.nz {
+                for i in 0..self.nx {
+                    out.push(self.get(c, i, j, k));
+                }
+            }
+        }
+        out
+    }
+
+    /// A deterministic digest of the field contents (bit-exact, order
+    /// fixed): the recovery-correctness check underneath every
+    /// benchmark.
+    pub fn digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for v in &self.data {
+            h ^= v.to_bits();
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+
+    /// Sum of squares over all cells (residual building block).
+    pub fn sum_sq(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum()
+    }
+}
+
+impl Encode for Field3 {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.nx.encode(buf);
+        self.ny.encode(buf);
+        self.nz.encode(buf);
+        self.comps.encode(buf);
+        self.data.encode(buf);
+    }
+    fn encoded_len(&self) -> usize {
+        self.nx.encoded_len()
+            + self.ny.encoded_len()
+            + self.nz.encoded_len()
+            + self.comps.encoded_len()
+            + self.data.encoded_len()
+    }
+}
+
+impl Decode for Field3 {
+    fn decode(reader: &mut Reader<'_>) -> Result<Self, WireError> {
+        let nx = usize::decode(reader)?;
+        let ny = usize::decode(reader)?;
+        let nz = usize::decode(reader)?;
+        let comps = usize::decode(reader)?;
+        let data = Vec::<f64>::decode(reader)?;
+        if data.len() != nx * ny * nz * comps {
+            return Err(WireError::LengthOverflow {
+                declared: data.len() as u64,
+            });
+        }
+        Ok(Field3 {
+            nx,
+            ny,
+            nz,
+            comps,
+            data,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lclog_wire::{decode_from_slice, encode_to_vec};
+
+    fn sample() -> Field3 {
+        Field3::init(3, 2, 2, 2, |c, i, j, k| {
+            (c * 1000 + i * 100 + j * 10 + k) as f64
+        })
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut f = sample();
+        assert_eq!(f.get(1, 2, 1, 0), 1210.0);
+        f.set(1, 2, 1, 0, -1.5);
+        assert_eq!(f.get(1, 2, 1, 0), -1.5);
+        assert_eq!(f.len(), 3 * 2 * 2 * 2);
+    }
+
+    #[test]
+    fn pack_row_and_col_extract_expected_cells() {
+        let f = sample();
+        let row = f.pack_row(1, 0); // j=1, k=0, comps × nx
+        assert_eq!(row, vec![10.0, 110.0, 210.0, 1010.0, 1110.0, 1210.0]);
+        let col = f.pack_col(2, 1); // i=2, k=1, comps × ny
+        assert_eq!(col, vec![201.0, 211.0, 1201.0, 1211.0]);
+    }
+
+    #[test]
+    fn pack_faces_have_expected_sizes() {
+        let f = sample();
+        assert_eq!(f.pack_face_x(0).len(), f.ny * f.nz * f.comps);
+        assert_eq!(f.pack_face_y(1).len(), f.nx * f.nz * f.comps);
+    }
+
+    #[test]
+    fn digest_is_content_sensitive_and_stable() {
+        let f = sample();
+        let d1 = f.digest();
+        assert_eq!(d1, sample().digest());
+        let mut g = sample();
+        g.set(0, 0, 0, 0, 42.0);
+        assert_ne!(d1, g.digest());
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        let f = sample();
+        let back: Field3 = decode_from_slice(&encode_to_vec(&f)).unwrap();
+        assert_eq!(back, f);
+    }
+
+    #[test]
+    fn wire_rejects_inconsistent_dims() {
+        let f = sample();
+        let mut bytes = encode_to_vec(&f);
+        // Corrupt nx (first varint byte) to break the size invariant.
+        bytes[0] = 5;
+        assert!(decode_from_slice::<Field3>(&bytes).is_err());
+    }
+}

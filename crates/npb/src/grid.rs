@@ -1,0 +1,142 @@
+//! 2-D process-grid decomposition, as NPB's LU uses (and as our ADI
+//! kernels reuse): `n` ranks factored into the most square `px × py`
+//! grid, each owning a contiguous block of the global domain.
+
+use lclog_core::Rank;
+
+/// A rank's position in the process grid and its neighbours.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProcGrid {
+    /// Grid width (ranks along x).
+    pub px: usize,
+    /// Grid height (ranks along y).
+    pub py: usize,
+    /// This rank's x coordinate.
+    pub rx: usize,
+    /// This rank's y coordinate.
+    pub ry: usize,
+}
+
+impl ProcGrid {
+    /// Place `rank` of `n` on the most-square factor grid (NPB LU
+    /// requires power-of-two ranks; we accept any `n` by taking the
+    /// largest factor ≤ √n).
+    pub fn new(rank: Rank, n: usize) -> Self {
+        assert!(n > 0);
+        assert!(rank < n);
+        let (px, py) = Self::factor(n);
+        ProcGrid {
+            px,
+            py,
+            rx: rank % px,
+            ry: rank / px,
+        }
+    }
+
+    /// Most-square factorization `(px, py)` with `px * py == n` and
+    /// `px <= py`.
+    pub fn factor(n: usize) -> (usize, usize) {
+        let mut px = (n as f64).sqrt() as usize;
+        while px > 1 && n % px != 0 {
+            px -= 1;
+        }
+        (px.max(1), n / px.max(1))
+    }
+
+    /// Rank at grid position `(rx, ry)`.
+    pub fn rank_at(&self, rx: usize, ry: usize) -> Rank {
+        ry * self.px + rx
+    }
+
+    /// Western neighbour (smaller x), if any.
+    pub fn west(&self) -> Option<Rank> {
+        (self.rx > 0).then(|| self.rank_at(self.rx - 1, self.ry))
+    }
+
+    /// Eastern neighbour (larger x), if any.
+    pub fn east(&self) -> Option<Rank> {
+        (self.rx + 1 < self.px).then(|| self.rank_at(self.rx + 1, self.ry))
+    }
+
+    /// Northern neighbour (smaller y), if any.
+    pub fn north(&self) -> Option<Rank> {
+        (self.ry > 0).then(|| self.rank_at(self.rx, self.ry - 1))
+    }
+
+    /// Southern neighbour (larger y), if any.
+    pub fn south(&self) -> Option<Rank> {
+        (self.ry + 1 < self.py).then(|| self.rank_at(self.rx, self.ry + 1))
+    }
+
+    /// Split `global` cells along an axis of `parts` ranks: position
+    /// `idx` receives a near-equal contiguous share (first ranks take
+    /// the remainder).
+    pub fn split(global: usize, parts: usize, idx: usize) -> usize {
+        global / parts + usize::from(idx < global % parts)
+    }
+
+    /// Global offset of position `idx`'s first cell under
+    /// [`ProcGrid::split`].
+    pub fn offset(global: usize, parts: usize, idx: usize) -> usize {
+        (0..idx).map(|i| Self::split(global, parts, i)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factorization_is_most_square() {
+        assert_eq!(ProcGrid::factor(1), (1, 1));
+        assert_eq!(ProcGrid::factor(4), (2, 2));
+        assert_eq!(ProcGrid::factor(8), (2, 4));
+        assert_eq!(ProcGrid::factor(16), (4, 4));
+        assert_eq!(ProcGrid::factor(32), (4, 8));
+        assert_eq!(ProcGrid::factor(7), (1, 7));
+        assert_eq!(ProcGrid::factor(12), (3, 4));
+    }
+
+    #[test]
+    fn neighbours_form_a_consistent_grid() {
+        // 2×2 grid: rank layout [0 1; 2 3]
+        let g0 = ProcGrid::new(0, 4);
+        assert_eq!(g0.east(), Some(1));
+        assert_eq!(g0.south(), Some(2));
+        assert_eq!(g0.west(), None);
+        assert_eq!(g0.north(), None);
+        let g3 = ProcGrid::new(3, 4);
+        assert_eq!(g3.west(), Some(2));
+        assert_eq!(g3.north(), Some(1));
+        assert_eq!(g3.east(), None);
+        assert_eq!(g3.south(), None);
+    }
+
+    #[test]
+    fn neighbour_relations_are_symmetric() {
+        for n in [1usize, 2, 4, 6, 8, 16, 32] {
+            for r in 0..n {
+                let g = ProcGrid::new(r, n);
+                if let Some(e) = g.east() {
+                    assert_eq!(ProcGrid::new(e, n).west(), Some(r));
+                }
+                if let Some(s) = g.south() {
+                    assert_eq!(ProcGrid::new(s, n).north(), Some(r));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn split_sums_to_global() {
+        for (global, parts) in [(32usize, 4usize), (33, 4), (7, 3), (10, 1)] {
+            let total: usize = (0..parts).map(|i| ProcGrid::split(global, parts, i)).sum();
+            assert_eq!(total, global);
+            // Shares differ by at most one cell.
+            let shares: Vec<_> = (0..parts).map(|i| ProcGrid::split(global, parts, i)).collect();
+            let min = shares.iter().min().unwrap();
+            let max = shares.iter().max().unwrap();
+            assert!(max - min <= 1);
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Recovery correctness for the extension protocols (TAG-f bounded
+//! causal tracking and pessimistic logging) on the NPB workloads —
+//! they must be exactly as transparent as the paper's three.
+
+use lclog_core::ProtocolKind;
+use lclog_npb::{run_benchmark, Benchmark, Class};
+use lclog_runtime::{CheckpointPolicy, ClusterConfig, CommMode, FailurePlan, RunConfig};
+
+fn cfg(n: usize, kind: ProtocolKind) -> ClusterConfig {
+    ClusterConfig::new(
+        n,
+        RunConfig::new(kind).with_checkpoint(CheckpointPolicy::EverySteps(5)),
+    )
+}
+
+#[test]
+fn extension_digests_match_the_paper_protocols() {
+    for bench in Benchmark::ALL {
+        let reference = run_benchmark(bench, Class::Test, &cfg(4, ProtocolKind::Tdi))
+            .unwrap()
+            .digests;
+        for kind in [ProtocolKind::TagF(1), ProtocolKind::TagF(2), ProtocolKind::Pessim] {
+            let got = run_benchmark(bench, Class::Test, &cfg(4, kind))
+                .unwrap()
+                .digests;
+            assert_eq!(got, reference, "{bench}/{kind} deviates fault-free");
+        }
+    }
+}
+
+#[test]
+fn tagf_recovers_single_failure() {
+    for f in [1u32, 2] {
+        let kind = ProtocolKind::TagF(f);
+        let clean = run_benchmark(Benchmark::Lu, Class::Test, &cfg(4, kind))
+            .unwrap()
+            .digests;
+        let report = run_benchmark(
+            Benchmark::Lu,
+            Class::Test,
+            &cfg(4, kind).with_failures(FailurePlan::kill_at(1, 9)),
+        )
+        .expect("recovered run");
+        assert_eq!(report.kills, 1);
+        assert_eq!(report.digests, clean, "TAG-f{f} recovery diverged");
+    }
+}
+
+#[test]
+fn tagf_recovers_f_simultaneous_failures() {
+    // The protocol's design point: with f = 2, two simultaneous
+    // failures must still leave every needed determinant on a
+    // survivor.
+    let kind = ProtocolKind::TagF(2);
+    let clean = run_benchmark(Benchmark::Lu, Class::Test, &cfg(5, kind))
+        .unwrap()
+        .digests;
+    let plan = FailurePlan::kill_at(1, 8).and_kill(3, 8);
+    let report = run_benchmark(Benchmark::Lu, Class::Test, &cfg(5, kind).with_failures(plan))
+        .expect("recovered run");
+    assert_eq!(report.kills, 2);
+    assert_eq!(report.digests, clean);
+}
+
+#[test]
+fn pessim_recovers_single_failure_all_benchmarks() {
+    for bench in Benchmark::ALL {
+        let kind = ProtocolKind::Pessim;
+        let clean = run_benchmark(bench, Class::Test, &cfg(4, kind))
+            .unwrap()
+            .digests;
+        let report = run_benchmark(
+            bench,
+            Class::Test,
+            &cfg(4, kind).with_failures(FailurePlan::kill_at(2, 7)),
+        )
+        .expect("recovered run");
+        assert_eq!(report.kills, 1);
+        assert_eq!(report.digests, clean, "PES {bench} recovery diverged");
+    }
+}
+
+#[test]
+fn pessim_recovers_multi_failure_without_survivor_determinants() {
+    // Pessimistic recovery depends only on the logger: even when every
+    // peer that ever talked to the victims also dies, replay info
+    // survives.
+    let kind = ProtocolKind::Pessim;
+    let clean = run_benchmark(Benchmark::Lu, Class::Test, &cfg(4, kind))
+        .unwrap()
+        .digests;
+    let plan = FailurePlan::kill_at(0, 8).and_kill(1, 8).and_kill(2, 8);
+    let report = run_benchmark(Benchmark::Lu, Class::Test, &cfg(4, kind).with_failures(plan))
+        .expect("recovered run");
+    assert_eq!(report.kills, 3);
+    assert_eq!(report.digests, clean);
+}
+
+#[test]
+fn pessim_blocking_mode_send_gate_works() {
+    let kind = ProtocolKind::Pessim;
+    let run = RunConfig::new(kind)
+        .with_comm(CommMode::blocking_default())
+        .with_checkpoint(CheckpointPolicy::EverySteps(5));
+    let base = ClusterConfig::new(4, run);
+    let clean = run_benchmark(Benchmark::Sp, Class::Test, &base).unwrap().digests;
+    let report = run_benchmark(
+        Benchmark::Sp,
+        Class::Test,
+        &base.with_failures(FailurePlan::kill_at(3, 6)),
+    )
+    .expect("recovered run");
+    assert_eq!(report.digests, clean);
+}
+
+#[test]
+fn piggyback_ordering_with_extensions() {
+    // PES < TDI < TAG-f < TEL < TAG on a collective-heavy workload at
+    // this scale: zero piggyback for pessimistic, a bounded plateau
+    // for TAG-f.
+    let n = 8;
+    let ids = |kind| {
+        run_benchmark(Benchmark::Sp, Class::Test, &cfg(n, kind))
+            .unwrap()
+            .stats
+            .avg_ids_per_msg()
+    };
+    let pes = ids(ProtocolKind::Pessim);
+    let tdi = ids(ProtocolKind::Tdi);
+    let tagf = ids(ProtocolKind::TagF(1));
+    let tag = ids(ProtocolKind::Tag);
+    assert_eq!(pes, 0.0, "pessimistic logging piggybacks nothing");
+    assert_eq!(tdi, n as f64);
+    assert!(tagf > tdi, "TAG-f ({tagf}) should exceed TDI ({tdi})");
+    assert!(tag > tagf, "TAG ({tag}) should exceed TAG-f ({tagf})");
+}

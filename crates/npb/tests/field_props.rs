@@ -1,0 +1,82 @@
+//! Property tests for the NPB substrate types (fields and process
+//! grids).
+
+use lclog_npb::{Field3, ProcGrid};
+use lclog_wire::{decode_from_slice, encode_to_vec};
+use proptest::prelude::*;
+
+fn arb_field() -> impl Strategy<Value = Field3> {
+    (1usize..5, 1usize..5, 1usize..4, 1usize..3).prop_flat_map(|(nx, ny, nz, comps)| {
+        proptest::collection::vec(-1e6f64..1e6, nx * ny * nz * comps).prop_map(
+            move |values| {
+                let mut it = values.into_iter();
+                Field3::init(nx, ny, nz, comps, |_, _, _, _| it.next().expect("enough values"))
+            },
+        )
+    })
+}
+
+proptest! {
+    #[test]
+    fn prop_field_wire_roundtrip(f in arb_field()) {
+        let back: Field3 = decode_from_slice(&encode_to_vec(&f)).unwrap();
+        prop_assert_eq!(back, f);
+    }
+
+    #[test]
+    fn prop_pack_sizes_are_consistent(f in arb_field()) {
+        for k in 0..f.nz {
+            prop_assert_eq!(f.pack_row(0, k).len(), f.nx * f.comps);
+            prop_assert_eq!(f.pack_col(0, k).len(), f.ny * f.comps);
+        }
+        prop_assert_eq!(f.pack_face_x(f.nx - 1).len(), f.ny * f.nz * f.comps);
+        prop_assert_eq!(f.pack_face_y(f.ny - 1).len(), f.nx * f.nz * f.comps);
+    }
+
+    #[test]
+    fn prop_digest_detects_single_cell_change(
+        f in arb_field(),
+        c in 0usize..2,
+        i in 0usize..4,
+        j in 0usize..4,
+        k in 0usize..3,
+    ) {
+        let (c, i, j, k) = (c % f.comps, i % f.nx, j % f.ny, k % f.nz);
+        let before = f.digest();
+        let mut g = f.clone();
+        let old = g.get(c, i, j, k);
+        g.set(c, i, j, k, old + 1.0);
+        prop_assert_ne!(before, g.digest());
+    }
+
+    #[test]
+    fn prop_grid_split_partitions_exactly(global in 1usize..200, parts in 1usize..33) {
+        let total: usize = (0..parts).map(|i| ProcGrid::split(global, parts, i)).sum();
+        prop_assert_eq!(total, global);
+        // Offsets are the prefix sums of the splits.
+        let mut acc = 0;
+        for i in 0..parts {
+            prop_assert_eq!(ProcGrid::offset(global, parts, i), acc);
+            acc += ProcGrid::split(global, parts, i);
+        }
+    }
+
+    #[test]
+    fn prop_grid_positions_are_bijective(n in 1usize..65) {
+        let mut seen = vec![false; n];
+        for r in 0..n {
+            let g = ProcGrid::new(r, n);
+            let back = g.rank_at(g.rx, g.ry);
+            prop_assert_eq!(back, r);
+            prop_assert!(!seen[back]);
+            seen[back] = true;
+        }
+    }
+
+    #[test]
+    fn prop_sum_sq_is_nonnegative_and_zero_only_for_zero(f in arb_field()) {
+        prop_assert!(f.sum_sq() >= 0.0);
+        let zero = Field3::init(f.nx, f.ny, f.nz, f.comps, |_, _, _, _| 0.0);
+        prop_assert_eq!(zero.sum_sq(), 0.0);
+    }
+}

@@ -1,0 +1,50 @@
+//! Golden-digest regression table: the Test-class kernels are fully
+//! deterministic (fixed IEEE-754 operation order, rank-ordered
+//! collective folds), so their per-rank digests are bit-stable across
+//! runs, protocols, schedules, recoveries — and releases. Any change
+//! to the numerics or the communication structure of a kernel shows
+//! up here as an explicit, reviewable diff.
+
+use lclog_core::ProtocolKind;
+use lclog_npb::{run_benchmark, Benchmark, Class};
+use lclog_runtime::{ClusterConfig, RunConfig};
+
+type Golden = (Benchmark, usize, &'static [u64]);
+
+const GOLDEN: &[Golden] = &[
+        (Benchmark::Lu, 1, &[0x71a2f5105600a44f]),
+        (Benchmark::Lu, 2, &[0x3b623103754a610a, 0xaa161318a04618a1]),
+        (Benchmark::Lu, 4, &[0x7c08588120bec8ed, 0xed44e27ed016dc82, 0x3157ecab35eb8d16, 0xdbe7a3864fe0ddc0]),
+        (Benchmark::Lu, 8, &[0x33fe6239752aafb5, 0xa7c21a7edeead119, 0xe038b1d71f3c1033, 0x90708e26054de2d1, 0xeed825b4209ea987, 0xf8c0519de0081336, 0x9b95cdeb6d3184eb, 0x1cd822e5cb924d55]),
+        (Benchmark::Bt, 1, &[0xc3f411f87988dca4]),
+        (Benchmark::Bt, 2, &[0x8893d4643cb4bee6, 0x7241131187118c0a]),
+        (Benchmark::Bt, 4, &[0x3187242eee6d269b, 0xb1e381ff94ffcb9e, 0xb0ac80404fd7ee7e, 0xab2aec763d593770]),
+        (Benchmark::Bt, 8, &[0x34b4173edde007be, 0x8f09a53d5eb10cd2, 0xa177dee34fd21978, 0xc4cd7c77b0dead73, 0x5d38006b3cc3f933, 0x884b77b34b2cfbe1, 0x39a6e32d2811147c, 0xba6cbe728c179450]),
+        (Benchmark::Sp, 1, &[0x89809cfa8ec6b849]),
+        (Benchmark::Sp, 2, &[0xeab0f4e5dbe96f7e, 0x58322fd4da4e2bed]),
+        (Benchmark::Sp, 4, &[0xcce27bb16fbf6888, 0xa596856694ffb5db, 0x5fedaf0dabb1cf4c, 0x766e8bf9d860fb4d]),
+        (Benchmark::Sp, 8, &[0x9a8c28f85f845cf5, 0x69d42f7321e3bbc5, 0xae27177dfac96041, 0x250a1e2b0cff033b, 0x5af183a865ddb624, 0xf096e7a6893faf98, 0x1a71576e46f7a02b, 0x8a37323af587f6c7]),
+        (Benchmark::Cg, 1, &[0x68967b487280bc97]),
+        (Benchmark::Cg, 2, &[0xa916d29c6eb88c25, 0xe8094913763f6684]),
+        (Benchmark::Cg, 4, &[0x1b2896b6dbadd77, 0x5ddf7ec525aebbbd, 0x71ea34c430fcc49e, 0xd3d7bac6d0f65ecc]),
+        (Benchmark::Cg, 8, &[0x97440d9a5105bde7, 0x594795c391e2834d, 0xcb993c7dad1d8715, 0x37cc1721d61428b4, 0x20873fcc4e0e105b, 0xc16d951b274b8ab9, 0x5f8202068044e15c, 0xc82c15b0d6680516]),
+];
+
+#[test]
+fn test_class_digests_match_golden_table() {
+    for (bench, n, expected) in GOLDEN {
+        let cfg = ClusterConfig::new(*n, RunConfig::new(ProtocolKind::Tdi));
+        let got = run_benchmark(*bench, Class::Test, &cfg).expect("golden run").digests;
+        assert_eq!(&got[..], *expected, "{bench} n={n}: kernel numerics changed");
+    }
+}
+
+#[test]
+fn golden_table_covers_all_benchmarks() {
+    for bench in Benchmark::EXTENDED {
+        assert!(
+            GOLDEN.iter().any(|(b, _, _)| *b == bench),
+            "{bench} missing from the golden table"
+        );
+    }
+}

@@ -1,0 +1,169 @@
+//! Recovery correctness on the paper's actual workloads: every
+//! benchmark × protocol combination must produce bit-identical
+//! digests with and without injected failures.
+
+use lclog_core::ProtocolKind;
+use lclog_npb::{run_benchmark, Benchmark, Class};
+use lclog_runtime::{CheckpointPolicy, ClusterConfig, CommMode, FailurePlan, RunConfig};
+use lclog_simnet::NetConfig;
+
+fn cfg(n: usize, kind: ProtocolKind) -> ClusterConfig {
+    ClusterConfig::new(
+        n,
+        RunConfig::new(kind).with_checkpoint(CheckpointPolicy::EverySteps(5)),
+    )
+}
+
+fn clean_digests(bench: Benchmark, n: usize, kind: ProtocolKind) -> Vec<u64> {
+    run_benchmark(bench, Class::Test, &cfg(n, kind))
+        .expect("fault-free run")
+        .digests
+}
+
+#[test]
+fn digests_are_protocol_independent() {
+    for bench in Benchmark::ALL {
+        let tdi = clean_digests(bench, 4, ProtocolKind::Tdi);
+        let tag = clean_digests(bench, 4, ProtocolKind::Tag);
+        let tel = clean_digests(bench, 4, ProtocolKind::Tel);
+        assert_eq!(tdi, tag, "{bench}: TAG deviates");
+        assert_eq!(tdi, tel, "{bench}: TEL deviates");
+    }
+}
+
+#[test]
+fn digests_scale_with_decomposition_determinism() {
+    // Same benchmark, different rank counts → different digests per
+    // rank, but every run at the same count is identical.
+    for bench in Benchmark::ALL {
+        let a = clean_digests(bench, 4, ProtocolKind::Tdi);
+        let b = clean_digests(bench, 4, ProtocolKind::Tdi);
+        assert_eq!(a, b, "{bench}: nondeterministic digest");
+    }
+}
+
+fn assert_recovers(bench: Benchmark, kind: ProtocolKind, victim: usize, at_step: u64) {
+    let n = 4;
+    let clean = clean_digests(bench, n, kind);
+    let config = cfg(n, kind).with_failures(FailurePlan::kill_at(victim, at_step));
+    let report = run_benchmark(bench, Class::Test, &config).expect("recovered run");
+    assert_eq!(report.kills, 1, "{bench}/{kind}: kill did not fire");
+    assert_eq!(
+        report.digests, clean,
+        "{bench}/{kind}: recovery changed the result"
+    );
+}
+
+#[test]
+fn lu_recovers_under_every_protocol() {
+    for kind in ProtocolKind::ALL {
+        assert_recovers(Benchmark::Lu, kind, 1, 9);
+    }
+}
+
+#[test]
+fn bt_recovers_under_every_protocol() {
+    for kind in ProtocolKind::ALL {
+        assert_recovers(Benchmark::Bt, kind, 2, 6);
+    }
+}
+
+#[test]
+fn sp_recovers_under_every_protocol() {
+    for kind in ProtocolKind::ALL {
+        assert_recovers(Benchmark::Sp, kind, 3, 8);
+    }
+}
+
+#[test]
+fn lu_multi_failure_recovers() {
+    let n = 4;
+    let clean = clean_digests(Benchmark::Lu, n, ProtocolKind::Tdi);
+    let config = cfg(n, ProtocolKind::Tdi)
+        .with_failures(FailurePlan::kill_at(1, 8).and_kill(2, 8));
+    let report = run_benchmark(Benchmark::Lu, Class::Test, &config).expect("recovered run");
+    assert_eq!(report.kills, 2);
+    assert_eq!(report.digests, clean);
+}
+
+#[test]
+fn bt_blocking_mode_recovers() {
+    // BT's faces exceed the eager threshold → rendezvous waits under
+    // Fig. 4a, plus a failure.
+    let n = 4;
+    let run = RunConfig::new(ProtocolKind::Tdi)
+        .with_comm(CommMode::Blocking {
+            eager_threshold: 1024,
+        })
+        .with_checkpoint(CheckpointPolicy::EverySteps(5));
+    let base = ClusterConfig::new(n, run);
+    let clean = run_benchmark(Benchmark::Bt, Class::Test, &base)
+        .unwrap()
+        .digests;
+    let config = base.with_failures(FailurePlan::kill_at(1, 6));
+    let report = run_benchmark(Benchmark::Bt, Class::Test, &config).expect("recovered run");
+    assert_eq!(report.digests, clean);
+}
+
+#[test]
+fn lu_reordering_fabric_recovers() {
+    let n = 4;
+    let base = cfg(n, ProtocolKind::Tdi).with_net(NetConfig::lan_like(0xBEEF));
+    let clean = run_benchmark(Benchmark::Lu, Class::Test, &base)
+        .unwrap()
+        .digests;
+    let config = base.with_failures(FailurePlan::kill_at(2, 10));
+    let report = run_benchmark(Benchmark::Lu, Class::Test, &config).expect("recovered run");
+    assert_eq!(report.digests, clean);
+}
+
+#[test]
+fn workload_characters_match_the_paper() {
+    // §IV: LU has the highest message frequency; BT the largest
+    // messages. Verified from the cluster's traffic accounting.
+    let n = 4;
+    let lu = run_benchmark(Benchmark::Lu, Class::Test, &cfg(n, ProtocolKind::Tdi)).unwrap();
+    let bt = run_benchmark(Benchmark::Bt, Class::Test, &cfg(n, ProtocolKind::Tdi)).unwrap();
+    let sp = run_benchmark(Benchmark::Sp, Class::Test, &cfg(n, ProtocolKind::Tdi)).unwrap();
+    assert!(
+        lu.stats.sends > sp.stats.sends && sp.stats.sends > bt.stats.sends,
+        "message frequency must order LU ({}) > SP ({}) > BT ({})",
+        lu.stats.sends,
+        sp.stats.sends,
+        bt.stats.sends
+    );
+    let avg_bytes = |r: &lclog_runtime::RunReport| r.net_bytes as f64 / r.net_msgs as f64;
+    assert!(
+        avg_bytes(&bt) > avg_bytes(&sp) && avg_bytes(&sp) > avg_bytes(&lu),
+        "message size must order BT ({:.0}) > SP ({:.0}) > LU ({:.0})",
+        avg_bytes(&bt),
+        avg_bytes(&sp),
+        avg_bytes(&lu)
+    );
+}
+
+#[test]
+fn eight_rank_lu_recovers() {
+    let n = 8;
+    let clean = clean_digests(Benchmark::Lu, n, ProtocolKind::Tdi);
+    let config = cfg(n, ProtocolKind::Tdi).with_failures(FailurePlan::kill_at(5, 12));
+    let report = run_benchmark(Benchmark::Lu, Class::Test, &config).expect("recovered run");
+    assert_eq!(report.digests, clean);
+}
+
+#[test]
+fn bt_shared_bus_contention_recovers() {
+    // The paper's 100 Mb shared-Ethernet effect: BT's big faces
+    // serialize on the bus; recovery must still be exact.
+    let base = cfg(4, ProtocolKind::Tdi).with_net(NetConfig::shared_bus());
+    let clean = run_benchmark(Benchmark::Bt, Class::Test, &base)
+        .unwrap()
+        .digests;
+    let report = run_benchmark(
+        Benchmark::Bt,
+        Class::Test,
+        &base.with_failures(FailurePlan::kill_at(2, 6)),
+    )
+    .expect("recovered run");
+    assert_eq!(report.digests, clean);
+}

@@ -1,0 +1,461 @@
+//! The cluster harness: spawns rank threads, injects failures,
+//! respawns incarnations, runs the TEL event-logger service, and
+//! collects results — the reproduction's equivalent of the paper's
+//! testbed scripts.
+
+use crate::config::RunConfig;
+use crate::engine::Engine;
+use crate::events::{Event, EventKind, EventSink};
+use crate::fault::{Fault, StepStatus};
+use crate::kernel::Kernel;
+use crate::process::{RankApp, RankCtx};
+use crate::service::spawn_event_logger;
+use lclog_core::{Rank, TrackingStats};
+use lclog_simnet::{NetConfig, SimNet};
+use lclog_stable::{CheckpointStore, DiskStore, MemStore, StableStorage};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// One planned failure: the given incarnation of `rank` crashes when
+/// its step counter reaches `at_step`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Kill {
+    /// Victim rank.
+    pub rank: Rank,
+    /// Crash before executing this step.
+    pub at_step: u64,
+    /// Which incarnation to kill (1 = the original process; higher
+    /// values test repeated failures).
+    pub incarnation: u64,
+}
+
+/// Deterministic failure-injection schedule.
+#[derive(Debug, Clone, Default)]
+pub struct FailurePlan {
+    kills: Vec<Kill>,
+}
+
+impl FailurePlan {
+    /// No failures.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Kill the original incarnation of `rank` at `at_step`.
+    pub fn kill_at(rank: Rank, at_step: u64) -> Self {
+        Self::none().and_kill(rank, at_step)
+    }
+
+    /// Add another first-incarnation kill (multi-failure scenarios).
+    pub fn and_kill(mut self, rank: Rank, at_step: u64) -> Self {
+        self.kills.push(Kill {
+            rank,
+            at_step,
+            incarnation: 1,
+        });
+        self
+    }
+
+    /// Add a kill of a specific incarnation (repeated-failure tests).
+    pub fn and_kill_incarnation(mut self, rank: Rank, at_step: u64, incarnation: u64) -> Self {
+        self.kills.push(Kill {
+            rank,
+            at_step,
+            incarnation,
+        });
+        self
+    }
+
+    /// Number of planned kills.
+    pub fn len(&self) -> usize {
+        self.kills.len()
+    }
+
+    /// True when no kills are planned.
+    pub fn is_empty(&self) -> bool {
+        self.kills.is_empty()
+    }
+
+    fn should_kill(&self, rank: Rank, incarnation: u64, step: u64) -> bool {
+        self.kills
+            .iter()
+            .any(|k| k.rank == rank && k.incarnation == incarnation && step >= k.at_step)
+    }
+}
+
+/// Where checkpoints and the TEL/PES event log live.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub enum StorageKind {
+    /// In-process store (default): crash survival is modelled by the
+    /// runtime never reading volatile state back after a kill.
+    #[default]
+    Memory,
+    /// Real files under the given directory — durable across OS
+    /// processes, for demos and paranoia.
+    Disk(PathBuf),
+}
+
+/// Full configuration of one cluster run.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of application ranks.
+    pub n: usize,
+    /// Runtime (protocol / engine / checkpoint) configuration.
+    pub run: RunConfig,
+    /// Fabric configuration.
+    pub net: NetConfig,
+    /// Failure injection schedule.
+    pub failures: FailurePlan,
+    /// Stable-storage backend.
+    pub storage: StorageKind,
+    /// Collect a structured fault-tolerance timeline into
+    /// [`RunReport::timeline`].
+    pub trace: bool,
+    /// Abort the run (with an error) after this much wall time — a
+    /// watchdog against protocol deadlocks.
+    pub max_wall: Duration,
+}
+
+impl ClusterConfig {
+    /// Defaults: direct fabric, no failures, 60 s watchdog.
+    pub fn new(n: usize, run: RunConfig) -> Self {
+        ClusterConfig {
+            n,
+            run,
+            net: NetConfig::direct(),
+            failures: FailurePlan::none(),
+            storage: StorageKind::Memory,
+            trace: false,
+            max_wall: Duration::from_secs(60),
+        }
+    }
+
+    /// Builder-style fabric override.
+    pub fn with_net(mut self, net: NetConfig) -> Self {
+        self.net = net;
+        self
+    }
+
+    /// Builder-style failure plan override.
+    pub fn with_failures(mut self, failures: FailurePlan) -> Self {
+        self.failures = failures;
+        self
+    }
+
+    /// Builder-style stable-storage override.
+    pub fn with_storage(mut self, storage: StorageKind) -> Self {
+        self.storage = storage;
+        self
+    }
+
+    /// Builder-style timeline collection toggle.
+    pub fn with_trace(mut self, trace: bool) -> Self {
+        self.trace = trace;
+        self
+    }
+}
+
+/// What a completed cluster run reports.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Per-rank application digests (recovery correctness: equal to a
+    /// fault-free run's digests).
+    pub digests: Vec<u64>,
+    /// Per-rank tracking statistics, merged across incarnations.
+    pub per_rank_stats: Vec<TrackingStats>,
+    /// Cluster-wide sum of `per_rank_stats`.
+    pub stats: TrackingStats,
+    /// Wall-clock duration of the run (Fig. 8's accomplishment time).
+    pub wall: Duration,
+    /// Number of injected crashes that actually fired.
+    pub kills: u32,
+    /// Fabric envelope count (app + control + recovery traffic).
+    pub net_msgs: u64,
+    /// Fabric payload bytes.
+    pub net_bytes: u64,
+    /// Structured fault-tolerance timeline (empty unless
+    /// [`ClusterConfig::trace`] was set).
+    pub timeline: Vec<Event>,
+}
+
+enum Outcome {
+    Done {
+        rank: Rank,
+        digest: u64,
+        stats: TrackingStats,
+    },
+    Killed {
+        rank: Rank,
+        stats: TrackingStats,
+    },
+}
+
+/// Entry point for running applications under rollback recovery.
+pub struct Cluster;
+
+impl Cluster {
+    /// Run `app` on `cfg.n` ranks to completion, injecting the
+    /// configured failures. Returns an error string if the watchdog
+    /// fires.
+    pub fn run<A: RankApp>(cfg: &ClusterConfig, app: A) -> Result<RunReport, String> {
+        let n = cfg.n;
+        assert!(n > 0, "cluster needs at least one rank");
+        let net = SimNet::new(n + 1, cfg.net.clone());
+        let storage: Arc<dyn StableStorage> = match &cfg.storage {
+            StorageKind::Memory => Arc::new(MemStore::new()),
+            StorageKind::Disk(dir) => Arc::new(
+                DiskStore::open(dir).map_err(|e| format!("open disk store: {e}"))?,
+            ),
+        };
+        let ckpts = CheckpointStore::new(Arc::clone(&storage));
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let sink = if cfg.trace {
+            EventSink::recording()
+        } else {
+            EventSink::disabled()
+        };
+        let app = Arc::new(app);
+        let plan = Arc::new(cfg.failures.clone());
+        let (tx, rx) = crossbeam::channel::unbounded::<Outcome>();
+
+        let mut handles: Vec<JoinHandle<()>> = Vec::new();
+        if cfg.run.protocol.uses_event_logger() {
+            handles.push(spawn_event_logger(
+                net.clone(),
+                net.attach(crate::logger_rank(n)),
+                Arc::clone(&storage),
+                Arc::clone(&shutdown),
+            ));
+        }
+        // Attach every endpoint *before* spawning any rank thread: a
+        // send to a not-yet-attached slot would be dropped as if the
+        // destination were dead.
+        let endpoints: Vec<_> = (0..n).map(|rank| net.attach(rank)).collect();
+        for (rank, endpoint) in endpoints.into_iter().enumerate() {
+            handles.push(spawn_rank(
+                Arc::clone(&app),
+                rank,
+                n,
+                cfg.run.clone(),
+                net.clone(),
+                endpoint,
+                ckpts.clone(),
+                Arc::clone(&plan),
+                1,
+                Arc::clone(&shutdown),
+                sink.clone(),
+                tx.clone(),
+            ));
+        }
+
+        let start = Instant::now();
+        let mut digests: Vec<Option<u64>> = vec![None; n];
+        let mut per_rank_stats = vec![TrackingStats::default(); n];
+        let mut incarnations = vec![1u64; n];
+        let mut kills = 0u32;
+
+        while digests.iter().any(Option::is_none) {
+            match rx.recv_timeout(Duration::from_millis(50)) {
+                Ok(Outcome::Done {
+                    rank,
+                    digest,
+                    stats,
+                }) => {
+                    digests[rank] = Some(digest);
+                    per_rank_stats[rank].merge(&stats);
+                }
+                Ok(Outcome::Killed { rank, stats }) => {
+                    kills += 1;
+                    per_rank_stats[rank].merge(&stats);
+                    incarnations[rank] += 1;
+                    let endpoint = net.respawn(rank);
+                    handles.push(spawn_rank(
+                        Arc::clone(&app),
+                        rank,
+                        n,
+                        cfg.run.clone(),
+                        net.clone(),
+                        endpoint,
+                        ckpts.clone(),
+                        Arc::clone(&plan),
+                        incarnations[rank],
+                        Arc::clone(&shutdown),
+                        sink.clone(),
+                        tx.clone(),
+                    ));
+                }
+                Err(_) => {
+                    if start.elapsed() > cfg.max_wall {
+                        shutdown.store(true, Ordering::Relaxed);
+                        for h in handles {
+                            let _ = h.join();
+                        }
+                        return Err(format!(
+                            "cluster watchdog fired after {:?} (protocol {}, {} ranks)",
+                            cfg.max_wall, cfg.run.protocol, n
+                        ));
+                    }
+                }
+            }
+        }
+        let wall = start.elapsed();
+        shutdown.store(true, Ordering::Relaxed);
+        for h in handles {
+            let _ = h.join();
+        }
+        let mut stats = TrackingStats::default();
+        for s in &per_rank_stats {
+            stats.merge(s);
+        }
+        Ok(RunReport {
+            digests: digests.into_iter().map(Option::unwrap).collect(),
+            per_rank_stats,
+            stats,
+            wall,
+            kills,
+            net_msgs: net.stats().msgs_sent(),
+            net_bytes: net.stats().bytes_sent(),
+            timeline: sink.take(),
+        })
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn spawn_rank<A: RankApp>(
+    app: Arc<A>,
+    rank: Rank,
+    n: usize,
+    run: RunConfig,
+    net: SimNet,
+    endpoint: lclog_simnet::Endpoint,
+    ckpts: CheckpointStore,
+    plan: Arc<FailurePlan>,
+    incarnation: u64,
+    shutdown: Arc<AtomicBool>,
+    sink: EventSink,
+    tx: crossbeam::channel::Sender<Outcome>,
+) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name(format!("lclog-rank-{rank}.{incarnation}"))
+        .spawn(move || {
+            rank_main(
+                app,
+                rank,
+                n,
+                run,
+                net,
+                endpoint,
+                ckpts,
+                plan,
+                incarnation,
+                shutdown,
+                sink,
+                tx,
+            )
+        })
+        .expect("spawn rank thread")
+}
+
+#[allow(clippy::too_many_arguments)]
+fn rank_main<A: RankApp>(
+    app: Arc<A>,
+    rank: Rank,
+    n: usize,
+    run: RunConfig,
+    net: SimNet,
+    endpoint: lclog_simnet::Endpoint,
+    ckpts: CheckpointStore,
+    plan: Arc<FailurePlan>,
+    incarnation: u64,
+    shutdown: Arc<AtomicBool>,
+    sink: EventSink,
+    tx: crossbeam::channel::Sender<Outcome>,
+) {
+    let mut kernel = Kernel::new(rank, n, run, net, ckpts);
+    kernel.set_event_sink(sink.clone());
+    sink.emit(rank, EventKind::Spawned { incarnation });
+    let (mut step, mut state) = if incarnation == 1 {
+        (0u64, app.init(rank, n))
+    } else {
+        // Incarnation: restore the last checkpoint (or the initial
+        // state if the process died before ever checkpointing), then
+        // announce the rollback (Algorithm 1 lines 40–46).
+        let restored = match kernel.load_checkpoint() {
+            Some(image) => {
+                let (step, app_bytes) = kernel.restore(image);
+                let state = lclog_wire::decode_from_slice(&app_bytes)
+                    .expect("checkpointed app state decodes");
+                (step, state)
+            }
+            None => (0u64, app.init(rank, n)),
+        };
+        kernel.begin_recovery();
+        restored
+    };
+
+    let mut engine = Engine::new(kernel, endpoint, Arc::clone(&shutdown));
+    loop {
+        if plan.should_kill(rank, incarnation, step) {
+            sink.emit(rank, EventKind::Crashed { step });
+            engine.crash();
+            let _ = tx.send(Outcome::Killed {
+                rank,
+                stats: engine.stats(),
+            });
+            return;
+        }
+        let mut ctx = RankCtx::new(&engine, step);
+        match app.step(&mut ctx, &mut state) {
+            Ok(StepStatus::Continue) => {
+                step += 1;
+                engine.maybe_checkpoint(|| lclog_wire::encode_to_vec(&state), step);
+            }
+            Ok(StepStatus::Done) => {
+                sink.emit(rank, EventKind::Done { step });
+                // A final checkpoint lets every peer release the last
+                // log entries referring to us.
+                engine.checkpoint_now(lclog_wire::encode_to_vec(&state), step);
+                let _ = tx.send(Outcome::Done {
+                    rank,
+                    digest: app.digest(&state),
+                    stats: engine.stats(),
+                });
+                // Stay responsive: peers may still fail and need our
+                // logged messages resent.
+                engine.serve_until_shutdown();
+                return;
+            }
+            Err(Fault::Killed) => {
+                engine.crash();
+                let _ = tx.send(Outcome::Killed {
+                    rank,
+                    stats: engine.stats(),
+                });
+                return;
+            }
+            Err(Fault::Shutdown) => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn failure_plan_matching() {
+        let plan = FailurePlan::kill_at(2, 10).and_kill_incarnation(2, 5, 2);
+        assert!(plan.should_kill(2, 1, 10));
+        assert!(plan.should_kill(2, 1, 11));
+        assert!(!plan.should_kill(2, 1, 9));
+        assert!(!plan.should_kill(1, 1, 10));
+        assert!(plan.should_kill(2, 2, 5));
+        assert!(!plan.should_kill(2, 3, 99));
+        assert_eq!(plan.len(), 2);
+        assert!(!plan.is_empty());
+        assert!(FailurePlan::none().is_empty());
+    }
+}

@@ -1,0 +1,137 @@
+//! Collective operations built over point-to-point messaging, like the
+//! NPB codes use on top of MPI.
+//!
+//! Every collective takes a `tag` that must be **unique per
+//! invocation** on each rank (derive it from the step counter). With
+//! unique tags the gather sides can post genuinely non-deterministic
+//! `ANY_SOURCE` receives — the §II.C situation ("suppose every process
+//! sends its result to `P_0` to calculate their sum; any delivery
+//! order does not impact its correct outcome") — while remaining
+//! safely matched. Folds are made order-insensitive by collecting
+//! first and combining in rank order, so results (and recovery
+//! digests) are bit-identical no matter which arrival order TDI's
+//! relaxed replay produces.
+
+use crate::fault::Fault;
+use crate::message::RecvSpec;
+use crate::process::RankCtx;
+use lclog_core::Rank;
+use lclog_wire::{Decode, Encode};
+
+/// Synchronize all ranks. Linear algorithm: everyone reports to rank
+/// 0 (`ANY_SOURCE` gather), rank 0 releases everyone.
+pub fn barrier(ctx: &mut RankCtx<'_>, tag: u32) -> Result<(), Fault> {
+    let n = ctx.n();
+    if n == 1 {
+        return Ok(());
+    }
+    if ctx.rank() == 0 {
+        for _ in 1..n {
+            ctx.recv(RecvSpec::any_source(tag))?;
+        }
+        for dst in 1..n {
+            ctx.send(dst, tag, &[])?;
+        }
+    } else {
+        ctx.send(0, tag, &[])?;
+        ctx.recv(RecvSpec::from(0, tag))?;
+    }
+    Ok(())
+}
+
+/// Broadcast `value` from `root` to every rank; returns the value
+/// everywhere.
+pub fn broadcast<T: Encode + Decode + Clone>(
+    ctx: &mut RankCtx<'_>,
+    root: Rank,
+    tag: u32,
+    value: Option<T>,
+) -> Result<T, Fault> {
+    if ctx.rank() == root {
+        let v = value.expect("root must supply the broadcast value");
+        for dst in 0..ctx.n() {
+            if dst != root {
+                ctx.send_value(dst, tag, &v)?;
+            }
+        }
+        Ok(v)
+    } else {
+        let (_, v) = ctx.recv_value::<T>(RecvSpec::from(root, tag))?;
+        Ok(v)
+    }
+}
+
+/// Reduce values to `root` with a fold applied in **rank order**
+/// (collect-then-combine keeps floating-point results identical across
+/// arrival orders). Returns `Some(result)` at the root, `None`
+/// elsewhere.
+pub fn reduce<T, F>(
+    ctx: &mut RankCtx<'_>,
+    root: Rank,
+    tag: u32,
+    value: T,
+    mut fold: F,
+) -> Result<Option<T>, Fault>
+where
+    T: Encode + Decode + Clone,
+    F: FnMut(T, T) -> T,
+{
+    let n = ctx.n();
+    if ctx.rank() != root {
+        ctx.send_value(root, tag, &value)?;
+        return Ok(None);
+    }
+    let mut contributions: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    contributions[root] = Some(value);
+    for _ in 0..n - 1 {
+        // Non-deterministic delivery: take whichever rank's
+        // contribution becomes deliverable first.
+        let (src, v) = ctx.recv_value::<T>(RecvSpec::any_source(tag))?;
+        debug_assert!(contributions[src].is_none(), "duplicate contribution");
+        contributions[src] = Some(v);
+    }
+    let mut iter = contributions.into_iter().map(|c| c.expect("all ranks contributed"));
+    let first = iter.next().expect("n >= 1");
+    Ok(Some(iter.fold(first, &mut fold)))
+}
+
+/// Sum-reduce `f64` values to `root`.
+pub fn reduce_sum_f64(
+    ctx: &mut RankCtx<'_>,
+    root: Rank,
+    tag: u32,
+    value: f64,
+) -> Result<Option<f64>, Fault> {
+    reduce(ctx, root, tag, value, |a, b| a + b)
+}
+
+/// All-ranks sum: reduce to rank 0, then broadcast. Uses `tag` and
+/// `tag + 1`.
+pub fn allreduce_sum_f64(ctx: &mut RankCtx<'_>, tag: u32, value: f64) -> Result<f64, Fault> {
+    let total = reduce_sum_f64(ctx, 0, tag, value)?;
+    broadcast(ctx, 0, tag + 1, total)
+}
+
+/// Gather one value per rank at `root` (in rank order). Returns
+/// `Some(values)` at the root, `None` elsewhere.
+pub fn gather<T: Encode + Decode + Clone>(
+    ctx: &mut RankCtx<'_>,
+    root: Rank,
+    tag: u32,
+    value: T,
+) -> Result<Option<Vec<T>>, Fault> {
+    let n = ctx.n();
+    if ctx.rank() != root {
+        ctx.send_value(root, tag, &value)?;
+        return Ok(None);
+    }
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    slots[root] = Some(value);
+    for _ in 0..n - 1 {
+        let (src, v) = ctx.recv_value::<T>(RecvSpec::any_source(tag))?;
+        slots[src] = Some(v);
+    }
+    Ok(Some(
+        slots.into_iter().map(|s| s.expect("all ranks sent")).collect(),
+    ))
+}

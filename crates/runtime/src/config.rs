@@ -1,0 +1,101 @@
+use lclog_core::ProtocolKind;
+use std::time::Duration;
+
+/// Which Fig. 4 communication architecture a rank uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommMode {
+    /// Fig. 4a: the application thread talks to the fabric directly.
+    /// Sends larger than `eager_threshold` bytes wait for the
+    /// receiver's runtime to acknowledge ingestion (a rendezvous, like
+    /// MPICH's synchronous path when buffering is exhausted), and
+    /// incoming traffic — including recovery requests from peers — is
+    /// serviced only when the application enters a runtime call.
+    Blocking {
+        /// Payloads at or below this size are sent eagerly (no
+        /// acknowledgement wait). The paper observes big BT messages
+        /// block longest; this knob reproduces that.
+        eager_threshold: usize,
+    },
+    /// Fig. 4b: buffered queues plus a dedicated communication thread;
+    /// application sends return immediately and incoming traffic is
+    /// serviced continuously.
+    NonBlocking,
+}
+
+impl CommMode {
+    /// Blocking mode with a 4 KiB eager threshold.
+    pub fn blocking_default() -> Self {
+        CommMode::Blocking {
+            eager_threshold: 4 * 1024,
+        }
+    }
+}
+
+/// When a rank takes a checkpoint (always between application steps).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckpointPolicy {
+    /// Every `k` application steps (deterministic; used by tests).
+    EverySteps(u64),
+    /// Whenever at least this much wall time elapsed since the last
+    /// checkpoint (the paper's 180 s interval, scaled down).
+    EveryElapsed(Duration),
+    /// Only the implicit initial state; never checkpoint again.
+    Never,
+}
+
+/// Per-run configuration of the rollback-recovery runtime.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Dependency-tracking protocol (TDI / TAG / TEL).
+    pub protocol: ProtocolKind,
+    /// Fig. 4 communication architecture.
+    pub comm: CommMode,
+    /// Checkpoint cadence.
+    pub checkpoint: CheckpointPolicy,
+    /// How long a blocked operation sleeps between queue polls.
+    pub poll_interval: Duration,
+    /// Resend cadence for unacknowledged rendezvous sends and for
+    /// `ROLLBACK` rebroadcasts to unresponsive peers.
+    pub retry_interval: Duration,
+}
+
+impl RunConfig {
+    /// A sensible default for `protocol`: non-blocking engine,
+    /// checkpoint every 64 steps.
+    pub fn new(protocol: ProtocolKind) -> Self {
+        RunConfig {
+            protocol,
+            comm: CommMode::NonBlocking,
+            checkpoint: CheckpointPolicy::EverySteps(64),
+            poll_interval: Duration::from_micros(200),
+            retry_interval: Duration::from_millis(25),
+        }
+    }
+
+    /// Builder-style comm mode override.
+    pub fn with_comm(mut self, comm: CommMode) -> Self {
+        self.comm = comm;
+        self
+    }
+
+    /// Builder-style checkpoint policy override.
+    pub fn with_checkpoint(mut self, policy: CheckpointPolicy) -> Self {
+        self.checkpoint = policy;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_overrides() {
+        let cfg = RunConfig::new(ProtocolKind::Tdi)
+            .with_comm(CommMode::blocking_default())
+            .with_checkpoint(CheckpointPolicy::Never);
+        assert_eq!(cfg.protocol, ProtocolKind::Tdi);
+        assert!(matches!(cfg.comm, CommMode::Blocking { eager_threshold } if eager_threshold == 4096));
+        assert_eq!(cfg.checkpoint, CheckpointPolicy::Never);
+    }
+}

@@ -1,0 +1,382 @@
+//! The two communication engines of Fig. 4.
+//!
+//! **Blocking** (Fig. 4a): the application thread itself moves every
+//! byte. Sends above the eager threshold wait for the receiver's
+//! ingestion acknowledgement, and incoming traffic — application
+//! messages, checkpoint notices, and peers' recovery requests — is
+//! serviced only while the application sits inside a runtime call.
+//! A failed peer therefore stalls its neighbours, which is exactly the
+//! effect Fig. 8 quantifies.
+//!
+//! **Non-blocking** (Fig. 4b): a dedicated communication thread drains
+//! the fabric continuously (the receiving queue of the paper's scheme;
+//! the fabric channel itself plays the role of the sending queue "A",
+//! since handing an envelope to the fabric never blocks). Application
+//! sends return immediately and recovery traffic is serviced even
+//! while the application computes.
+
+use crate::config::CommMode;
+use crate::fault::Fault;
+use crate::kernel::Kernel;
+use crate::message::{AppMsg, RecvSpec};
+use bytes::Bytes;
+use lclog_core::{Rank, TrackingStats};
+use lclog_simnet::{Endpoint, RecvError, SimNet};
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Shared engine state.
+struct Shared {
+    kernel: Mutex<Kernel>,
+    cv: Condvar,
+    /// Set when this incarnation is dead (crashed) — runtime calls
+    /// fail with [`Fault::Killed`].
+    dead: AtomicBool,
+    /// Set by the cluster when the whole run is over (or aborted) —
+    /// runtime calls fail with [`Fault::Shutdown`].
+    shutdown: Arc<AtomicBool>,
+}
+
+/// One rank incarnation's communication engine.
+pub struct Engine {
+    shared: Arc<Shared>,
+    /// Owned by the app thread in blocking mode; `None` when the comm
+    /// thread owns it.
+    endpoint: Option<Endpoint>,
+    comm: Option<JoinHandle<()>>,
+    net: SimNet,
+    me: Rank,
+    mode: CommMode,
+    poll: Duration,
+    retry: Duration,
+}
+
+impl Engine {
+    /// Wrap a kernel and start the engine for `mode`.
+    pub fn new(kernel: Kernel, endpoint: Endpoint, shutdown: Arc<AtomicBool>) -> Self {
+        let me = kernel.me();
+        let mode = kernel.cfg().comm;
+        let poll = kernel.cfg().poll_interval;
+        let retry = kernel.cfg().retry_interval;
+        let net = kernel_net(&kernel);
+        let shared = Arc::new(Shared {
+            kernel: Mutex::new(kernel),
+            cv: Condvar::new(),
+            dead: AtomicBool::new(false),
+            shutdown,
+        });
+        let (endpoint, comm) = match mode {
+            CommMode::Blocking { .. } => (Some(endpoint), None),
+            CommMode::NonBlocking => {
+                let handle = spawn_comm_thread(Arc::clone(&shared), endpoint, poll);
+                (None, Some(handle))
+            }
+        };
+        Engine {
+            shared,
+            endpoint,
+            comm,
+            net,
+            me,
+            mode,
+            poll,
+            retry,
+        }
+    }
+
+    /// This rank.
+    pub fn me(&self) -> Rank {
+        self.me
+    }
+
+    /// System size.
+    pub fn n(&self) -> usize {
+        self.shared.kernel.lock().n()
+    }
+
+    fn check_live(&self) -> Result<(), Fault> {
+        if self.shared.dead.load(Ordering::Relaxed) {
+            return Err(Fault::Killed);
+        }
+        if self.shared.shutdown.load(Ordering::Relaxed) {
+            return Err(Fault::Shutdown);
+        }
+        Ok(())
+    }
+
+    /// Drain the fabric inbox into the kernel (blocking mode only —
+    /// the app thread owns the endpoint).
+    fn pump(&self) -> Result<(), Fault> {
+        let ep = self.endpoint.as_ref().expect("pump in blocking mode");
+        loop {
+            match ep.try_recv() {
+                Ok(env) => {
+                    self.shared.kernel.lock().ingest(env);
+                }
+                Err(RecvError::Empty) => break,
+                Err(RecvError::Dead) => {
+                    self.shared.dead.store(true, Ordering::Relaxed);
+                    return Err(Fault::Killed);
+                }
+                Err(RecvError::Timeout) => unreachable!("try_recv never times out"),
+            }
+        }
+        self.shared.kernel.lock().tick();
+        Ok(())
+    }
+
+    /// Send an application message (both modes).
+    pub fn send(&self, dst: Rank, tag: u32, data: Bytes) -> Result<(), Fault> {
+        self.check_live()?;
+        match self.mode {
+            CommMode::NonBlocking => {
+                let mut kernel = self.shared.kernel.lock();
+                // Pessimistic logging: hold the send until the logger
+                // has acknowledged our delivery determinants (the comm
+                // thread ingests the ack and notifies).
+                while !kernel.send_ready() {
+                    if self.shared.dead.load(Ordering::Relaxed) {
+                        return Err(Fault::Killed);
+                    }
+                    if self.shared.shutdown.load(Ordering::Relaxed) {
+                        return Err(Fault::Shutdown);
+                    }
+                    self.shared.cv.wait_for(&mut kernel, self.poll);
+                }
+                kernel.app_send(dst, tag, data, false);
+                Ok(())
+            }
+            CommMode::Blocking { eager_threshold } => {
+                self.pump()?;
+                // Pessimistic send gate: service the inbox until the
+                // logger ack arrives.
+                loop {
+                    if self.shared.kernel.lock().send_ready() {
+                        break;
+                    }
+                    self.check_live()?;
+                    let ep = self.endpoint.as_ref().expect("blocking mode endpoint");
+                    match ep.recv_timeout(self.poll) {
+                        Ok(env) => self.shared.kernel.lock().ingest(env),
+                        Err(RecvError::Timeout) => {}
+                        Err(RecvError::Dead) => {
+                            self.shared.dead.store(true, Ordering::Relaxed);
+                            return Err(Fault::Killed);
+                        }
+                        Err(RecvError::Empty) => unreachable!(),
+                    }
+                }
+                let needs_ack = data.len() > eager_threshold;
+                let (send_index, transmitted) = self
+                    .shared
+                    .kernel
+                    .lock()
+                    .app_send(dst, tag, data, needs_ack);
+                if !(needs_ack && transmitted) {
+                    return Ok(());
+                }
+                // Rendezvous: wait for the receiver's ingestion ack,
+                // servicing our own inbox meanwhile (a blocked sender
+                // must still answer ROLLBACKs or the system deadlocks).
+                let ep = self.endpoint.as_ref().expect("blocking mode endpoint");
+                let mut last_resend = Instant::now();
+                loop {
+                    self.check_live()?;
+                    self.pump()?;
+                    if self.shared.kernel.lock().acked(dst) >= send_index {
+                        return Ok(());
+                    }
+                    match ep.recv_timeout(self.poll) {
+                        Ok(env) => self.shared.kernel.lock().ingest(env),
+                        Err(RecvError::Timeout) => {}
+                        Err(RecvError::Dead) => {
+                            self.shared.dead.store(true, Ordering::Relaxed);
+                            return Err(Fault::Killed);
+                        }
+                        Err(RecvError::Empty) => unreachable!(),
+                    }
+                    if last_resend.elapsed() >= self.retry {
+                        // The receiver may have died and respawned; its
+                        // incarnation will ack (or discard-and-ack) the
+                        // retransmission.
+                        self.shared.kernel.lock().resend_unacked(dst, send_index);
+                        last_resend = Instant::now();
+                    }
+                }
+            }
+        }
+    }
+
+    /// Blocking receive matching `spec` (both modes).
+    pub fn recv(&self, spec: RecvSpec) -> Result<AppMsg, Fault> {
+        match self.mode {
+            CommMode::Blocking { .. } => {
+            let started = Instant::now();
+            let mut dumped = false;
+            loop {
+                self.check_live()?;
+                self.pump()?;
+                if let Some(msg) = self.shared.kernel.lock().try_deliver(spec) {
+                    return Ok(msg);
+                }
+                if !dumped && started.elapsed() > Duration::from_secs(5) && std::env::var_os("LCLOG_TRACE").is_some() {
+                    dumped = true;
+                    eprintln!("[stall] rank {} recv {:?}: {:?}", self.me, spec, self.shared.kernel.lock());
+                }
+                let ep = self.endpoint.as_ref().expect("blocking mode endpoint");
+                match ep.recv_timeout(self.poll) {
+                    Ok(env) => self.shared.kernel.lock().ingest(env),
+                    Err(RecvError::Timeout) => {}
+                    Err(RecvError::Dead) => {
+                        self.shared.dead.store(true, Ordering::Relaxed);
+                        return Err(Fault::Killed);
+                    }
+                    Err(RecvError::Empty) => unreachable!(),
+                }
+            }
+            }
+            CommMode::NonBlocking => {
+                let started = Instant::now();
+                let mut dumped = false;
+                let mut kernel = self.shared.kernel.lock();
+                loop {
+                    if self.shared.dead.load(Ordering::Relaxed) {
+                        return Err(Fault::Killed);
+                    }
+                    if self.shared.shutdown.load(Ordering::Relaxed) {
+                        return Err(Fault::Shutdown);
+                    }
+                    if let Some(msg) = kernel.try_deliver(spec) {
+                        return Ok(msg);
+                    }
+                    if !dumped
+                        && started.elapsed() > Duration::from_secs(5)
+                        && std::env::var_os("LCLOG_TRACE").is_some()
+                    {
+                        dumped = true;
+                        eprintln!("[stall] rank {} recv {:?}: {:?}", self.me, spec, &*kernel);
+                    }
+                    // Releases the lock while parked; the comm thread
+                    // notifies after every ingestion.
+                    self.shared.cv.wait_for(&mut kernel, self.poll);
+                }
+            }
+        }
+    }
+
+    /// Take a checkpoint if the policy says one is due after `step`.
+    pub fn maybe_checkpoint(&self, app_state: impl FnOnce() -> Vec<u8>, step: u64) -> bool {
+        let mut kernel = self.shared.kernel.lock();
+        if kernel.checkpoint_due(step) {
+            kernel.do_checkpoint(app_state(), step);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Unconditional checkpoint after `step`.
+    pub fn checkpoint_now(&self, app_state: Vec<u8>, step: u64) {
+        self.shared.kernel.lock().do_checkpoint(app_state, step);
+    }
+
+    /// Simulate a crash of this incarnation: sever the fabric endpoint
+    /// (in-flight and queued messages are lost) and poison all runtime
+    /// calls. Volatile kernel state dies with the thread.
+    pub fn crash(&mut self) {
+        self.net.kill(self.me);
+        self.shared.dead.store(true, Ordering::Relaxed);
+        self.shared.cv.notify_all();
+        if let Some(handle) = self.comm.take() {
+            let _ = handle.join();
+        }
+    }
+
+    /// After the application finishes, keep servicing peers (log
+    /// resends for late failures, acks, checkpoint notices) until the
+    /// whole cluster is done.
+    pub fn serve_until_shutdown(&self) {
+        while !self.shared.shutdown.load(Ordering::Relaxed) {
+            if self.shared.dead.load(Ordering::Relaxed) {
+                return;
+            }
+            match self.mode {
+                CommMode::Blocking { .. } => {
+                    if self.pump().is_err() {
+                        return;
+                    }
+                    let ep = self.endpoint.as_ref().expect("blocking mode endpoint");
+                    match ep.recv_timeout(self.poll) {
+                        Ok(env) => self.shared.kernel.lock().ingest(env),
+                        Err(RecvError::Timeout) => {}
+                        Err(_) => return,
+                    }
+                }
+                CommMode::NonBlocking => {
+                    std::thread::sleep(self.poll);
+                }
+            }
+        }
+    }
+
+    /// Snapshot of the kernel's tracking statistics.
+    pub fn stats(&self) -> TrackingStats {
+        self.shared.kernel.lock().stats().clone()
+    }
+
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        // Stop the comm thread; without marking dead it would keep
+        // polling a live endpoint forever.
+        self.shared.dead.store(true, Ordering::Relaxed);
+        self.shared.cv.notify_all();
+        if let Some(handle) = self.comm.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn spawn_comm_thread(shared: Arc<Shared>, endpoint: Endpoint, poll: Duration) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name(format!("lclog-comm-{}", endpoint.rank()))
+        .spawn(move || loop {
+            if shared.dead.load(Ordering::Relaxed) || shared.shutdown.load(Ordering::Relaxed) {
+                return;
+            }
+            match endpoint.recv_timeout(poll) {
+                Ok(env) => {
+                    let mut kernel = shared.kernel.lock();
+                    kernel.ingest(env);
+                    // Drain whatever else is queued before waking the
+                    // app thread.
+                    while let Ok(env) = endpoint.try_recv() {
+                        kernel.ingest(env);
+                    }
+                    kernel.tick();
+                    drop(kernel);
+                    shared.cv.notify_all();
+                }
+                Err(RecvError::Timeout) => {
+                    shared.kernel.lock().tick();
+                    shared.cv.notify_all();
+                }
+                Err(RecvError::Dead) => {
+                    shared.dead.store(true, Ordering::Relaxed);
+                    shared.cv.notify_all();
+                    return;
+                }
+                Err(RecvError::Empty) => unreachable!(),
+            }
+        })
+        .expect("spawn comm thread")
+}
+
+/// Extract the fabric handle before the kernel moves into the mutex.
+fn kernel_net(kernel: &Kernel) -> SimNet {
+    kernel.net_handle()
+}

@@ -1,0 +1,214 @@
+//! Structured run timelines: every fault-tolerance action a rank
+//! takes — checkpoints, crashes, rollback handshakes, log resends —
+//! recorded with microsecond timestamps. The observability surface a
+//! rollback-recovery toolkit needs when a recovery goes sideways.
+//!
+//! Collection is off unless [`ClusterConfig::with_trace`] enables it;
+//! when on, every kernel shares one lock-protected collector and the
+//! [`RunReport::timeline`] carries the merged, time-ordered result.
+//!
+//! [`ClusterConfig::with_trace`]: crate::ClusterConfig::with_trace
+//! [`RunReport::timeline`]: crate::RunReport::timeline
+
+use lclog_core::Rank;
+use parking_lot::Mutex;
+use std::fmt;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// What happened.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventKind {
+    /// A rank incarnation started (1 = original process).
+    Spawned {
+        /// Incarnation number.
+        incarnation: u64,
+    },
+    /// A checkpoint was written.
+    Checkpoint {
+        /// Application step the image covers.
+        step: u64,
+        /// Encoded image size.
+        bytes: usize,
+    },
+    /// The failure injector crashed this incarnation.
+    Crashed {
+        /// Step counter at the crash.
+        step: u64,
+    },
+    /// An incarnation broadcast `ROLLBACK`.
+    RollbackBroadcast {
+        /// Broadcast epoch (1 = first attempt; higher = re-broadcast).
+        epoch: u64,
+    },
+    /// A survivor answered our rollback.
+    ResponseReceived {
+        /// Responding rank.
+        from: Rank,
+    },
+    /// A survivor resent logged messages to a recovering peer.
+    LogResent {
+        /// The recovering rank.
+        to: Rank,
+        /// Number of messages resent.
+        count: usize,
+    },
+    /// All recovery information has arrived; the roll-forward barrier
+    /// (PWD protocols) lifted.
+    RecoverySynced {
+        /// Microseconds spent collecting it.
+        sync_us: u64,
+    },
+    /// The application finished on this rank.
+    Done {
+        /// Final step count.
+        step: u64,
+    },
+}
+
+impl fmt::Display for EventKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EventKind::Spawned { incarnation } => write!(f, "spawned (incarnation {incarnation})"),
+            EventKind::Checkpoint { step, bytes } => {
+                write!(f, "checkpoint at step {step} ({bytes} bytes)")
+            }
+            EventKind::Crashed { step } => write!(f, "CRASHED at step {step}"),
+            EventKind::RollbackBroadcast { epoch } => {
+                write!(f, "broadcast ROLLBACK (epoch {epoch})")
+            }
+            EventKind::ResponseReceived { from } => write!(f, "RESPONSE from rank {from}"),
+            EventKind::LogResent { to, count } => {
+                write!(f, "resent {count} logged messages to rank {to}")
+            }
+            EventKind::RecoverySynced { sync_us } => {
+                write!(f, "recovery info complete after {sync_us} µs")
+            }
+            EventKind::Done { step } => write!(f, "done at step {step}"),
+        }
+    }
+}
+
+/// One timeline entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Microseconds since the cluster run started.
+    pub at_us: u64,
+    /// Acting rank.
+    pub rank: Rank,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{:>9.3} ms] rank {}: {}",
+            self.at_us as f64 / 1e3,
+            self.rank,
+            self.kind
+        )
+    }
+}
+
+/// Shared, cheap-to-clone event collector. A disabled sink is a
+/// no-op with a single branch per emission.
+#[derive(Clone)]
+pub struct EventSink {
+    inner: Option<Arc<SinkInner>>,
+}
+
+struct SinkInner {
+    start: Instant,
+    events: Mutex<Vec<Event>>,
+}
+
+impl EventSink {
+    /// A recording sink anchored at "now".
+    pub fn recording() -> Self {
+        EventSink {
+            inner: Some(Arc::new(SinkInner {
+                start: Instant::now(),
+                events: Mutex::new(Vec::new()),
+            })),
+        }
+    }
+
+    /// A disabled sink (default).
+    pub fn disabled() -> Self {
+        EventSink { inner: None }
+    }
+
+    /// Is this sink recording?
+    pub fn is_recording(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Record an event (no-op when disabled).
+    pub fn emit(&self, rank: Rank, kind: EventKind) {
+        if let Some(inner) = &self.inner {
+            let at_us = inner.start.elapsed().as_micros() as u64;
+            inner.events.lock().push(Event { at_us, rank, kind });
+        }
+    }
+
+    /// Drain the collected events, time-ordered.
+    pub fn take(&self) -> Vec<Event> {
+        match &self.inner {
+            Some(inner) => {
+                let mut events = std::mem::take(&mut *inner.events.lock());
+                events.sort_by_key(|e| e.at_us);
+                events
+            }
+            None => Vec::new(),
+        }
+    }
+}
+
+impl Default for EventSink {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_sink_collects_nothing() {
+        let sink = EventSink::disabled();
+        assert!(!sink.is_recording());
+        sink.emit(0, EventKind::Done { step: 1 });
+        assert!(sink.take().is_empty());
+    }
+
+    #[test]
+    fn recording_sink_orders_events() {
+        let sink = EventSink::recording();
+        assert!(sink.is_recording());
+        sink.emit(1, EventKind::Spawned { incarnation: 1 });
+        sink.emit(0, EventKind::Crashed { step: 5 });
+        let clone = sink.clone();
+        clone.emit(2, EventKind::Done { step: 9 });
+        let events = sink.take();
+        assert_eq!(events.len(), 3);
+        assert!(events.windows(2).all(|w| w[0].at_us <= w[1].at_us));
+        // Drained.
+        assert!(sink.take().is_empty());
+    }
+
+    #[test]
+    fn display_formats_read_well() {
+        let e = Event {
+            at_us: 1500,
+            rank: 3,
+            kind: EventKind::RollbackBroadcast { epoch: 2 },
+        };
+        let text = e.to_string();
+        assert!(text.contains("rank 3"));
+        assert!(text.contains("ROLLBACK"));
+        assert!(text.contains("1.500 ms"));
+    }
+}

@@ -1,0 +1,32 @@
+use std::fmt;
+
+/// Why a runtime call could not complete.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Fault {
+    /// This rank incarnation has been killed by the failure injector.
+    /// Application code must propagate it (`?`) so the rank thread
+    /// unwinds and its volatile state is genuinely lost.
+    Killed,
+    /// The cluster is shutting down (another rank aborted); unwind.
+    Shutdown,
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Fault::Killed => write!(f, "rank incarnation killed"),
+            Fault::Shutdown => write!(f, "cluster shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for Fault {}
+
+/// What an application step reports back to the runtime loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepStatus {
+    /// More steps to run.
+    Continue,
+    /// The application has finished its computation.
+    Done,
+}

@@ -1,0 +1,98 @@
+//! Application-facing API: the [`RankApp`] trait parallel programs
+//! implement and the [`RankCtx`] handle their steps receive.
+
+use crate::engine::Engine;
+use crate::fault::{Fault, StepStatus};
+use crate::message::{AppMsg, RecvSpec};
+use bytes::Bytes;
+use lclog_core::Rank;
+use lclog_wire::{Decode, Encode};
+
+/// A parallel application runnable under rollback recovery.
+///
+/// The runtime executes `step` repeatedly on every rank, checkpointing
+/// *between* steps, and — after a failure — re-executes from the last
+/// checkpointed step. Correct recovery therefore requires the paper's
+/// execution-model contract:
+///
+/// * `step` must be a deterministic function of `(state, received
+///   messages)`;
+/// * a receive posted with a specific [`RecvSpec::source`] expresses
+///   order-*sensitive* delivery;
+/// * a receive posted with `ANY_SOURCE` promises the program's outcome
+///   does not depend on which matching message arrives first (the
+///   observation of §II.C on which TDI's relaxation rests).
+pub trait RankApp: Send + Sync + 'static {
+    /// Serializable per-rank state; everything the computation needs
+    /// to resume from a checkpoint.
+    type State: Encode + Decode + Send;
+
+    /// Deterministic initial state of `rank` in an `n`-rank run.
+    fn init(&self, rank: Rank, n: usize) -> Self::State;
+
+    /// Execute one application step.
+    fn step(&self, ctx: &mut RankCtx<'_>, state: &mut Self::State) -> Result<StepStatus, Fault>;
+
+    /// A verification digest of the final state: identical across
+    /// fault-free and recovered runs (the reproduction's central
+    /// correctness check).
+    fn digest(&self, state: &Self::State) -> u64;
+}
+
+/// The runtime handle passed to [`RankApp::step`].
+pub struct RankCtx<'a> {
+    engine: &'a Engine,
+    step: u64,
+}
+
+impl<'a> RankCtx<'a> {
+    pub(crate) fn new(engine: &'a Engine, step: u64) -> Self {
+        RankCtx { engine, step }
+    }
+
+    /// This process's rank.
+    pub fn rank(&self) -> Rank {
+        self.engine.me()
+    }
+
+    /// Number of application ranks.
+    pub fn n(&self) -> usize {
+        self.engine.n()
+    }
+
+    /// The current application step index.
+    pub fn step(&self) -> u64 {
+        self.step
+    }
+
+    /// Send `data` to `dst` under `tag`. In blocking mode this may
+    /// wait for the receiver (Fig. 4a); in non-blocking mode it
+    /// returns immediately (Fig. 4b).
+    pub fn send(&mut self, dst: Rank, tag: u32, data: &[u8]) -> Result<(), Fault> {
+        self.engine.send(dst, tag, Bytes::copy_from_slice(data))
+    }
+
+    /// Zero-copy variant of [`RankCtx::send`].
+    pub fn send_bytes(&mut self, dst: Rank, tag: u32, data: Bytes) -> Result<(), Fault> {
+        self.engine.send(dst, tag, data)
+    }
+
+    /// Send an [`Encode`]-able value.
+    pub fn send_value<T: Encode>(&mut self, dst: Rank, tag: u32, value: &T) -> Result<(), Fault> {
+        self.engine
+            .send(dst, tag, Bytes::from(lclog_wire::encode_to_vec(value)))
+    }
+
+    /// Block until a message matching `spec` is deliverable.
+    pub fn recv(&mut self, spec: RecvSpec) -> Result<AppMsg, Fault> {
+        self.engine.recv(spec)
+    }
+
+    /// Receive and decode a value, asserting it decodes cleanly.
+    pub fn recv_value<T: Decode>(&mut self, spec: RecvSpec) -> Result<(Rank, T), Fault> {
+        let msg = self.engine.recv(spec)?;
+        let value =
+            lclog_wire::decode_from_slice(&msg.data).expect("message payload decodes as T");
+        Ok((msg.src, value))
+    }
+}

@@ -1,0 +1,171 @@
+//! The receiving queue (queue "B" of Fig. 4b): messages that have
+//! arrived but have not yet been delivered to the application.
+//!
+//! A message waits here when (a) the application has not posted a
+//! matching receive, (b) its per-sender FIFO predecessor has not been
+//! delivered, or (c) the protocol's dependency gate says
+//! [`DeliveryVerdict::Wait`] — during recovery, logged messages can
+//! arrive in any order (§III.E) and this queue is where they sit until
+//! deliverable.
+//!
+//! [`DeliveryVerdict::Wait`]: lclog_core::DeliveryVerdict
+
+use crate::message::{AppWire, RecvSpec};
+use lclog_core::Rank;
+
+/// A queued, not-yet-delivered application message.
+#[derive(Debug, Clone)]
+pub struct Pending {
+    /// Sending rank.
+    pub src: Rank,
+    /// Wire contents (tag, send_index, piggyback, payload).
+    pub wire: AppWire,
+}
+
+/// FIFO-arrival buffer with matched extraction.
+#[derive(Debug, Default)]
+pub struct RecvQueue {
+    items: Vec<Pending>,
+}
+
+impl RecvQueue {
+    /// Empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of queued messages.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Is a message with this identity already queued? (Duplicate
+    /// resends during recovery are dropped at ingestion.)
+    pub fn contains(&self, src: Rank, send_index: u64) -> bool {
+        self.items
+            .iter()
+            .any(|p| p.src == src && p.wire.send_index == send_index)
+    }
+
+    /// Append an arrival.
+    pub fn push(&mut self, pending: Pending) {
+        self.items.push(pending);
+    }
+
+    /// Remove and return the first message (in arrival order) that
+    /// matches `spec` *and* satisfies `gate`. `gate` receives
+    /// `(src, send_index, piggyback)` and implements the FIFO +
+    /// protocol delivery conditions.
+    pub fn take_first_matching(
+        &mut self,
+        spec: RecvSpec,
+        mut gate: impl FnMut(Rank, u64, &[u8]) -> bool,
+    ) -> Option<Pending> {
+        let pos = self.items.iter().position(|p| {
+            spec.matches(p.src, p.wire.tag) && gate(p.src, p.wire.send_index, &p.wire.piggyback)
+        })?;
+        Some(self.items.remove(pos))
+    }
+
+    /// Compact view for diagnostics: `(src, send_index, tag)` per
+    /// queued message, in arrival order.
+    pub fn summary(&self) -> Vec<(Rank, u64, u32)> {
+        self.items
+            .iter()
+            .map(|p| (p.src, p.wire.send_index, p.wire.tag))
+            .collect()
+    }
+
+    /// Drop queued messages from `src` whose `send_index` is already
+    /// covered by the receiver's delivery counter (repetitive messages
+    /// that slipped in before the counter advanced).
+    pub fn drop_repetitive(&mut self, src: Rank, upto: u64) {
+        self.items
+            .retain(|p| !(p.src == src && p.wire.send_index <= upto));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    fn pending(src: Rank, tag: u32, send_index: u64) -> Pending {
+        Pending {
+            src,
+            wire: AppWire {
+                tag,
+                send_index,
+                piggyback: vec![],
+                needs_ack: false,
+                data: Bytes::new(),
+            },
+        }
+    }
+
+    #[test]
+    fn takes_in_arrival_order() {
+        let mut q = RecvQueue::new();
+        q.push(pending(0, 1, 1));
+        q.push(pending(1, 1, 1));
+        let taken = q.take_first_matching(RecvSpec::any(), |_, _, _| true).unwrap();
+        assert_eq!(taken.src, 0);
+        let taken = q.take_first_matching(RecvSpec::any(), |_, _, _| true).unwrap();
+        assert_eq!(taken.src, 1);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn spec_filters_and_gate_blocks() {
+        let mut q = RecvQueue::new();
+        q.push(pending(0, 1, 2)); // FIFO gap: index 1 not delivered
+        q.push(pending(2, 1, 1));
+        // Gate admits only contiguous indices starting at 1.
+        let gate = |_src: Rank, idx: u64, _pb: &[u8]| idx == 1;
+        let taken = q.take_first_matching(RecvSpec::any_source(1), gate).unwrap();
+        assert_eq!(taken.src, 2);
+        // The gapped message stays queued.
+        assert_eq!(q.len(), 1);
+        assert!(q.contains(0, 2));
+    }
+
+    #[test]
+    fn source_specific_spec_skips_other_senders() {
+        let mut q = RecvQueue::new();
+        q.push(pending(0, 7, 1));
+        q.push(pending(1, 7, 1));
+        let taken = q
+            .take_first_matching(RecvSpec::from(1, 7), |_, _, _| true)
+            .unwrap();
+        assert_eq!(taken.src, 1);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn drop_repetitive_prunes_stale_entries() {
+        let mut q = RecvQueue::new();
+        q.push(pending(0, 1, 1));
+        q.push(pending(0, 1, 2));
+        q.push(pending(1, 1, 1));
+        q.drop_repetitive(0, 1);
+        assert_eq!(q.len(), 2);
+        assert!(!q.contains(0, 1));
+        assert!(q.contains(0, 2));
+        assert!(q.contains(1, 1));
+    }
+
+    #[test]
+    fn no_match_returns_none_and_keeps_queue() {
+        let mut q = RecvQueue::new();
+        q.push(pending(0, 1, 1));
+        assert!(q
+            .take_first_matching(RecvSpec::any_source(9), |_, _, _| true)
+            .is_none());
+        assert_eq!(q.len(), 1);
+    }
+}

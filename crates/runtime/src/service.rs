@@ -1,0 +1,85 @@
+//! The TEL event-logger service (\[5\] in the paper): a stable node
+//! that durably stores determinants and acknowledges them, ending
+//! their causal piggybacking.
+//!
+//! The service occupies fabric slot `n` (see [`crate::logger_rank`])
+//! and is assumed never to fail — the same assumption the baseline
+//! protocol itself makes about its stable storage.
+
+use crate::message::WireMsg;
+use bytes::Bytes;
+use lclog_core::{Determinant, Rank};
+use lclog_simnet::{Endpoint, RecvError, SimNet};
+use lclog_stable::StableStorage;
+use lclog_wire::encode_to_vec;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Spawn the event-logger thread. It answers:
+///
+/// * [`WireMsg::LogDets`] — append the submitter's determinants to
+///   stable storage and reply [`WireMsg::LogAck`] with the highest
+///   contiguously stored deliver index;
+/// * [`WireMsg::LogQuery`] — return every stored determinant of the
+///   queried (failed) rank as [`WireMsg::LogQueryResp`].
+pub fn spawn_event_logger(
+    net: SimNet,
+    endpoint: Endpoint,
+    storage: Arc<dyn StableStorage>,
+    shutdown: Arc<AtomicBool>,
+) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name("lclog-event-logger".into())
+        .spawn(move || {
+            let me = endpoint.rank();
+            // In-memory mirror of stable storage for fast queries; the
+            // stable copy is authoritative and written first.
+            let mut dets: HashMap<Rank, Vec<Determinant>> = HashMap::new();
+            let mut acked: HashMap<Rank, u64> = HashMap::new();
+            loop {
+                if shutdown.load(Ordering::Relaxed) {
+                    return;
+                }
+                let env = match endpoint.recv_timeout(Duration::from_millis(5)) {
+                    Ok(env) => env,
+                    Err(RecvError::Timeout) => continue,
+                    Err(_) => return,
+                };
+                let src = env.src;
+                let msg: WireMsg = match lclog_wire::decode_from_slice(&env.payload) {
+                    Ok(m) => m,
+                    Err(_) => continue,
+                };
+                match msg {
+                    WireMsg::LogDets(batch) => {
+                        let key = format!("eventlog/{src}");
+                        let upto = acked.entry(src).or_insert(0);
+                        for det in batch {
+                            debug_assert_eq!(det.receiver as Rank, src);
+                            // Stable first, then the mirror.
+                            storage.append(&key, &encode_to_vec(&det));
+                            dets.entry(src).or_default().push(det);
+                            if det.deliver_index > *upto {
+                                *upto = det.deliver_index;
+                            }
+                        }
+                        let ack = WireMsg::LogAck(*upto);
+                        let _ = net.send(me, src, Bytes::from(encode_to_vec(&ack)));
+                    }
+                    WireMsg::LogQuery(failed) => {
+                        let found = dets
+                            .get(&(failed as Rank))
+                            .cloned()
+                            .unwrap_or_default();
+                        let resp = WireMsg::LogQueryResp(found);
+                        let _ = net.send(me, src, Bytes::from(encode_to_vec(&resp)));
+                    }
+                    _ => {}
+                }
+            }
+        })
+        .expect("spawn event logger")
+}

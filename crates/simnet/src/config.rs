@@ -1,0 +1,96 @@
+use std::time::Duration;
+
+/// How the fabric moves envelopes from sender to receiver.
+#[derive(Debug, Clone)]
+pub enum DeliveryModel {
+    /// Hand the envelope to the destination inbox synchronously inside
+    /// `send`. Fast and deterministic-ish; used for overhead-counting
+    /// experiments (Fig. 6/7) where transport time is irrelevant.
+    Direct,
+    /// Route every envelope through a courier thread that imposes a
+    /// latency of `base + per_kib * ceil(len/1024) + U(0..jitter)`
+    /// (seeded), actively reordering messages from different senders.
+    /// Used for recovery and blocking experiments (Fig. 8) and for
+    /// adversarial reordering tests.
+    Delayed {
+        /// Fixed latency component.
+        base: Duration,
+        /// Additional latency per KiB of payload (models 100 Mb
+        /// Ethernet-style bandwidth limits; the paper's Fig. 8 notes
+        /// big BT messages block longer).
+        per_kib: Duration,
+        /// Upper bound of the uniform random jitter term.
+        jitter: Duration,
+        /// RNG seed so runs are reproducible.
+        seed: u64,
+    },
+    /// A single shared medium, like the paper's 100 Mb Ethernet
+    /// segment: transmissions serialize on the bus (one frame at a
+    /// time at `bytes_per_sec`), then propagate with `latency`. Big
+    /// messages delay *everyone's* traffic — the contention effect
+    /// behind the paper's Fig. 8 discussion of BT.
+    SharedBus {
+        /// Propagation latency after transmission completes.
+        latency: Duration,
+        /// Bus bandwidth.
+        bytes_per_sec: u64,
+    },
+}
+
+/// Fabric configuration.
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Delivery model for data envelopes.
+    pub delivery: DeliveryModel,
+}
+
+impl NetConfig {
+    /// Zero-latency synchronous delivery.
+    pub fn direct() -> Self {
+        NetConfig {
+            delivery: DeliveryModel::Direct,
+        }
+    }
+
+    /// Courier delivery with the given parameters.
+    pub fn delayed(base: Duration, per_kib: Duration, jitter: Duration, seed: u64) -> Self {
+        NetConfig {
+            delivery: DeliveryModel::Delayed {
+                base,
+                per_kib,
+                jitter,
+                seed,
+            },
+        }
+    }
+
+    /// A mild default courier: 50 µs base, 20 µs/KiB, 100 µs jitter.
+    /// Scaled-down stand-in for the paper's 100 Mb LAN.
+    pub fn lan_like(seed: u64) -> Self {
+        Self::delayed(
+            Duration::from_micros(50),
+            Duration::from_micros(20),
+            Duration::from_micros(100),
+            seed,
+        )
+    }
+
+    /// A shared-medium fabric. A scaled-down stand-in for the paper's
+    /// shared 100 Mb Ethernet segment: 30 µs propagation, 1 GiB/s bus
+    /// (≈ 100 Mb Ethernet time-compressed 100×, keeping the
+    /// contention *shape* while letting runs finish quickly).
+    pub fn shared_bus() -> Self {
+        NetConfig {
+            delivery: DeliveryModel::SharedBus {
+                latency: Duration::from_micros(30),
+                bytes_per_sec: 1 << 30,
+            },
+        }
+    }
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        Self::direct()
+    }
+}

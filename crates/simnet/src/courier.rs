@@ -1,0 +1,189 @@
+//! The courier thread behind the non-direct delivery models.
+//!
+//! Two timing disciplines:
+//!
+//! * [`Timing::Delayed`] — per-message latency `base + per_kib ×
+//!   ceil(len/1 KiB) + U(0..jitter)` (seeded). Messages from different
+//!   senders reorder freely — the adversarial condition the paper's
+//!   recovery path must handle.
+//! * [`Timing::SharedBus`] — one shared medium: transmissions
+//!   serialize at the bus bandwidth, then propagate with a fixed
+//!   latency. A large frame delays *all* subsequent traffic, the
+//!   contention effect the paper attributes to BT's big messages.
+//!
+//! Both disciplines clamp scheduled times to be non-decreasing per
+//! `(src, dst)` pair so per-pair FIFO survives.
+
+use crate::net::Fabric;
+use crate::Envelope;
+use crossbeam::channel::{self, RecvTimeoutError, Sender};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Which timing discipline the courier applies.
+pub(crate) enum Timing {
+    /// Independent per-message delays with seeded jitter.
+    Delayed {
+        base: Duration,
+        per_kib: Duration,
+        jitter: Duration,
+        seed: u64,
+    },
+    /// Serialized shared medium plus propagation latency.
+    SharedBus {
+        latency: Duration,
+        bytes_per_sec: u64,
+    },
+}
+
+struct Scheduled {
+    due: Instant,
+    /// Tie-breaker keeping heap order deterministic for equal `due`.
+    order: u64,
+    env: Envelope,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due && self.order == other.order
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.due, self.order).cmp(&(other.due, other.order))
+    }
+}
+
+pub(crate) struct Courier {
+    tx: Option<Sender<Envelope>>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Courier {
+    pub(crate) fn spawn(fabric: Arc<Fabric>, n: usize, timing: Timing) -> Self {
+        let (tx, rx) = channel::unbounded::<Envelope>();
+        let handle = std::thread::Builder::new()
+            .name("simnet-courier".into())
+            .spawn(move || {
+                let mut rng = StdRng::seed_from_u64(match &timing {
+                    Timing::Delayed { seed, .. } => *seed,
+                    Timing::SharedBus { .. } => 0,
+                });
+                let mut heap: BinaryHeap<Reverse<Scheduled>> = BinaryHeap::new();
+                let mut pair_floor: Vec<Instant> = vec![Instant::now(); n * n];
+                // Shared-bus state: the instant the medium frees up.
+                let mut bus_free = Instant::now();
+                let mut order: u64 = 0;
+                loop {
+                    // Wait for new input until the earliest scheduled
+                    // delivery is due.
+                    let next = match heap.peek() {
+                        Some(Reverse(s)) => {
+                            let now = Instant::now();
+                            if s.due <= now {
+                                let Reverse(s) = heap.pop().expect("peeked");
+                                fabric.deliver(s.env);
+                                continue;
+                            }
+                            Some(s.due - now)
+                        }
+                        None => None,
+                    };
+                    let received = match next {
+                        Some(wait) => rx.recv_timeout(wait),
+                        None => rx.recv().map_err(|_| RecvTimeoutError::Disconnected),
+                    };
+                    match received {
+                        Ok(env) => {
+                            let now = Instant::now();
+                            let mut due = match &timing {
+                                Timing::Delayed {
+                                    base,
+                                    per_kib,
+                                    jitter,
+                                    ..
+                                } => {
+                                    let extra = if jitter.is_zero() {
+                                        Duration::ZERO
+                                    } else {
+                                        Duration::from_nanos(
+                                            rng.gen_range(0..jitter.as_nanos() as u64),
+                                        )
+                                    };
+                                    let kib = env.len().div_ceil(1024) as u32;
+                                    now + *base + *per_kib * kib + extra
+                                }
+                                Timing::SharedBus {
+                                    latency,
+                                    bytes_per_sec,
+                                } => {
+                                    let start = bus_free.max(now);
+                                    let tx_ns = (env.len() as u128)
+                                        .saturating_mul(1_000_000_000)
+                                        / (*bytes_per_sec as u128).max(1);
+                                    let tx_time = Duration::from_nanos(tx_ns as u64);
+                                    bus_free = start + tx_time;
+                                    bus_free + *latency
+                                }
+                            };
+                            // Clamp to preserve per-pair FIFO.
+                            let idx = env.src * n + env.dst;
+                            if due < pair_floor[idx] {
+                                due = pair_floor[idx];
+                            }
+                            pair_floor[idx] = due + Duration::from_nanos(1);
+                            order += 1;
+                            heap.push(Reverse(Scheduled { due, order, env }));
+                        }
+                        Err(RecvTimeoutError::Timeout) => {}
+                        Err(RecvTimeoutError::Disconnected) => {
+                            // Fabric is shutting down: flush whatever
+                            // remains in schedule order, then exit.
+                            while let Some(Reverse(s)) = heap.pop() {
+                                fabric.deliver(s.env);
+                            }
+                            return;
+                        }
+                    }
+                }
+            })
+            .expect("spawn courier thread");
+        Courier {
+            tx: Some(tx),
+            handle: Some(handle),
+        }
+    }
+
+    pub(crate) fn submit(&self, env: Envelope) {
+        // The courier thread only exits when all senders are dropped,
+        // so this cannot fail while `Courier` is alive.
+        let _ = self
+            .tx
+            .as_ref()
+            .expect("courier sender present until drop")
+            .send(env);
+    }
+}
+
+impl Drop for Courier {
+    fn drop(&mut self) {
+        // Disconnect the input channel first so the thread flushes its
+        // schedule and exits, then join it to guarantee every accepted
+        // envelope reached an inbox before the fabric disappears.
+        self.tx.take();
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}

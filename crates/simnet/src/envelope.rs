@@ -1,0 +1,33 @@
+use crate::Rank;
+use bytes::Bytes;
+
+/// A message in flight on the fabric.
+///
+/// `seq` is a fabric-level sequence number unique per `(src, dst)`
+/// pair and monotonically increasing in send order; the courier uses
+/// it to preserve per-pair FIFO while reordering across pairs, and
+/// tests use it to assert the FIFO guarantee. Protocol-level indices
+/// (send_index etc.) live inside `payload` and are independent of it.
+#[derive(Debug, Clone)]
+pub struct Envelope {
+    /// Sending rank.
+    pub src: Rank,
+    /// Destination rank.
+    pub dst: Rank,
+    /// Per `(src, dst)` fabric sequence number, starting at 1.
+    pub seq: u64,
+    /// Opaque payload owned by the layers above.
+    pub payload: Bytes,
+}
+
+impl Envelope {
+    /// Total payload size in bytes (what the delay model charges for).
+    pub fn len(&self) -> usize {
+        self.payload.len()
+    }
+
+    /// True when the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.payload.is_empty()
+    }
+}

@@ -1,0 +1,56 @@
+//! # lclog-simnet
+//!
+//! An in-memory simulated cluster fabric standing in for the paper's
+//! testbed network (100 Mb Ethernet between 4–32 PCs).
+//!
+//! Guarantees and failure model:
+//!
+//! * **Per-pair FIFO**: messages from `src` to `dst` arrive in send
+//!   order, like a TCP byte stream under MPICH. Messages from
+//!   *different* senders may interleave arbitrarily — and under the
+//!   [`DeliveryModel::Delayed`] courier they are actively reordered
+//!   with seeded jitter, which is exactly the non-determinism the
+//!   paper's protocols must tolerate.
+//! * **Reliable between live endpoints**: a message sent while the
+//!   destination's current incarnation stays alive is delivered.
+//! * **Crash = lost volatile state**: [`SimNet::kill`] drops the
+//!   endpoint, its queued messages, and everything in flight towards
+//!   it. A later [`SimNet::respawn`] creates a fresh incarnation with
+//!   an empty inbox — message logs and checkpoints live in other
+//!   crates, never in the fabric.
+//!
+//! The fabric does not interpret payloads; the rollback-recovery layer
+//! encodes its own headers inside [`Envelope::payload`].
+//!
+//! ## Example
+//!
+//! ```
+//! use lclog_simnet::{NetConfig, SimNet};
+//! use bytes::Bytes;
+//! use std::time::Duration;
+//!
+//! let net = SimNet::new(2, NetConfig::direct());
+//! let ep0 = net.attach(0);
+//! let ep1 = net.attach(1);
+//! net.send(0, 1, Bytes::from_static(b"hi")).unwrap();
+//! let env = ep1.recv_timeout(Duration::from_secs(1)).unwrap();
+//! assert_eq!(env.src, 0);
+//! assert_eq!(&env.payload[..], b"hi");
+//! drop(ep0);
+//! ```
+
+#![warn(missing_docs)]
+
+mod config;
+mod courier;
+mod envelope;
+mod net;
+mod stats;
+
+pub use config::{DeliveryModel, NetConfig};
+pub use envelope::Envelope;
+pub use net::{Endpoint, RecvError, SendError, SimNet};
+pub use stats::NetStats;
+
+/// Identifier of a simulated process (0-based, dense).
+pub type Rank = usize;

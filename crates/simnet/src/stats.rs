@@ -1,0 +1,50 @@
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Fabric-level traffic counters.
+///
+/// All counters are monotonic and updated with relaxed atomics; they
+/// are read once at the end of an experiment, so no ordering beyond
+/// eventual visibility is required.
+#[derive(Debug, Default)]
+pub struct NetStats {
+    msgs_sent: AtomicU64,
+    bytes_sent: AtomicU64,
+    msgs_delivered: AtomicU64,
+    msgs_dropped_dead: AtomicU64,
+}
+
+impl NetStats {
+    pub(crate) fn record_send(&self, bytes: usize) {
+        self.msgs_sent.fetch_add(1, Ordering::Relaxed);
+        self.bytes_sent.fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_delivered(&self) {
+        self.msgs_delivered.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_dropped_dead(&self) {
+        self.msgs_dropped_dead.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Envelopes accepted by `send`.
+    pub fn msgs_sent(&self) -> u64 {
+        self.msgs_sent.load(Ordering::Relaxed)
+    }
+
+    /// Total payload bytes accepted by `send`.
+    pub fn bytes_sent(&self) -> u64 {
+        self.bytes_sent.load(Ordering::Relaxed)
+    }
+
+    /// Envelopes placed into a live destination inbox.
+    pub fn msgs_delivered(&self) -> u64 {
+        self.msgs_delivered.load(Ordering::Relaxed)
+    }
+
+    /// Envelopes dropped because the destination was dead at delivery
+    /// time (the crash-loss model).
+    pub fn msgs_dropped_dead(&self) -> u64 {
+        self.msgs_dropped_dead.load(Ordering::Relaxed)
+    }
+}

@@ -1,0 +1,112 @@
+use crate::StableStorage;
+use std::sync::Arc;
+
+/// Typed helper mapping each rank to its latest checkpoint image.
+///
+/// The paper's protocol only ever restores the *last* checkpoint
+/// (causal logging never rolls a process past it), so older images
+/// are deleted once a newer one is durably in place.
+#[derive(Clone)]
+pub struct CheckpointStore {
+    storage: Arc<dyn StableStorage>,
+}
+
+impl CheckpointStore {
+    /// Wrap a storage backend.
+    pub fn new(storage: Arc<dyn StableStorage>) -> Self {
+        CheckpointStore { storage }
+    }
+
+    fn key(rank: usize, version: u64) -> String {
+        // Zero-padded so lexicographic order == numeric order.
+        format!("ckpt/{rank}/v{version:020}")
+    }
+
+    fn prefix(rank: usize) -> String {
+        format!("ckpt/{rank}/v")
+    }
+
+    /// Durably save checkpoint `version` for `rank`, then prune older
+    /// versions. Versions must increase per rank.
+    pub fn save(&self, rank: usize, version: u64, image: &[u8]) {
+        self.storage.put(&Self::key(rank, version), image);
+        for key in self.storage.keys_with_prefix(&Self::prefix(rank)) {
+            if key < Self::key(rank, version) {
+                self.storage.delete(&key);
+            }
+        }
+    }
+
+    /// Load the latest checkpoint for `rank`, if any, returning its
+    /// version and image.
+    pub fn load_latest(&self, rank: usize) -> Option<(u64, Vec<u8>)> {
+        let key = self.storage.keys_with_prefix(&Self::prefix(rank)).pop()?;
+        let version: u64 = key.rsplit('v').next()?.parse().ok()?;
+        let image = self.storage.get(&key)?;
+        Some((version, image))
+    }
+
+    /// Latest checkpoint version for `rank`, if any.
+    pub fn latest_version(&self, rank: usize) -> Option<u64> {
+        self.load_latest(rank).map(|(v, _)| v)
+    }
+
+    /// Access the underlying storage (for co-locating other durable
+    /// state such as TEL determinants).
+    pub fn storage(&self) -> &Arc<dyn StableStorage> {
+        &self.storage
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemStore;
+
+    fn store() -> CheckpointStore {
+        CheckpointStore::new(Arc::new(MemStore::new()))
+    }
+
+    #[test]
+    fn empty_store_has_no_checkpoint() {
+        let s = store();
+        assert!(s.load_latest(0).is_none());
+        assert!(s.latest_version(0).is_none());
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let s = store();
+        s.save(2, 1, b"first");
+        assert_eq!(s.load_latest(2), Some((1, b"first".to_vec())));
+    }
+
+    #[test]
+    fn newer_version_wins_and_prunes() {
+        let s = store();
+        s.save(0, 1, b"v1");
+        s.save(0, 2, b"v2");
+        s.save(0, 10, b"v10");
+        assert_eq!(s.load_latest(0), Some((10, b"v10".to_vec())));
+        // Only one image remains.
+        assert_eq!(s.storage().keys_with_prefix("ckpt/0/").len(), 1);
+    }
+
+    #[test]
+    fn ranks_are_independent() {
+        let s = store();
+        s.save(0, 5, b"zero");
+        s.save(1, 3, b"one");
+        assert_eq!(s.load_latest(0), Some((5, b"zero".to_vec())));
+        assert_eq!(s.load_latest(1), Some((3, b"one".to_vec())));
+        assert!(s.load_latest(2).is_none());
+    }
+
+    #[test]
+    fn version_ordering_is_numeric_not_lexicographic() {
+        let s = store();
+        s.save(0, 9, b"nine");
+        s.save(0, 10, b"ten");
+        assert_eq!(s.load_latest(0), Some((10, b"ten".to_vec())));
+    }
+}

@@ -1,0 +1,60 @@
+use std::fmt;
+
+/// Errors produced while decoding wire data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The input ended before the value was fully decoded.
+    UnexpectedEof {
+        /// Bytes needed to continue decoding.
+        needed: usize,
+        /// Bytes remaining in the input.
+        remaining: usize,
+    },
+    /// The input contained bytes after the decoded value.
+    TrailingBytes {
+        /// Number of unconsumed bytes.
+        remaining: usize,
+    },
+    /// A varint used more than 10 bytes (would overflow `u64`).
+    VarintOverflow,
+    /// An enum discriminant or boolean byte was out of range.
+    InvalidTag {
+        /// Name of the type being decoded.
+        type_name: &'static str,
+        /// The offending tag value.
+        tag: u64,
+    },
+    /// A `String` field did not contain valid UTF-8.
+    InvalidUtf8,
+    /// A declared sequence length was implausibly large for the
+    /// remaining input (guards against corrupt length prefixes
+    /// triggering huge allocations).
+    LengthOverflow {
+        /// The declared element count.
+        declared: u64,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::UnexpectedEof { needed, remaining } => write!(
+                f,
+                "unexpected end of input: needed {needed} bytes, {remaining} remaining"
+            ),
+            WireError::TrailingBytes { remaining } => {
+                write!(f, "{remaining} trailing bytes after decoded value")
+            }
+            WireError::VarintOverflow => write!(f, "varint exceeds u64 range"),
+            WireError::InvalidTag { type_name, tag } => {
+                write!(f, "invalid tag {tag} while decoding {type_name}")
+            }
+            WireError::InvalidUtf8 => write!(f, "string field is not valid UTF-8"),
+            WireError::LengthOverflow { declared } => {
+                write!(f, "declared length {declared} exceeds remaining input")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}

@@ -1,0 +1,155 @@
+/// Implement [`Encode`](crate::Encode) and [`Decode`](crate::Decode)
+/// for a struct by listing its fields in wire order.
+///
+/// ```
+/// use lclog_wire::{impl_wire_struct, encode_to_vec, decode_from_slice};
+///
+/// #[derive(Debug, Clone, PartialEq)]
+/// struct Point { x: u32, y: u32 }
+/// impl_wire_struct!(Point { x, y });
+///
+/// let p = Point { x: 1, y: 2 };
+/// let back: Point = decode_from_slice(&encode_to_vec(&p)).unwrap();
+/// assert_eq!(p, back);
+/// ```
+#[macro_export]
+macro_rules! impl_wire_struct {
+    ($ty:ident { $($field:ident),+ $(,)? }) => {
+        impl $crate::Encode for $ty {
+            fn encode(&self, buf: &mut Vec<u8>) {
+                $($crate::Encode::encode(&self.$field, buf);)+
+            }
+            fn encoded_len(&self) -> usize {
+                0 $(+ $crate::Encode::encoded_len(&self.$field))+
+            }
+        }
+        impl $crate::Decode for $ty {
+            fn decode(reader: &mut $crate::Reader<'_>) -> Result<Self, $crate::WireError> {
+                Ok($ty {
+                    $($field: $crate::Decode::decode(reader)?,)+
+                })
+            }
+        }
+    };
+}
+
+/// Implement [`Encode`](crate::Encode) and [`Decode`](crate::Decode)
+/// for a field-less-or-tuple-variant enum with a one-byte
+/// discriminant.
+///
+/// ```
+/// use lclog_wire::{impl_wire_enum, encode_to_vec, decode_from_slice};
+///
+/// #[derive(Debug, Clone, PartialEq)]
+/// enum Op { Nop, Put(u32, u32), Tag(String) }
+/// impl_wire_enum!(Op { 0 => Nop, 1 => Put(a, b), 2 => Tag(s) });
+///
+/// let op = Op::Put(1, 2);
+/// let back: Op = decode_from_slice(&encode_to_vec(&op)).unwrap();
+/// assert_eq!(op, back);
+/// ```
+#[macro_export]
+macro_rules! impl_wire_enum {
+    ($ty:ident { $($tag:literal => $variant:ident $(($($field:ident),+))?),+ $(,)? }) => {
+        impl $crate::Encode for $ty {
+            fn encode(&self, buf: &mut Vec<u8>) {
+                match self {
+                    $(
+                        $ty::$variant $(($($field),+))? => {
+                            buf.push($tag);
+                            $($($crate::Encode::encode($field, buf);)+)?
+                        }
+                    )+
+                }
+            }
+            fn encoded_len(&self) -> usize {
+                match self {
+                    $(
+                        $ty::$variant $(($($field),+))? => {
+                            1 $($(+ $crate::Encode::encoded_len($field))+)?
+                        }
+                    )+
+                }
+            }
+        }
+        impl $crate::Decode for $ty {
+            fn decode(reader: &mut $crate::Reader<'_>) -> Result<Self, $crate::WireError> {
+                match reader.take_byte()? {
+                    $(
+                        $tag => Ok($ty::$variant $(($($crate::Decode::decode(reader).map(|$field| $field)?),+))?),
+                    )+
+                    tag => Err($crate::WireError::InvalidTag {
+                        type_name: stringify!($ty),
+                        tag: tag as u64,
+                    }),
+                }
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{decode_from_slice, encode_to_vec, WireError};
+
+    #[derive(Debug, Clone, PartialEq)]
+    struct Header {
+        src: u32,
+        dst: u32,
+        seq: u64,
+        label: String,
+    }
+    impl_wire_struct!(Header { src, dst, seq, label });
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Control {
+        Ping,
+        Rollback(Vec<u64>),
+        Response(u32, u64),
+    }
+    impl_wire_enum!(Control {
+        0 => Ping,
+        1 => Rollback(v),
+        2 => Response(rank, idx),
+    });
+
+    #[test]
+    fn struct_roundtrip() {
+        let h = Header {
+            src: 1,
+            dst: 2,
+            seq: 300,
+            label: "lu".into(),
+        };
+        let bytes = encode_to_vec(&h);
+        assert_eq!(bytes.len(), crate::Encode::encoded_len(&h));
+        let back: Header = decode_from_slice(&bytes).unwrap();
+        assert_eq!(back, h);
+    }
+
+    #[test]
+    fn enum_roundtrip_all_variants() {
+        for c in [
+            Control::Ping,
+            Control::Rollback(vec![1, 2, 3]),
+            Control::Response(7, 99),
+        ] {
+            let bytes = encode_to_vec(&c);
+            assert_eq!(bytes.len(), crate::Encode::encoded_len(&c));
+            let back: Control = decode_from_slice(&bytes).unwrap();
+            assert_eq!(back, c);
+        }
+    }
+
+    #[test]
+    fn enum_bad_tag() {
+        let err = decode_from_slice::<Control>(&[77]).unwrap_err();
+        assert!(matches!(
+            err,
+            WireError::InvalidTag {
+                type_name: "Control",
+                tag: 77
+            }
+        ));
+    }
+}

@@ -1,0 +1,108 @@
+use crate::WireError;
+
+/// A cursor over a byte slice used during decoding.
+///
+/// All reads are bounds-checked and return [`WireError::UnexpectedEof`]
+/// rather than panicking, so a corrupt or truncated buffer can never
+/// crash the protocol stack.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Create a reader positioned at the start of `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Reader { bytes, pos: 0 }
+    }
+
+    /// Number of bytes consumed so far.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Number of bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    /// Take the next `n` bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::UnexpectedEof {
+                needed: n,
+                remaining: self.remaining(),
+            });
+        }
+        let slice = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Take a single byte.
+    pub fn take_byte(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Take a fixed-size array of bytes.
+    pub fn take_array<const N: usize>(&mut self) -> Result<[u8; N], WireError> {
+        let slice = self.take(N)?;
+        let mut out = [0u8; N];
+        out.copy_from_slice(slice);
+        Ok(out)
+    }
+
+    /// Require that the whole input has been consumed.
+    pub fn finish(&self) -> Result<(), WireError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(WireError::TrailingBytes {
+                remaining: self.remaining(),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_advances_position() {
+        let data = [1u8, 2, 3, 4];
+        let mut r = Reader::new(&data);
+        assert_eq!(r.take(2).unwrap(), &[1, 2]);
+        assert_eq!(r.position(), 2);
+        assert_eq!(r.remaining(), 2);
+        assert_eq!(r.take_byte().unwrap(), 3);
+        assert!(r.finish().is_err());
+        assert_eq!(r.take_byte().unwrap(), 4);
+        assert!(r.finish().is_ok());
+    }
+
+    #[test]
+    fn take_past_end_errors() {
+        let data = [1u8];
+        let mut r = Reader::new(&data);
+        let err = r.take(2).unwrap_err();
+        assert_eq!(
+            err,
+            WireError::UnexpectedEof {
+                needed: 2,
+                remaining: 1
+            }
+        );
+        // Position unchanged after a failed read.
+        assert_eq!(r.position(), 0);
+    }
+
+    #[test]
+    fn take_array_roundtrip() {
+        let data = [9u8, 8, 7];
+        let mut r = Reader::new(&data);
+        let arr: [u8; 3] = r.take_array().unwrap();
+        assert_eq!(arr, [9, 8, 7]);
+    }
+}

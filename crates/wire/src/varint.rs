@@ -1,0 +1,130 @@
+//! LEB128 variable-length integer encoding.
+//!
+//! Message indices and dependency counters grow without bound but are
+//! small in practice, so varints keep piggyback bytes proportional to
+//! the *useful* information — which matters when comparing protocol
+//! piggyback sizes (Fig. 6 of the paper counts identifiers; byte
+//! accounting uses this encoding).
+
+use crate::{Reader, WireError};
+
+/// Maximum encoded size of a `u64` varint.
+pub const MAX_VARINT_LEN: usize = 10;
+
+/// Append the LEB128 encoding of `value` to `buf`.
+pub fn write_u64(buf: &mut Vec<u8>, mut value: u64) {
+    loop {
+        let byte = (value & 0x7F) as u8;
+        value >>= 7;
+        if value == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+/// Number of bytes `write_u64` would append for `value`.
+pub fn len_u64(value: u64) -> usize {
+    // 1 byte per 7 significant bits, minimum 1.
+    let bits = 64 - value.leading_zeros() as usize;
+    bits.div_ceil(7).max(1)
+}
+
+/// Read a LEB128-encoded `u64` from `reader`.
+pub fn read_u64(reader: &mut Reader<'_>) -> Result<u64, WireError> {
+    let mut value: u64 = 0;
+    let mut shift: u32 = 0;
+    for _ in 0..MAX_VARINT_LEN {
+        let byte = reader.take_byte()?;
+        let low = (byte & 0x7F) as u64;
+        if shift == 63 && low > 1 {
+            return Err(WireError::VarintOverflow);
+        }
+        value |= low << shift;
+        if byte & 0x80 == 0 {
+            return Ok(value);
+        }
+        shift += 7;
+    }
+    Err(WireError::VarintOverflow)
+}
+
+/// ZigZag-encode a signed value so small magnitudes stay small.
+pub fn zigzag(value: i64) -> u64 {
+    ((value << 1) ^ (value >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+pub fn unzigzag(value: u64) -> i64 {
+    ((value >> 1) as i64) ^ -((value & 1) as i64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(v: u64) -> u64 {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, v);
+        assert_eq!(buf.len(), len_u64(v), "len mismatch for {v}");
+        let mut r = Reader::new(&buf);
+        let out = read_u64(&mut r).unwrap();
+        r.finish().unwrap();
+        out
+    }
+
+    #[test]
+    fn roundtrip_edges() {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            16_383,
+            16_384,
+            u32::MAX as u64,
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            assert_eq!(roundtrip(v), v);
+        }
+    }
+
+    #[test]
+    fn lengths_match_expectation() {
+        assert_eq!(len_u64(0), 1);
+        assert_eq!(len_u64(127), 1);
+        assert_eq!(len_u64(128), 2);
+        assert_eq!(len_u64(u64::MAX), 10);
+    }
+
+    #[test]
+    fn overflow_detected() {
+        // 11 continuation bytes cannot be a valid u64 varint.
+        let bytes = [0xFFu8; 11];
+        let mut r = Reader::new(&bytes);
+        assert_eq!(read_u64(&mut r).unwrap_err(), WireError::VarintOverflow);
+    }
+
+    #[test]
+    fn tenth_byte_overflow_detected() {
+        // 9 continuation bytes then a final byte with more than the
+        // single remaining bit set.
+        let mut bytes = vec![0x80u8; 9];
+        bytes.push(0x02);
+        let mut r = Reader::new(&bytes);
+        assert_eq!(read_u64(&mut r).unwrap_err(), WireError::VarintOverflow);
+    }
+
+    #[test]
+    fn zigzag_roundtrip() {
+        for v in [0i64, -1, 1, i64::MIN, i64::MAX, -123456, 123456] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+        // Small magnitudes encode small.
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+    }
+}

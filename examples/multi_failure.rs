@@ -1,0 +1,37 @@
+//! Fig. 2's hard case: several processes fail *simultaneously*, so
+//! the message logs each held for the others are lost too. The
+//! incarnations must regenerate those messages (and their dependency
+//! piggybacks) for each other while rolling forward — and the
+//! surviving minority must not be perturbed.
+//!
+//! ```text
+//! cargo run --example multi_failure
+//! ```
+
+use lclog::npb::{run_benchmark, Benchmark, Class};
+use lclog::prelude::*;
+
+fn main() {
+    let n = 5;
+    println!("simultaneous triple failure (ranks 1, 2, 3) on LU, {n} ranks\n");
+    for kind in [ProtocolKind::Tdi, ProtocolKind::Tag] {
+        let base = ClusterConfig::new(
+            n,
+            RunConfig::new(kind).with_checkpoint(CheckpointPolicy::EverySteps(5)),
+        );
+        let clean = run_benchmark(Benchmark::Lu, Class::Test, &base).expect("clean run");
+        let plan = FailurePlan::kill_at(1, 9).and_kill(2, 9).and_kill(3, 9);
+        let faulty = run_benchmark(Benchmark::Lu, Class::Test, &base.with_failures(plan))
+            .expect("recovered run");
+        assert_eq!(faulty.kills, 3);
+        assert_eq!(
+            clean.digests, faulty.digests,
+            "{kind}: multi-failure recovery diverged"
+        );
+        println!(
+            "{kind}: 3 simultaneous crashes, {} total messages on the wire, result exact",
+            faulty.net_msgs
+        );
+    }
+    println!("\nno orphans, no lost messages, no duplicates — Algorithm 1 held up.");
+}

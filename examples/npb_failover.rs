@@ -1,0 +1,46 @@
+//! Run the NPB-style LU, BT and SP kernels with a mid-run crash under
+//! the TDI protocol, on the LAN-like reordering fabric — a miniature
+//! of the paper's testbed campaign.
+//!
+//! ```text
+//! cargo run --release --example npb_failover
+//! ```
+
+use lclog::npb::{run_benchmark, Benchmark, Class};
+use lclog::prelude::*;
+
+fn main() {
+    let n = 4;
+    println!("NPB kernels under TDI with one crash, {n} ranks, LAN-like fabric\n");
+    println!(
+        "{:<6} {:>8} {:>12} {:>12} {:>11} {:>10} {:>9}",
+        "bench", "msgs", "bytes/msg", "ids/msg", "clean ms", "crash ms", "exact"
+    );
+    for bench in Benchmark::ALL {
+        let base = ClusterConfig::new(
+            n,
+            RunConfig::new(ProtocolKind::Tdi).with_checkpoint(CheckpointPolicy::EverySteps(6)),
+        )
+        .with_net(NetConfig::lan_like(7));
+        let clean = run_benchmark(bench, Class::Test, &base).expect("clean run");
+        let faulty = run_benchmark(
+            bench,
+            Class::Test,
+            &base.with_failures(FailurePlan::kill_at(1, 8)),
+        )
+        .expect("recovered run");
+        let exact = clean.digests == faulty.digests;
+        println!(
+            "{:<6} {:>8} {:>12.1} {:>12.1} {:>11.1} {:>10.1} {:>9}",
+            bench.to_string(),
+            faulty.stats.sends,
+            faulty.net_bytes as f64 / faulty.net_msgs as f64,
+            faulty.stats.avg_ids_per_msg(),
+            clean.wall.as_secs_f64() * 1e3,
+            faulty.wall.as_secs_f64() * 1e3,
+            if exact { "yes" } else { "NO!" }
+        );
+        assert!(exact, "{bench} recovery diverged");
+    }
+    println!("\nLU sends the most messages, BT the biggest — and every crash recovered exactly.");
+}

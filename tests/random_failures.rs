@@ -1,0 +1,79 @@
+//! Property-based failure injection: for randomized victims, crash
+//! steps, checkpoint cadences, and protocols, recovery must always
+//! reproduce the fault-free digests.
+
+use lclog::npb::{run_benchmark, Benchmark, Class};
+use lclog::prelude::*;
+use proptest::prelude::*;
+
+fn kind_strategy() -> impl Strategy<Value = ProtocolKind> {
+    prop_oneof![
+        Just(ProtocolKind::Tdi),
+        Just(ProtocolKind::Tag),
+        Just(ProtocolKind::Tel),
+    ]
+}
+
+fn bench_strategy() -> impl Strategy<Value = Benchmark> {
+    prop_oneof![
+        Just(Benchmark::Lu),
+        Just(Benchmark::Bt),
+        Just(Benchmark::Sp),
+    ]
+}
+
+proptest! {
+    // Cluster runs take ~100 ms each (two per case), so keep the case
+    // count modest; the space is still explored across CI runs thanks
+    // to proptest's RNG persistence.
+    #![proptest_config(ProptestConfig {
+        cases: 12,
+        max_shrink_iters: 8,
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn prop_single_failure_recovery_is_exact(
+        kind in kind_strategy(),
+        bench in bench_strategy(),
+        victim in 0usize..4,
+        at_step in 1u64..18,
+        ckpt in 2u64..8,
+    ) {
+        let n = 4;
+        let base = ClusterConfig::new(
+            n,
+            RunConfig::new(kind).with_checkpoint(CheckpointPolicy::EverySteps(ckpt)),
+        );
+        let clean = run_benchmark(bench, Class::Test, &base).expect("clean run");
+        let faulty = run_benchmark(
+            bench,
+            Class::Test,
+            &base.with_failures(FailurePlan::kill_at(victim, at_step)),
+        )
+        .expect("recovered run");
+        prop_assert_eq!(&clean.digests, &faulty.digests,
+            "{}/{} victim {} step {} ckpt {}", kind, bench, victim, at_step, ckpt);
+    }
+
+    #[test]
+    fn prop_double_failure_recovery_is_exact_tdi(
+        victims in proptest::sample::subsequence(vec![0usize, 1, 2, 3], 2),
+        at_step in 2u64..16,
+        stagger in 0u64..4,
+    ) {
+        let n = 4;
+        let base = ClusterConfig::new(
+            n,
+            RunConfig::new(ProtocolKind::Tdi)
+                .with_checkpoint(CheckpointPolicy::EverySteps(4)),
+        );
+        let clean = run_benchmark(Benchmark::Lu, Class::Test, &base).expect("clean run");
+        let plan = FailurePlan::kill_at(victims[0], at_step)
+            .and_kill(victims[1], at_step + stagger);
+        let faulty = run_benchmark(Benchmark::Lu, Class::Test, &base.with_failures(plan))
+            .expect("recovered run");
+        prop_assert_eq!(&clean.digests, &faulty.digests,
+            "victims {:?} step {} stagger {}", victims, at_step, stagger);
+    }
+}
