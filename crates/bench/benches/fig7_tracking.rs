@@ -28,7 +28,7 @@ fn bench_tracking(c: &mut Criterion) {
             group.bench_function(format!("{kind}/n{n}/send+deliver"), |bch| {
                 bch.iter_batched(
                     || primed_pair(kind, n, 32),
-                    |(mut a, mut b)| {
+                    |(mut a, b)| {
                         let art = a.on_send(1, 1000);
                         // Deliverability of index 1000 is protocol
                         // business; measure the full gate + merge path

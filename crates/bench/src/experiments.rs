@@ -7,7 +7,7 @@ use lclog_npb::{run_benchmark, Benchmark, Class};
 use lclog_runtime::{
     CheckpointPolicy, Cluster, ClusterConfig, CommMode, FailurePlan, RunConfig,
 };
-use lclog_simnet::NetConfig;
+use lclog_simnet::{ChaosConfig, NetConfig};
 use std::time::Duration;
 
 /// Shape of an experiment sweep.
@@ -173,7 +173,7 @@ pub fn fig8_table(cfg: &ExpConfig) -> Table {
                         .with_comm(comm)
                         .with_checkpoint(CheckpointPolicy::EverySteps(ckpt)),
                 )
-                .with_net(NetConfig::lan_like(0xF16_8 ^ n as u64))
+                .with_net(NetConfig::lan_like(0xF168 ^ n as u64))
                 .with_failures(FailurePlan::kill_at(1 % n, kill_at));
                 c.max_wall = Duration::from_secs(600);
                 let report = run_benchmark(bench, cfg.class, &c).expect("fig8 run");
@@ -411,6 +411,73 @@ pub fn ablation_f_bound(n: usize) -> Table {
     t
 }
 
+/// Ablation ABL6 (chaos fabric): end-to-end reliability under seeded
+/// message loss, duplication, and corruption plus a mid-run crash.
+/// For each protocol a fault-free run provides the reference digests
+/// and wall time; every chaotic run must reproduce the digests
+/// exactly (exactly-once delivery end to end, despite the transport
+/// retransmitting below the app layer). `overhead_x` is
+/// accomplishment time normalized to the fault-free run.
+pub fn ablation_chaos(n: usize) -> Table {
+    let mut t = Table::new(
+        format!("ABL6 — Chaos fabric: loss sweep + mid-run kill (LU, {n} ranks, dup 2%, corrupt 1%)"),
+        &[
+            "protocol",
+            "drop_%",
+            "wall_ms",
+            "overhead_x",
+            "retransmits",
+            "dropped",
+            "dup",
+            "corrupt",
+            "kills",
+            "digests_ok",
+        ],
+    );
+    let class = Class::Test;
+    let steps = total_steps(Benchmark::Lu, class);
+    let ckpt = (steps / 6).max(2);
+    for kind in ProtocolKind::ALL {
+        let run = |chaos_drop: Option<f64>| {
+            let mut c = ClusterConfig::new(
+                n,
+                RunConfig::new(kind).with_checkpoint(CheckpointPolicy::EverySteps(ckpt)),
+            );
+            if let Some(p) = chaos_drop {
+                c = c
+                    .with_net(NetConfig::direct().with_chaos(
+                        ChaosConfig::seeded(0xC4A05 ^ n as u64)
+                            .with_drop(p)
+                            .with_duplicate(0.02)
+                            .with_corrupt(0.01),
+                    ))
+                    .with_failures(FailurePlan::kill_at(1 % n, steps / 2));
+            }
+            c.max_wall = Duration::from_secs(600);
+            run_benchmark(Benchmark::Lu, class, &c).expect("chaos run")
+        };
+        let clean = run(None);
+        let clean_ms = clean.wall.as_secs_f64() * 1e3;
+        for drop_p in [0.0, 0.02, 0.05] {
+            let r = run(Some(drop_p));
+            let wall_ms = r.wall.as_secs_f64() * 1e3;
+            t.row(vec![
+                kind.to_string(),
+                format!("{:.0}", drop_p * 100.0),
+                format!("{wall_ms:.1}"),
+                format!("{:.2}", wall_ms / clean_ms),
+                r.retransmits.to_string(),
+                r.chaos_dropped.to_string(),
+                r.chaos_duplicated.to_string(),
+                r.chaos_corrupted.to_string(),
+                r.kills.to_string(),
+                (r.digests == clean.digests).to_string(),
+            ]);
+        }
+    }
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -431,6 +498,21 @@ mod tests {
         for c in cells.iter().filter(|c| c.kind == ProtocolKind::Tdi) {
             assert_eq!(c.avg_ids, c.n as f64, "{} n={}", c.bench, c.n);
         }
+    }
+
+    #[test]
+    fn chaos_table_keeps_digests_and_counts_faults() {
+        let t = ablation_chaos(2);
+        assert_eq!(t.len(), 9, "3 protocols x 3 loss rates");
+        for row in t.rows() {
+            assert_eq!(row.last().map(String::as_str), Some("true"), "{row:?}");
+            // The kill fired on every chaotic run.
+            assert_eq!(row[8], "1", "{row:?}");
+        }
+        // The lossy cells actually exercised the retransmit path.
+        let lossy: Vec<_> = t.rows().iter().filter(|r| r[1] != "0").collect();
+        assert!(lossy.iter().all(|r| r[4].parse::<u64>().unwrap() > 0), "retransmits recorded");
+        assert!(lossy.iter().all(|r| r[5].parse::<u64>().unwrap() > 0), "drops recorded");
     }
 
     #[test]

@@ -37,6 +37,11 @@ impl Table {
         self.rows.is_empty()
     }
 
+    /// Data rows, in insertion order.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
     /// Render as aligned text.
     pub fn render(&self) -> String {
         let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();

@@ -159,6 +159,7 @@ impl LoggingProtocol for Tag {
         lclog_wire::encode_to_vec(&(self.deliver_count, graph, known))
     }
 
+    #[allow(clippy::type_complexity)]
     fn restore_from_checkpoint(&mut self, bytes: &[u8]) -> Result<(), ProtocolError> {
         let (deliver_count, graph, known): (u64, Vec<Determinant>, Vec<Vec<(u32, u64)>>) =
             lclog_wire::decode_from_slice(bytes)

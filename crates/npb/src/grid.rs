@@ -37,7 +37,7 @@ impl ProcGrid {
     /// `px <= py`.
     pub fn factor(n: usize) -> (usize, usize) {
         let mut px = (n as f64).sqrt() as usize;
-        while px > 1 && n % px != 0 {
+        while px > 1 && !n.is_multiple_of(px) {
             px -= 1;
         }
         (px.max(1), n / px.max(1))

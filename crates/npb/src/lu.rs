@@ -146,6 +146,7 @@ fn lower_plane(
         None => vec![BC; ny],
     };
     for _ in 0..reps {
+        #[allow(clippy::needless_range_loop)]
         for j in 0..ny {
             for i in 0..nx {
                 let w = if i > 0 { u.get(0, i - 1, j, k) } else { west_ghost[j] };

@@ -1,0 +1,65 @@
+//! Capped exponential backoff for the runtime's polling loops.
+//!
+//! The engines and the event-logger service used to poll their
+//! endpoints on a fixed interval, which either burns CPU (interval
+//! too short) or adds latency (too long). [`Backoff`] starts short and
+//! doubles up to a cap; callers reset it whenever they make progress,
+//! so an active channel is polled tightly and an idle one cheaply.
+
+use std::time::Duration;
+
+/// Exponential poll-interval schedule: `initial, 2·initial, …, cap`.
+#[derive(Debug, Clone)]
+pub(crate) struct Backoff {
+    initial: Duration,
+    cap: Duration,
+    current: Duration,
+}
+
+impl Backoff {
+    /// A schedule from `initial` up to `cap` (clamped to `initial`).
+    pub(crate) fn new(initial: Duration, cap: Duration) -> Self {
+        let cap = cap.max(initial);
+        Backoff {
+            initial,
+            cap,
+            current: initial,
+        }
+    }
+
+    /// The next wait, doubling the one after it (up to the cap).
+    pub(crate) fn next_wait(&mut self) -> Duration {
+        let wait = self.current;
+        self.current = (self.current * 2).min(self.cap);
+        wait
+    }
+
+    /// Progress happened: start the schedule over.
+    pub(crate) fn reset(&mut self) {
+        self.current = self.initial;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn doubles_to_cap_and_resets() {
+        let mut b = Backoff::new(Duration::from_micros(10), Duration::from_micros(50));
+        assert_eq!(b.next_wait(), Duration::from_micros(10));
+        assert_eq!(b.next_wait(), Duration::from_micros(20));
+        assert_eq!(b.next_wait(), Duration::from_micros(40));
+        assert_eq!(b.next_wait(), Duration::from_micros(50));
+        assert_eq!(b.next_wait(), Duration::from_micros(50));
+        b.reset();
+        assert_eq!(b.next_wait(), Duration::from_micros(10));
+    }
+
+    #[test]
+    fn cap_clamped_to_initial() {
+        let mut b = Backoff::new(Duration::from_millis(5), Duration::from_millis(1));
+        assert_eq!(b.next_wait(), Duration::from_millis(5));
+        assert_eq!(b.next_wait(), Duration::from_millis(5));
+    }
+}

@@ -69,6 +69,77 @@ impl FailurePlan {
         self
     }
 
+    /// A seeded pseudo-random schedule of `count` kills over `n` ranks
+    /// with crash points up to `max_step`. Roughly every fourth kill
+    /// targets the *second* incarnation of an already-killed rank —
+    /// i.e. it fires while (or right after) that rank is recovering,
+    /// the repeated-failure case of the paper's Fig. 2. Deterministic
+    /// in `seed`, and every `(rank, incarnation)` pair is distinct so
+    /// each planned kill actually fires exactly once.
+    pub fn seeded_random(seed: u64, n: usize, count: usize, max_step: u64) -> Self {
+        fn mix(mut z: u64) -> u64 {
+            // splitmix64 finalizer.
+            z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+        assert!(n > 0, "need at least one rank");
+        let mut kills: Vec<Kill> = Vec::with_capacity(count);
+        let max_step = max_step.max(1);
+        let mut stream = seed;
+        for i in 0..count {
+            stream = mix(stream ^ i as u64);
+            let at_step = 1 + stream % max_step;
+            let want_recovery_kill = i % 4 == 3;
+            let prior_first_kill = kills
+                .iter()
+                .find(|k| {
+                    k.incarnation == 1
+                        && !kills
+                            .iter()
+                            .any(|other| other.rank == k.rank && other.incarnation == 2)
+                })
+                .map(|k| k.rank);
+            let (rank, incarnation) = match (want_recovery_kill, prior_first_kill) {
+                (true, Some(rank)) => (rank, 2),
+                _ => {
+                    // Probe for a rank whose first incarnation is not
+                    // already scheduled to die.
+                    let mut rank = (mix(stream) % n as u64) as Rank;
+                    let mut probes = 0;
+                    while kills.iter().any(|k| k.rank == rank && k.incarnation == 1) {
+                        rank = (rank + 1) % n;
+                        probes += 1;
+                        if probes == n {
+                            break;
+                        }
+                    }
+                    if probes == n {
+                        // Every rank already dies once; stack a
+                        // second-incarnation kill instead.
+                        let rank = (mix(stream) % n as u64) as Rank;
+                        (rank, 2)
+                    } else {
+                        (rank, 1)
+                    }
+                }
+            };
+            if kills
+                .iter()
+                .any(|k| k.rank == rank && k.incarnation == incarnation)
+            {
+                continue; // duplicate pair: drop rather than double-count
+            }
+            kills.push(Kill {
+                rank,
+                at_step,
+                incarnation,
+            });
+        }
+        FailurePlan { kills }
+    }
+
     /// Number of planned kills.
     pub fn len(&self) -> usize {
         self.kills.len()
@@ -176,6 +247,14 @@ pub struct RunReport {
     pub net_msgs: u64,
     /// Fabric payload bytes.
     pub net_bytes: u64,
+    /// Transport-layer retransmissions (timeout and NACK driven).
+    pub retransmits: u64,
+    /// Envelopes the chaos fabric silently dropped.
+    pub chaos_dropped: u64,
+    /// Envelopes the chaos fabric delivered twice.
+    pub chaos_duplicated: u64,
+    /// Envelopes the chaos fabric flipped a bit in.
+    pub chaos_corrupted: u64,
     /// Structured fault-tolerance timeline (empty unless
     /// [`ClusterConfig::trace`] was set).
     pub timeline: Vec<Event>,
@@ -318,6 +397,10 @@ impl Cluster {
             kills,
             net_msgs: net.stats().msgs_sent(),
             net_bytes: net.stats().bytes_sent(),
+            retransmits: net.stats().retransmits(),
+            chaos_dropped: net.stats().chaos_dropped(),
+            chaos_duplicated: net.stats().chaos_duplicated(),
+            chaos_corrupted: net.stats().chaos_corrupted(),
             timeline: sink.take(),
         })
     }
@@ -375,6 +458,7 @@ fn rank_main<A: RankApp>(
     tx: crossbeam::channel::Sender<Outcome>,
 ) {
     let mut kernel = Kernel::new(rank, n, run, net, ckpts);
+    kernel.set_incarnation(incarnation);
     kernel.set_event_sink(sink.clone());
     sink.emit(rank, EventKind::Spawned { incarnation });
     let (mut step, mut state) = if incarnation == 1 {
@@ -436,6 +520,21 @@ fn rank_main<A: RankApp>(
                 });
                 return;
             }
+            Err(Fault::Unreachable(_peer)) => {
+                // A peer stayed silent across the whole retransmit
+                // budget. Treat it like our own crash: restore from
+                // the checkpoint and re-run recovery, so the operation
+                // is retried against whatever incarnation of the peer
+                // eventually answers. The run watchdog bounds repeated
+                // failures.
+                sink.emit(rank, EventKind::Crashed { step });
+                engine.crash();
+                let _ = tx.send(Outcome::Killed {
+                    rank,
+                    stats: engine.stats(),
+                });
+                return;
+            }
             Err(Fault::Shutdown) => return,
         }
     }
@@ -457,5 +556,37 @@ mod tests {
         assert_eq!(plan.len(), 2);
         assert!(!plan.is_empty());
         assert!(FailurePlan::none().is_empty());
+    }
+
+    #[test]
+    fn seeded_random_plan_is_deterministic_and_bounded() {
+        let a = FailurePlan::seeded_random(42, 8, 6, 100);
+        let b = FailurePlan::seeded_random(42, 8, 6, 100);
+        assert_eq!(a.kills, b.kills, "same seed replays the same schedule");
+        let c = FailurePlan::seeded_random(43, 8, 6, 100);
+        assert_ne!(a.kills, c.kills, "different seed, different schedule");
+        assert!(!a.is_empty());
+        for k in &a.kills {
+            assert!(k.rank < 8);
+            assert!(k.at_step >= 1 && k.at_step <= 100);
+            assert!(k.incarnation == 1 || k.incarnation == 2);
+        }
+        // Every (rank, incarnation) pair fires at most once.
+        for (i, k) in a.kills.iter().enumerate() {
+            for other in &a.kills[i + 1..] {
+                assert!(!(k.rank == other.rank && k.incarnation == other.incarnation));
+            }
+        }
+        // With six kills requested, at least one targets a recovering
+        // incarnation, and its rank also dies once in incarnation 1.
+        let recovery_kill = a
+            .kills
+            .iter()
+            .find(|k| k.incarnation == 2)
+            .expect("schedule includes a kill during recovery");
+        assert!(a
+            .kills
+            .iter()
+            .any(|k| k.rank == recovery_kill.rank && k.incarnation == 1));
     }
 }

@@ -57,6 +57,13 @@ pub struct RunConfig {
     /// Resend cadence for unacknowledged rendezvous sends and for
     /// `ROLLBACK` rebroadcasts to unresponsive peers.
     pub retry_interval: Duration,
+    /// Initial transport retransmission timeout (reliability layer).
+    pub retransmit_timeout: Duration,
+    /// Ceiling of the transport's exponential retransmission backoff.
+    pub retransmit_cap: Duration,
+    /// Consecutive no-progress retransmission rounds before a peer is
+    /// declared [`crate::Fault::Unreachable`].
+    pub retransmit_budget: u32,
 }
 
 impl RunConfig {
@@ -69,6 +76,9 @@ impl RunConfig {
             checkpoint: CheckpointPolicy::EverySteps(64),
             poll_interval: Duration::from_micros(200),
             retry_interval: Duration::from_millis(25),
+            retransmit_timeout: Duration::from_millis(2),
+            retransmit_cap: Duration::from_millis(50),
+            retransmit_budget: 40,
         }
     }
 

@@ -15,6 +15,7 @@
 //! sends return immediately and recovery traffic is serviced even
 //! while the application computes.
 
+use crate::backoff::Backoff;
 use crate::config::CommMode;
 use crate::fault::Fault;
 use crate::kernel::Kernel;
@@ -97,6 +98,13 @@ impl Engine {
         self.shared.kernel.lock().n()
     }
 
+    /// Poll-interval schedule for wait loops: start fine-grained so an
+    /// active channel answers quickly, back off to `poll_interval`
+    /// when idle.
+    fn poll_backoff(&self) -> Backoff {
+        Backoff::new((self.poll / 8).max(Duration::from_micros(1)), self.poll)
+    }
+
     fn check_live(&self) -> Result<(), Fault> {
         if self.shared.dead.load(Ordering::Relaxed) {
             return Err(Fault::Killed);
@@ -137,6 +145,7 @@ impl Engine {
                 // Pessimistic logging: hold the send until the logger
                 // has acknowledged our delivery determinants (the comm
                 // thread ingests the ack and notifies).
+                let mut backoff = self.poll_backoff();
                 while !kernel.send_ready() {
                     if self.shared.dead.load(Ordering::Relaxed) {
                         return Err(Fault::Killed);
@@ -144,7 +153,7 @@ impl Engine {
                     if self.shared.shutdown.load(Ordering::Relaxed) {
                         return Err(Fault::Shutdown);
                     }
-                    self.shared.cv.wait_for(&mut kernel, self.poll);
+                    self.shared.cv.wait_for(&mut kernel, backoff.next_wait());
                 }
                 kernel.app_send(dst, tag, data, false);
                 Ok(())
@@ -153,15 +162,21 @@ impl Engine {
                 self.pump()?;
                 // Pessimistic send gate: service the inbox until the
                 // logger ack arrives.
+                let mut backoff = self.poll_backoff();
                 loop {
                     if self.shared.kernel.lock().send_ready() {
                         break;
                     }
                     self.check_live()?;
                     let ep = self.endpoint.as_ref().expect("blocking mode endpoint");
-                    match ep.recv_timeout(self.poll) {
-                        Ok(env) => self.shared.kernel.lock().ingest(env),
-                        Err(RecvError::Timeout) => {}
+                    match ep.recv_timeout(backoff.next_wait()) {
+                        Ok(env) => {
+                            self.shared.kernel.lock().ingest(env);
+                            backoff.reset();
+                        }
+                        Err(RecvError::Timeout) => {
+                            self.shared.kernel.lock().tick();
+                        }
                         Err(RecvError::Dead) => {
                             self.shared.dead.store(true, Ordering::Relaxed);
                             return Err(Fault::Killed);
@@ -183,14 +198,27 @@ impl Engine {
                 // must still answer ROLLBACKs or the system deadlocks).
                 let ep = self.endpoint.as_ref().expect("blocking mode endpoint");
                 let mut last_resend = Instant::now();
+                let mut backoff = self.poll_backoff();
                 loop {
                     self.check_live()?;
                     self.pump()?;
-                    if self.shared.kernel.lock().acked(dst) >= send_index {
-                        return Ok(());
+                    {
+                        let kernel = self.shared.kernel.lock();
+                        if kernel.acked(dst) >= send_index {
+                            return Ok(());
+                        }
+                        // The reliability layer has written the peer
+                        // off: fail the send instead of spinning on a
+                        // rendezvous that can never complete.
+                        if kernel.peer_unreachable(dst) {
+                            return Err(Fault::Unreachable(dst));
+                        }
                     }
-                    match ep.recv_timeout(self.poll) {
-                        Ok(env) => self.shared.kernel.lock().ingest(env),
+                    match ep.recv_timeout(backoff.next_wait()) {
+                        Ok(env) => {
+                            self.shared.kernel.lock().ingest(env);
+                            backoff.reset();
+                        }
                         Err(RecvError::Timeout) => {}
                         Err(RecvError::Dead) => {
                             self.shared.dead.store(true, Ordering::Relaxed);
@@ -216,6 +244,7 @@ impl Engine {
             CommMode::Blocking { .. } => {
             let started = Instant::now();
             let mut dumped = false;
+            let mut backoff = self.poll_backoff();
             loop {
                 self.check_live()?;
                 self.pump()?;
@@ -227,8 +256,11 @@ impl Engine {
                     eprintln!("[stall] rank {} recv {:?}: {:?}", self.me, spec, self.shared.kernel.lock());
                 }
                 let ep = self.endpoint.as_ref().expect("blocking mode endpoint");
-                match ep.recv_timeout(self.poll) {
-                    Ok(env) => self.shared.kernel.lock().ingest(env),
+                match ep.recv_timeout(backoff.next_wait()) {
+                    Ok(env) => {
+                        self.shared.kernel.lock().ingest(env);
+                        backoff.reset();
+                    }
                     Err(RecvError::Timeout) => {}
                     Err(RecvError::Dead) => {
                         self.shared.dead.store(true, Ordering::Relaxed);
@@ -241,6 +273,7 @@ impl Engine {
             CommMode::NonBlocking => {
                 let started = Instant::now();
                 let mut dumped = false;
+                let mut backoff = self.poll_backoff();
                 let mut kernel = self.shared.kernel.lock();
                 loop {
                     if self.shared.dead.load(Ordering::Relaxed) {
@@ -260,8 +293,17 @@ impl Engine {
                         eprintln!("[stall] rank {} recv {:?}: {:?}", self.me, spec, &*kernel);
                     }
                     // Releases the lock while parked; the comm thread
-                    // notifies after every ingestion.
-                    self.shared.cv.wait_for(&mut kernel, self.poll);
+                    // notifies after every ingestion (which resets the
+                    // schedule to its fine-grained start).
+                    if self
+                        .shared
+                        .cv
+                        .wait_for(&mut kernel, backoff.next_wait())
+                        .timed_out()
+                    {
+                        continue;
+                    }
+                    backoff.reset();
                 }
             }
         }
@@ -299,6 +341,7 @@ impl Engine {
     /// resends for late failures, acks, checkpoint notices) until the
     /// whole cluster is done.
     pub fn serve_until_shutdown(&self) {
+        let mut backoff = self.poll_backoff();
         while !self.shared.shutdown.load(Ordering::Relaxed) {
             if self.shared.dead.load(Ordering::Relaxed) {
                 return;
@@ -309,14 +352,19 @@ impl Engine {
                         return;
                     }
                     let ep = self.endpoint.as_ref().expect("blocking mode endpoint");
-                    match ep.recv_timeout(self.poll) {
-                        Ok(env) => self.shared.kernel.lock().ingest(env),
+                    match ep.recv_timeout(backoff.next_wait()) {
+                        Ok(env) => {
+                            self.shared.kernel.lock().ingest(env);
+                            backoff.reset();
+                        }
                         Err(RecvError::Timeout) => {}
                         Err(_) => return,
                     }
                 }
                 CommMode::NonBlocking => {
-                    std::thread::sleep(self.poll);
+                    // The comm thread does the serving; this thread
+                    // only waits for the shutdown flag.
+                    std::thread::sleep(backoff.next_wait());
                 }
             }
         }
@@ -344,12 +392,15 @@ impl Drop for Engine {
 fn spawn_comm_thread(shared: Arc<Shared>, endpoint: Endpoint, poll: Duration) -> JoinHandle<()> {
     std::thread::Builder::new()
         .name(format!("lclog-comm-{}", endpoint.rank()))
-        .spawn(move || loop {
+        .spawn(move || {
+            let mut backoff = Backoff::new((poll / 8).max(Duration::from_micros(1)), poll);
+            loop {
             if shared.dead.load(Ordering::Relaxed) || shared.shutdown.load(Ordering::Relaxed) {
                 return;
             }
-            match endpoint.recv_timeout(poll) {
+            match endpoint.recv_timeout(backoff.next_wait()) {
                 Ok(env) => {
+                    backoff.reset();
                     let mut kernel = shared.kernel.lock();
                     kernel.ingest(env);
                     // Drain whatever else is queued before waking the
@@ -371,6 +422,7 @@ fn spawn_comm_thread(shared: Arc<Shared>, endpoint: Endpoint, poll: Duration) ->
                     return;
                 }
                 Err(RecvError::Empty) => unreachable!(),
+            }
             }
         })
         .expect("spawn comm thread")

@@ -1,3 +1,4 @@
+use lclog_core::Rank;
 use std::fmt;
 
 /// Why a runtime call could not complete.
@@ -9,6 +10,12 @@ pub enum Fault {
     Killed,
     /// The cluster is shutting down (another rank aborted); unwind.
     Shutdown,
+    /// The reliability layer exhausted its retransmit budget towards
+    /// this peer: it has been silent across every backoff round. The
+    /// cluster harness treats this like a crash (restore + `ROLLBACK`)
+    /// so the operation is retried against whatever incarnation of the
+    /// peer eventually answers, instead of hanging forever.
+    Unreachable(Rank),
 }
 
 impl fmt::Display for Fault {
@@ -16,6 +23,9 @@ impl fmt::Display for Fault {
         match self {
             Fault::Killed => write!(f, "rank incarnation killed"),
             Fault::Shutdown => write!(f, "cluster shutting down"),
+            Fault::Unreachable(peer) => {
+                write!(f, "peer rank {peer} unreachable (retransmit budget exhausted)")
+            }
         }
     }
 }

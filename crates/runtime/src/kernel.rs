@@ -15,6 +15,7 @@ use crate::message::{
     AppMsg, AppWire, CkptAdvanceWire, RecvSpec, ResponseWire, RollbackWire, WireMsg,
 };
 use crate::recvq::{Pending, RecvQueue};
+use crate::transport::{Transport, TransportConfig};
 use bytes::Bytes;
 use lclog_core::{
     make_protocol, CounterVector, DeliveryVerdict, LoggingProtocol, Rank, TrackingStats,
@@ -75,6 +76,13 @@ pub struct Kernel {
     /// Suppression bound from `RESPONSE`s (Algorithm 1 line 53): do
     /// not re-send message `k <= rollback_last_send_index[j]` to `j`.
     rollback_last_send_index: CounterVector,
+    /// `last_send_index` as restored from the checkpoint (zero on a
+    /// first incarnation). Sends at or below this bound happened
+    /// before the checkpoint, so re-execution will never regenerate
+    /// them — if one was still sitting in the dead incarnation's
+    /// retransmission window, only the checkpointed sender log can
+    /// resupply it (see `handle_response`).
+    restored_send_index: CounterVector,
     log: SenderLog,
     queue: RecvQueue,
     stats: TrackingStats,
@@ -89,6 +97,9 @@ pub struct Kernel {
     /// TEL event-logger service rank (slot `n`), when the protocol
     /// uses one.
     logger: Option<Rank>,
+    /// Reliability layer: CRC framing, transport sequencing, duplicate
+    /// discard, ack/retransmit. Every wire message crosses it.
+    transport: Transport,
     /// Structured timeline collector (disabled by default).
     events: EventSink,
 }
@@ -98,6 +109,16 @@ impl Kernel {
     pub fn new(me: Rank, n: usize, cfg: RunConfig, net: SimNet, ckpt_store: CheckpointStore) -> Self {
         let protocol = make_protocol(cfg.protocol, me, n);
         let logger = protocol.wants_event_logger().then(|| crate::logger_rank(n));
+        let transport = Transport::new(
+            me,
+            net.n(),
+            net.clone(),
+            TransportConfig {
+                timeout: cfg.retransmit_timeout,
+                cap: cfg.retransmit_cap,
+                budget: cfg.retransmit_budget,
+            },
+        );
         Kernel {
             me,
             n,
@@ -108,6 +129,7 @@ impl Kernel {
             last_deliver_index: CounterVector::zeroed(n),
             last_ckpt_deliver_index: CounterVector::zeroed(n),
             rollback_last_send_index: CounterVector::zeroed(n),
+            restored_send_index: CounterVector::zeroed(n),
             log: SenderLog::new(n),
             queue: RecvQueue::new(),
             stats: TrackingStats::default(),
@@ -119,8 +141,23 @@ impl Kernel {
             recovery: None,
             rollback_epoch: 0,
             logger,
+            transport,
             events: EventSink::disabled(),
         }
+    }
+
+    /// Tell the reliability layer which incarnation this kernel is:
+    /// receivers use the epoch to distinguish a respawned sender's
+    /// fresh sequence space from stale duplicates. Must be called
+    /// before any traffic when the incarnation is not the first.
+    pub fn set_incarnation(&mut self, incarnation: u64) {
+        self.transport.set_epoch(incarnation);
+    }
+
+    /// True when the reliability layer has written `dst` off: it
+    /// stayed silent across the whole retransmit budget.
+    pub fn peer_unreachable(&self, dst: Rank) -> bool {
+        self.transport.peer_unreachable(dst)
     }
 
     /// Attach a timeline collector (see [`crate::events`]).
@@ -179,10 +216,14 @@ impl Kernel {
         self.protocol.send_ready()
     }
 
-    fn send_wire(&self, dst: Rank, msg: &WireMsg) {
-        // Sends to dead ranks are dropped by the fabric — exactly the
-        // paper's model; recovery resends cover the loss.
-        let _ = self.net.send(self.me, dst, Bytes::from(encode_to_vec(msg)));
+    fn send_wire(&mut self, dst: Rank, msg: &WireMsg) {
+        // Every wire message crosses the reliability layer: CRC
+        // framing, sequencing, and ack/retransmit mask the chaos
+        // fabric's drops, duplicates, and corruptions. Sends to dead
+        // ranks are retransmitted until the peer's next incarnation
+        // answers (or the budget writes it off); recovery resends
+        // cover anything lost with the old incarnation.
+        self.transport.send(dst, encode_to_vec(msg));
     }
 
     // ---------------------------------------------------------------
@@ -267,13 +308,21 @@ impl Kernel {
     // Ingestion and delivery (lines 13–31)
     // ---------------------------------------------------------------
 
-    /// Process one raw envelope from the fabric.
+    /// Process one raw envelope from the fabric. The reliability layer
+    /// strips the transport frame first: corrupt envelopes are
+    /// NACK'ed, duplicates discarded, and control frames consumed
+    /// without ever reaching the dispatch below.
     pub fn ingest(&mut self, env: Envelope) {
         let src = env.src;
-        let msg: WireMsg = match lclog_wire::decode_from_slice(&env.payload) {
+        let Some(inner) = self.transport.ingest(env) else {
+            return;
+        };
+        let msg: WireMsg = match lclog_wire::decode_from_slice(&inner) {
             Ok(m) => m,
             Err(_) => {
-                debug_assert!(false, "corrupt envelope from {src}");
+                // The frame passed its CRC, so this is a codec bug,
+                // not line noise.
+                debug_assert!(false, "undecodable wire message from {src}");
                 return;
             }
         };
@@ -453,7 +502,8 @@ impl Kernel {
         self.protocol
             .restore_from_checkpoint(&image.protocol)
             .expect("checkpoint protocol state decodes");
-        self.last_send_index = image.last_send;
+        self.last_send_index = image.last_send.clone();
+        self.restored_send_index = image.last_send;
         self.last_deliver_index = image.last_deliver.clone();
         self.last_ckpt_deliver_index = image.last_deliver;
         self.log = SenderLog::from_entries(self.n, image.log);
@@ -507,7 +557,7 @@ impl Kernel {
             self.send_wire(k, &WireMsg::Rollback(wire.clone()));
         }
         if let Some(logger) = self.logger {
-            if !self.recovery.as_ref().map_or(true, |r| r.logger_synced) {
+            if !self.recovery.as_ref().is_none_or(|r| r.logger_synced) {
                 self.send_wire(logger, &WireMsg::LogQuery(self.me as u32));
             }
         }
@@ -579,6 +629,40 @@ impl Kernel {
                 .set(src, w.delivered_from_you);
         }
         self.note_consumed(src, w.delivered_from_you);
+        // The dead incarnation's transport may have been holding sent-
+        // but-undelivered messages for retransmission when it crashed;
+        // on a lossy fabric those copies are gone for good. Any such
+        // message predates the checkpoint (its index is within the
+        // restored `last_send`), so re-execution will not regenerate
+        // it either — the checkpointed sender log is its only
+        // surviving copy. Resend that window; the receiver's dedup
+        // absorbs whatever did arrive.
+        let resends: Vec<WireMsg> = self
+            .log
+            .entries_after(src, w.delivered_from_you)
+            .filter(|e| e.send_index <= self.restored_send_index.get(src))
+            .map(|e| {
+                WireMsg::App(AppWire {
+                    tag: e.tag,
+                    send_index: e.send_index,
+                    piggyback: e.piggyback.clone(),
+                    needs_ack: false,
+                    data: e.data.clone(),
+                })
+            })
+            .collect();
+        if !resends.is_empty() {
+            self.events.emit(
+                self.me,
+                EventKind::LogResent {
+                    to: src,
+                    count: resends.len(),
+                },
+            );
+        }
+        for msg in resends {
+            self.send_wire(src, &msg);
+        }
         if !w.dets.is_empty() {
             self.protocol.install_recovery_info(w.dets);
         }
@@ -611,10 +695,12 @@ impl Kernel {
         }
     }
 
-    /// Periodic maintenance: rebroadcast `ROLLBACK` to peers that have
-    /// not responded (they may have been dead when the first broadcast
-    /// went out — the multi-failure case of Fig. 2).
+    /// Periodic maintenance: drive the reliability layer's
+    /// retransmission timers, and rebroadcast `ROLLBACK` to peers that
+    /// have not responded (they may have been dead when the first
+    /// broadcast went out — the multi-failure case of Fig. 2).
     pub fn tick(&mut self) {
+        self.transport.tick();
         let due = match &self.recovery {
             Some(rec) => rec.last_broadcast.elapsed() >= self.cfg.retry_interval,
             None => false,
@@ -640,6 +726,9 @@ impl std::fmt::Debug for Kernel {
             .field("last_deliver", &self.last_deliver_index.as_slice())
             .field("delivered_total", &self.protocol.delivered_total())
             .field("recovering", &self.is_recovering())
+            .field("dup_discarded", &self.transport.dup_discarded())
+            .field("corrupt_detected", &self.transport.corrupt_detected())
+            .field("channels", &self.transport.channel_summary())
             .finish()
     }
 }
@@ -748,7 +837,7 @@ mod tests {
         let mut k0 = ks.pop().unwrap();
         k0.app_send(1, 0, Bytes::from_static(b"a"), false);
         k0.app_send(1, 0, Bytes::from_static(b"b"), false);
-        assert_eq!(k0.log_bytes() > 0, true);
+        assert!(k0.log_bytes() > 0);
         pump(&mut k1, &eps[1]);
         k1.try_deliver(RecvSpec::any()).unwrap();
         k1.try_deliver(RecvSpec::any()).unwrap();
@@ -778,6 +867,7 @@ mod tests {
         let ep1b = net.respawn(1);
         let store = CheckpointStore::new(k1_store(&k1));
         let mut k1b = Kernel::new(1, 2, RunConfig::new(ProtocolKind::Tdi), net.clone(), store);
+        k1b.set_incarnation(2);
         let image = k1b.load_checkpoint().expect("checkpoint exists");
         let (step, _app) = k1b.restore(image);
         assert_eq!(step, 1);
@@ -817,6 +907,7 @@ mod tests {
         let ep0b = net.respawn(0);
         let store = CheckpointStore::new(k1_store(&k0));
         let mut k0b = Kernel::new(0, 2, RunConfig::new(ProtocolKind::Tdi), net.clone(), store);
+        k0b.set_incarnation(2);
         // No checkpoint: fresh state, recover from scratch.
         assert!(k0b.load_checkpoint().is_none());
         k0b.begin_recovery();
@@ -837,10 +928,47 @@ mod tests {
     }
 
     #[test]
+    fn recovering_sender_resupplies_in_flight_sends_from_checkpointed_log() {
+        // The dual of the suppression test: rank 0 sends two messages
+        // whose frames are lost on the wire, checkpoints (recording
+        // them in last_send and in the sender log), then dies. Its old
+        // transport's retransmission window dies with it, and the new
+        // incarnation re-executes from *after* the sends — so the only
+        // surviving copies are in the checkpointed log, and the
+        // RESPONSE (delivered 0 from you) must trigger their resend.
+        let (mut ks, net, eps) = harness(2, ProtocolKind::Tdi);
+        let mut k1 = ks.pop().unwrap();
+        let mut k0 = ks.pop().unwrap();
+        k0.app_send(1, 0, Bytes::from_static(b"a"), false);
+        k0.app_send(1, 0, Bytes::from_static(b"b"), false);
+        // The fabric eats both frames (chaos drop) — and the
+        // checkpoint's CkptAdvance with them.
+        k0.do_checkpoint(vec![], 1);
+        while eps[1].try_recv().is_ok() {}
+        net.kill(0);
+        let ep0b = net.respawn(0);
+        let store = CheckpointStore::new(k1_store(&k0));
+        let mut k0b = Kernel::new(0, 2, RunConfig::new(ProtocolKind::Tdi), net.clone(), store);
+        k0b.set_incarnation(2);
+        let image = k0b.load_checkpoint().expect("checkpoint exists");
+        k0b.restore(image);
+        k0b.begin_recovery();
+        pump(&mut k1, &eps[1]); // ROLLBACK in, RESPONSE (delivered 0) out
+        while let Ok(env) = ep0b.try_recv() {
+            k0b.ingest(env);
+        }
+        assert!(!k0b.is_recovering());
+        // The RESPONSE resupplied both logged sends.
+        pump(&mut k1, &eps[1]);
+        assert_eq!(&k1.try_deliver(RecvSpec::any()).unwrap().data[..], b"a");
+        assert_eq!(&k1.try_deliver(RecvSpec::any()).unwrap().data[..], b"b");
+    }
+
+    #[test]
     fn rollback_rebroadcast_reaches_late_incarnations() {
         let (mut ks, net, eps) = harness(2, ProtocolKind::Tdi);
         let k1 = ks.pop().unwrap();
-        let mut k0 = ks.pop().unwrap();
+        let k0 = ks.pop().unwrap();
         drop(k1);
         // Both ranks die "simultaneously"; rank 0 recovers first and
         // broadcasts while rank 1 is still dead.
@@ -851,11 +979,13 @@ mod tests {
         let mut cfg = RunConfig::new(ProtocolKind::Tdi);
         cfg.retry_interval = Duration::from_millis(1);
         let mut k0b = Kernel::new(0, 2, cfg.clone(), net.clone(), store.clone());
+        k0b.set_incarnation(2);
         k0b.begin_recovery();
         // The first broadcast is dropped (rank 1 dead).
         std::thread::sleep(Duration::from_millis(2));
         let ep1b = net.respawn(1);
         let mut k1b = Kernel::new(1, 2, cfg, net.clone(), store);
+        k1b.set_incarnation(2);
         k1b.begin_recovery();
         // k0's tick rebroadcasts; k1 (now alive) answers.
         k0b.tick();

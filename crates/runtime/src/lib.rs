@@ -41,6 +41,7 @@
 
 #![warn(missing_docs)]
 
+mod backoff;
 mod cluster;
 pub mod collectives;
 mod config;
@@ -53,6 +54,7 @@ mod message;
 mod process;
 mod recvq;
 mod service;
+mod transport;
 
 pub use cluster::{Cluster, ClusterConfig, FailurePlan, Kill, RunReport, StorageKind};
 pub use events::{Event, EventKind, EventSink};

@@ -53,7 +53,7 @@ impl RecvSpec {
 
     /// Does a queued message from `src` with `tag` match?
     pub fn matches(&self, src: usize, tag: u32) -> bool {
-        self.source.map_or(true, |s| s == src) && self.tag.map_or(true, |t| t == tag)
+        self.source.is_none_or(|s| s == src) && self.tag.is_none_or(|t| t == tag)
     }
 }
 

@@ -4,10 +4,14 @@
 //!
 //! The service occupies fabric slot `n` (see [`crate::logger_rank`])
 //! and is assumed never to fail — the same assumption the baseline
-//! protocol itself makes about its stable storage.
+//! protocol itself makes about its stable storage. It still speaks the
+//! reliability layer: its replies are sequenced, CRC-framed, and
+//! retransmitted, so a chaos fabric cannot silently eat a `LOG_ACK`
+//! and wedge a pessimistic sender.
 
+use crate::backoff::Backoff;
 use crate::message::WireMsg;
-use bytes::Bytes;
+use crate::transport::{Transport, TransportConfig};
 use lclog_core::{Determinant, Rank};
 use lclog_simnet::{Endpoint, RecvError, SimNet};
 use lclog_stable::StableStorage;
@@ -35,21 +39,39 @@ pub fn spawn_event_logger(
         .name("lclog-event-logger".into())
         .spawn(move || {
             let me = endpoint.rank();
+            let mut transport = Transport::new(
+                me,
+                net.n(),
+                net.clone(),
+                TransportConfig {
+                    timeout: Duration::from_millis(2),
+                    cap: Duration::from_millis(50),
+                    budget: 40,
+                },
+            );
             // In-memory mirror of stable storage for fast queries; the
             // stable copy is authoritative and written first.
             let mut dets: HashMap<Rank, Vec<Determinant>> = HashMap::new();
             let mut acked: HashMap<Rank, u64> = HashMap::new();
+            let mut backoff = Backoff::new(Duration::from_micros(100), Duration::from_millis(5));
             loop {
                 if shutdown.load(Ordering::Relaxed) {
                     return;
                 }
-                let env = match endpoint.recv_timeout(Duration::from_millis(5)) {
+                let env = match endpoint.recv_timeout(backoff.next_wait()) {
                     Ok(env) => env,
-                    Err(RecvError::Timeout) => continue,
+                    Err(RecvError::Timeout) => {
+                        transport.tick();
+                        continue;
+                    }
                     Err(_) => return,
                 };
                 let src = env.src;
-                let msg: WireMsg = match lclog_wire::decode_from_slice(&env.payload) {
+                let Some(inner) = transport.ingest(env) else {
+                    continue;
+                };
+                backoff.reset();
+                let msg: WireMsg = match lclog_wire::decode_from_slice(&inner) {
                     Ok(m) => m,
                     Err(_) => continue,
                 };
@@ -67,7 +89,7 @@ pub fn spawn_event_logger(
                             }
                         }
                         let ack = WireMsg::LogAck(*upto);
-                        let _ = net.send(me, src, Bytes::from(encode_to_vec(&ack)));
+                        transport.send(src, encode_to_vec(&ack));
                     }
                     WireMsg::LogQuery(failed) => {
                         let found = dets
@@ -75,7 +97,7 @@ pub fn spawn_event_logger(
                             .cloned()
                             .unwrap_or_default();
                         let resp = WireMsg::LogQueryResp(found);
-                        let _ = net.send(me, src, Bytes::from(encode_to_vec(&resp)));
+                        transport.send(src, encode_to_vec(&resp));
                     }
                     _ => {}
                 }

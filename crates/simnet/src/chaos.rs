@@ -1,0 +1,221 @@
+//! Seeded chaos fault model: per-link drop / duplicate / bit-flip
+//! corruption, transient partitions, and courier stalls.
+//!
+//! Every decision is a pure function of `(seed, src, dst, seq, salt)`,
+//! where `seq` is the fabric's per-`(src, dst)` sequence number. Given
+//! the same seed and the same per-link send sequence, a chaos schedule
+//! therefore replays *identically* — independent of thread timing,
+//! wall-clock, or traffic on other links. Partitions are likewise
+//! expressed as windows in per-link sequence space rather than wall
+//! time, for the same reason.
+
+use crate::Rank;
+use std::time::Duration;
+
+/// A transient partition: while a link's per-pair sequence number lies
+/// in `[from_seq, to_seq)` and the link crosses the group boundary
+/// (exactly one endpoint inside `group`), the message is severed.
+///
+/// Expressing the window in sequence space instead of wall time keeps
+/// chaos schedules replayable: the k-th message on a link is severed
+/// or not regardless of when it is sent.
+#[derive(Debug, Clone)]
+pub struct Partition {
+    /// Ranks on one side of the cut.
+    pub group: Vec<Rank>,
+    /// First per-link sequence number affected (inclusive).
+    pub from_seq: u64,
+    /// First per-link sequence number no longer affected (exclusive).
+    pub to_seq: u64,
+}
+
+impl Partition {
+    /// True when this partition severs the `src → dst` message with
+    /// per-link sequence number `seq`.
+    pub fn severs(&self, src: Rank, dst: Rank, seq: u64) -> bool {
+        seq >= self.from_seq
+            && seq < self.to_seq
+            && (self.group.contains(&src) != self.group.contains(&dst))
+    }
+}
+
+/// Knobs of the seeded chaos fault model. All probabilities are per
+/// envelope accepted by [`crate::SimNet::send`] and default to zero;
+/// a default `ChaosConfig` injects no faults.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Seed for all chaos decisions.
+    pub seed: u64,
+    /// Probability an envelope silently vanishes.
+    pub drop_p: f64,
+    /// Probability an envelope is delivered twice (same fabric `seq`,
+    /// so reliability layers can discard the copy below the app).
+    pub duplicate_p: f64,
+    /// Probability one payload bit is flipped in transit.
+    pub corrupt_p: f64,
+    /// Probability the courier stalls this envelope by [`ChaosConfig::stall`].
+    pub stall_p: f64,
+    /// Extra in-flight delay applied to stalled envelopes.
+    pub stall: Duration,
+    /// Transient partitions in per-link sequence space.
+    pub partitions: Vec<Partition>,
+}
+
+impl ChaosConfig {
+    /// A chaos model with the given seed and no faults enabled.
+    pub fn seeded(seed: u64) -> Self {
+        ChaosConfig {
+            seed,
+            drop_p: 0.0,
+            duplicate_p: 0.0,
+            corrupt_p: 0.0,
+            stall_p: 0.0,
+            stall: Duration::from_millis(2),
+            partitions: Vec::new(),
+        }
+    }
+
+    /// Sets the per-envelope drop probability.
+    pub fn with_drop(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "drop probability out of range");
+        self.drop_p = p;
+        self
+    }
+
+    /// Sets the per-envelope duplication probability.
+    pub fn with_duplicate(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "duplicate probability out of range");
+        self.duplicate_p = p;
+        self
+    }
+
+    /// Sets the per-envelope single-bit corruption probability.
+    pub fn with_corrupt(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "corrupt probability out of range");
+        self.corrupt_p = p;
+        self
+    }
+
+    /// Sets the courier-stall probability and stall duration.
+    pub fn with_stall(mut self, p: f64, stall: Duration) -> Self {
+        assert!((0.0..=1.0).contains(&p), "stall probability out of range");
+        self.stall_p = p;
+        self.stall = stall;
+        self
+    }
+
+    /// Adds a transient partition window.
+    pub fn with_partition(mut self, partition: Partition) -> Self {
+        self.partitions.push(partition);
+        self
+    }
+
+    /// True when stalls can occur (the fabric then needs a courier
+    /// even under the direct delivery model).
+    pub fn wants_courier(&self) -> bool {
+        self.stall_p > 0.0
+    }
+
+    /// Decides the fate of one envelope. Pure in `(seed, src, dst,
+    /// seq)`; two calls with identical arguments always agree.
+    pub(crate) fn fate(&self, src: Rank, dst: Rank, seq: u64) -> Fate {
+        let severed = self.partitions.iter().any(|p| p.severs(src, dst, seq));
+        Fate {
+            severed,
+            dropped: !severed && self.roll(src, dst, seq, SALT_DROP) < self.drop_p,
+            duplicated: self.roll(src, dst, seq, SALT_DUP) < self.duplicate_p,
+            corrupt_bit: (self.roll(src, dst, seq, SALT_CORRUPT) < self.corrupt_p)
+                .then(|| self.hash(src, dst, seq, SALT_BIT)),
+            stalled: self.stall_p > 0.0 && self.roll(src, dst, seq, SALT_STALL) < self.stall_p,
+        }
+    }
+
+    fn hash(&self, src: Rank, dst: Rank, seq: u64, salt: u64) -> u64 {
+        let key = self
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add((src as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9))
+            .wrapping_add((dst as u64).wrapping_mul(0x94D0_49BB_1331_11EB))
+            .wrapping_add(seq.wrapping_mul(0xD6E8_FEB8_6659_FD93))
+            .wrapping_add(salt);
+        splitmix(key)
+    }
+
+    fn roll(&self, src: Rank, dst: Rank, seq: u64, salt: u64) -> f64 {
+        (self.hash(src, dst, seq, salt) >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+const SALT_DROP: u64 = 0xD0;
+const SALT_DUP: u64 = 0xD1;
+const SALT_CORRUPT: u64 = 0xC0;
+const SALT_BIT: u64 = 0xB1;
+const SALT_STALL: u64 = 0x57;
+
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The outcome of the chaos rolls for one envelope.
+pub(crate) struct Fate {
+    /// Severed by a partition window (dropped, counted separately).
+    pub severed: bool,
+    /// Randomly dropped.
+    pub dropped: bool,
+    /// Delivered twice.
+    pub duplicated: bool,
+    /// When `Some(h)`, flip payload bit `h % (len * 8)`.
+    pub corrupt_bit: Option<u64>,
+    /// Held by the courier for an extra [`ChaosConfig::stall`].
+    pub stalled: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_pure_and_seed_sensitive() {
+        let c = ChaosConfig::seeded(7)
+            .with_drop(0.3)
+            .with_duplicate(0.3)
+            .with_corrupt(0.3);
+        for seq in 1..200u64 {
+            let a = c.fate(0, 1, seq);
+            let b = c.fate(0, 1, seq);
+            assert_eq!(a.dropped, b.dropped);
+            assert_eq!(a.duplicated, b.duplicated);
+            assert_eq!(a.corrupt_bit, b.corrupt_bit);
+        }
+        // A different seed must produce a different schedule somewhere.
+        let d = ChaosConfig::seeded(8)
+            .with_drop(0.3)
+            .with_duplicate(0.3)
+            .with_corrupt(0.3);
+        assert!((1..200u64).any(|seq| c.fate(0, 1, seq).dropped != d.fate(0, 1, seq).dropped));
+    }
+
+    #[test]
+    fn rates_are_roughly_honored() {
+        let c = ChaosConfig::seeded(42).with_drop(0.1);
+        let dropped = (1..=10_000u64).filter(|&s| c.fate(2, 3, s).dropped).count();
+        assert!((700..1300).contains(&dropped), "dropped={dropped}");
+    }
+
+    #[test]
+    fn partitions_sever_only_crossing_links_in_window() {
+        let p = Partition { group: vec![0, 1], from_seq: 10, to_seq: 20 };
+        assert!(p.severs(0, 2, 10));
+        assert!(p.severs(2, 1, 19));
+        assert!(!p.severs(0, 1, 15)); // same side
+        assert!(!p.severs(2, 3, 15)); // same side
+        assert!(!p.severs(0, 2, 9)); // before window
+        assert!(!p.severs(0, 2, 20)); // after window
+        let c = ChaosConfig::seeded(1).with_partition(p);
+        assert!(c.fate(0, 2, 12).severed);
+        assert!(!c.fate(0, 2, 12).dropped, "severed is not double-counted");
+    }
+}

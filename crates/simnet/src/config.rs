@@ -1,3 +1,4 @@
+use crate::chaos::ChaosConfig;
 use std::time::Duration;
 
 /// How the fabric moves envelopes from sender to receiver.
@@ -42,6 +43,8 @@ pub enum DeliveryModel {
 pub struct NetConfig {
     /// Delivery model for data envelopes.
     pub delivery: DeliveryModel,
+    /// Seeded fault-injection model; `None` means a faithful fabric.
+    pub chaos: Option<ChaosConfig>,
 }
 
 impl NetConfig {
@@ -49,6 +52,7 @@ impl NetConfig {
     pub fn direct() -> Self {
         NetConfig {
             delivery: DeliveryModel::Direct,
+            chaos: None,
         }
     }
 
@@ -61,7 +65,14 @@ impl NetConfig {
                 jitter,
                 seed,
             },
+            chaos: None,
         }
+    }
+
+    /// Enables the seeded chaos fault model on this fabric.
+    pub fn with_chaos(mut self, chaos: ChaosConfig) -> Self {
+        self.chaos = Some(chaos);
+        self
     }
 
     /// A mild default courier: 50 µs base, 20 µs/KiB, 100 µs jitter.
@@ -85,6 +96,7 @@ impl NetConfig {
                 latency: Duration::from_micros(30),
                 bytes_per_sec: 1 << 30,
             },
+            chaos: None,
         }
     }
 }

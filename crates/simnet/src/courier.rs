@@ -66,13 +66,13 @@ impl Ord for Scheduled {
 }
 
 pub(crate) struct Courier {
-    tx: Option<Sender<Envelope>>,
+    tx: Option<Sender<(Envelope, Duration)>>,
     handle: Option<JoinHandle<()>>,
 }
 
 impl Courier {
     pub(crate) fn spawn(fabric: Arc<Fabric>, n: usize, timing: Timing) -> Self {
-        let (tx, rx) = channel::unbounded::<Envelope>();
+        let (tx, rx) = channel::unbounded::<(Envelope, Duration)>();
         let handle = std::thread::Builder::new()
             .name("simnet-courier".into())
             .spawn(move || {
@@ -105,7 +105,7 @@ impl Courier {
                         None => rx.recv().map_err(|_| RecvTimeoutError::Disconnected),
                     };
                     match received {
-                        Ok(env) => {
+                        Ok((env, stall)) => {
                             let now = Instant::now();
                             let mut due = match &timing {
                                 Timing::Delayed {
@@ -137,6 +137,8 @@ impl Courier {
                                     bus_free + *latency
                                 }
                             };
+                            // Chaos stall: hold the envelope in flight.
+                            due += stall;
                             // Clamp to preserve per-pair FIFO.
                             let idx = env.src * n + env.dst;
                             if due < pair_floor[idx] {
@@ -165,14 +167,14 @@ impl Courier {
         }
     }
 
-    pub(crate) fn submit(&self, env: Envelope) {
+    pub(crate) fn submit(&self, env: Envelope, stall: Duration) {
         // The courier thread only exits when all senders are dropped,
         // so this cannot fail while `Courier` is alive.
         let _ = self
             .tx
             .as_ref()
             .expect("courier sender present until drop")
-            .send(env);
+            .send((env, stall));
     }
 }
 

@@ -12,7 +12,12 @@
 //!   with seeded jitter, which is exactly the non-determinism the
 //!   paper's protocols must tolerate.
 //! * **Reliable between live endpoints**: a message sent while the
-//!   destination's current incarnation stays alive is delivered.
+//!   destination's current incarnation stays alive is delivered —
+//!   unless a [`ChaosConfig`] is installed, in which case the fabric
+//!   turns adversarial: seeded per-link drop / duplicate / bit-flip
+//!   corruption, transient partitions, and courier stalls, all
+//!   replayable under the same seed. The reliability layer above the
+//!   fabric (in `lclog-runtime`) is responsible for masking these.
 //! * **Crash = lost volatile state**: [`SimNet::kill`] drops the
 //!   endpoint, its queued messages, and everything in flight towards
 //!   it. A later [`SimNet::respawn`] creates a fresh incarnation with
@@ -41,12 +46,14 @@
 
 #![warn(missing_docs)]
 
+mod chaos;
 mod config;
 mod courier;
 mod envelope;
 mod net;
 mod stats;
 
+pub use chaos::{ChaosConfig, Partition};
 pub use config::{DeliveryModel, NetConfig};
 pub use envelope::Envelope;
 pub use net::{Endpoint, RecvError, SendError, SimNet};

@@ -1,3 +1,4 @@
+use crate::chaos::ChaosConfig;
 use crate::courier::Courier;
 use crate::{DeliveryModel, Envelope, NetConfig, NetStats, Rank};
 use bytes::Bytes;
@@ -71,6 +72,7 @@ pub(crate) struct Fabric {
     slots: Vec<Mutex<Slot>>,
     pair_seq: Vec<AtomicU64>,
     stats: NetStats,
+    chaos: Option<ChaosConfig>,
 }
 
 impl Fabric {
@@ -124,8 +126,25 @@ impl SimNet {
                 .collect(),
             pair_seq: (0..n * n).map(|_| AtomicU64::new(0)).collect(),
             stats: NetStats::default(),
+            chaos: config.chaos.clone(),
         });
+        // Chaos stalls are imposed in flight, so they need a courier
+        // even under the otherwise-synchronous direct model.
+        let stall_courier = config
+            .chaos
+            .as_ref()
+            .is_some_and(ChaosConfig::wants_courier);
         let courier = match config.delivery {
+            DeliveryModel::Direct if stall_courier => Some(Arc::new(Courier::spawn(
+                Arc::clone(&fabric),
+                n,
+                crate::courier::Timing::Delayed {
+                    base: Duration::ZERO,
+                    per_kib: Duration::ZERO,
+                    jitter: Duration::ZERO,
+                    seed: 0,
+                },
+            ))),
             DeliveryModel::Direct => None,
             DeliveryModel::Delayed {
                 base,
@@ -228,6 +247,12 @@ impl SimNet {
     /// succeeds and the message is dropped — senders cannot observe
     /// remote failures synchronously, exactly like a datagram on the
     /// paper's LAN.
+    ///
+    /// When a [`ChaosConfig`] is installed, the envelope may be
+    /// dropped, duplicated, bit-flipped, severed by a partition
+    /// window, or stalled in flight — all decided purely from the
+    /// chaos seed and the per-link sequence number, so a schedule
+    /// replays identically for the same per-link send sequence.
     pub fn send(&self, src: Rank, dst: Rank, payload: Bytes) -> Result<(), SendError> {
         if dst >= self.fabric.n {
             return Err(SendError::BadRank(dst));
@@ -237,15 +262,52 @@ impl SimNet {
         }
         let seq = self.fabric.pair_seq[src * self.fabric.n + dst].fetch_add(1, Ordering::Relaxed) + 1;
         self.fabric.stats.record_send(payload.len());
+        let mut payload = payload;
+        let mut duplicated = false;
+        let mut stall = Duration::ZERO;
+        if let Some(chaos) = &self.fabric.chaos {
+            let fate = chaos.fate(src, dst, seq);
+            if fate.severed {
+                self.fabric.stats.record_partition_dropped();
+                return Ok(());
+            }
+            if fate.dropped {
+                self.fabric.stats.record_chaos_dropped();
+                return Ok(());
+            }
+            if let Some(bit) = fate.corrupt_bit {
+                if !payload.is_empty() {
+                    let mut bytes = payload.to_vec();
+                    let target = (bit % (bytes.len() as u64 * 8)) as usize;
+                    bytes[target / 8] ^= 1 << (target % 8);
+                    payload = Bytes::from(bytes);
+                    self.fabric.stats.record_chaos_corrupted();
+                }
+            }
+            if fate.duplicated {
+                self.fabric.stats.record_chaos_duplicated();
+                duplicated = true;
+            }
+            if fate.stalled {
+                self.fabric.stats.record_chaos_stalled();
+                stall = chaos.stall;
+            }
+        }
         let env = Envelope {
             src,
             dst,
             seq,
             payload,
         };
-        match &self.courier {
-            None => self.fabric.deliver(env),
-            Some(courier) => courier.submit(env),
+        // A duplicate keeps the same fabric `seq`: it models the same
+        // frame arriving twice, which the reliability layer above the
+        // fabric must collapse to one delivery.
+        let copies = if duplicated { 2 } else { 1 };
+        for _ in 0..copies {
+            match &self.courier {
+                None => self.fabric.deliver(env.clone()),
+                Some(courier) => courier.submit(env.clone(), stall),
+            }
         }
         Ok(())
     }

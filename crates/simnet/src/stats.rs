@@ -11,6 +11,12 @@ pub struct NetStats {
     bytes_sent: AtomicU64,
     msgs_delivered: AtomicU64,
     msgs_dropped_dead: AtomicU64,
+    chaos_dropped: AtomicU64,
+    chaos_duplicated: AtomicU64,
+    chaos_corrupted: AtomicU64,
+    chaos_stalled: AtomicU64,
+    partition_dropped: AtomicU64,
+    retransmits: AtomicU64,
 }
 
 impl NetStats {
@@ -25,6 +31,32 @@ impl NetStats {
 
     pub(crate) fn record_dropped_dead(&self) {
         self.msgs_dropped_dead.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_chaos_dropped(&self) {
+        self.chaos_dropped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_chaos_duplicated(&self) {
+        self.chaos_duplicated.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_chaos_corrupted(&self) {
+        self.chaos_corrupted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_chaos_stalled(&self) {
+        self.chaos_stalled.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_partition_dropped(&self) {
+        self.partition_dropped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one transport-level retransmission. Public because the
+    /// reliability layer above the fabric drives retransmissions.
+    pub fn record_retransmit(&self) {
+        self.retransmits.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Envelopes accepted by `send`.
@@ -46,5 +78,35 @@ impl NetStats {
     /// time (the crash-loss model).
     pub fn msgs_dropped_dead(&self) -> u64 {
         self.msgs_dropped_dead.load(Ordering::Relaxed)
+    }
+
+    /// Envelopes the chaos model silently dropped.
+    pub fn chaos_dropped(&self) -> u64 {
+        self.chaos_dropped.load(Ordering::Relaxed)
+    }
+
+    /// Envelopes the chaos model delivered twice.
+    pub fn chaos_duplicated(&self) -> u64 {
+        self.chaos_duplicated.load(Ordering::Relaxed)
+    }
+
+    /// Envelopes the chaos model bit-flipped in transit.
+    pub fn chaos_corrupted(&self) -> u64 {
+        self.chaos_corrupted.load(Ordering::Relaxed)
+    }
+
+    /// Envelopes the chaos model stalled in the courier.
+    pub fn chaos_stalled(&self) -> u64 {
+        self.chaos_stalled.load(Ordering::Relaxed)
+    }
+
+    /// Envelopes severed by a transient partition window.
+    pub fn partition_dropped(&self) -> u64 {
+        self.partition_dropped.load(Ordering::Relaxed)
+    }
+
+    /// Transport-level retransmissions recorded by the layer above.
+    pub fn retransmits(&self) -> u64 {
+        self.retransmits.load(Ordering::Relaxed)
     }
 }

@@ -219,6 +219,7 @@ fn shared_bus_serializes_transmissions() {
             latency: Duration::from_micros(10),
             bytes_per_sec: 10 * 1024 * 1024, // 10 MiB/s: 1 MiB ≈ 100 ms
         },
+        chaos: None,
     });
     let _ep0 = net.attach(0);
     let ep1 = net.attach(1);

@@ -1,20 +1,64 @@
 use crate::StableStorage;
+use lclog_wire::crc32;
 use std::sync::Arc;
 
-/// Typed helper mapping each rank to its latest checkpoint image.
+/// Sealed-image trailer: 4-byte CRC-32 of the image followed by a
+/// 4-byte magic. A truncated file loses the magic, a bit-flip breaks
+/// the CRC — either way the generation is rejected at load time.
+const TRAILER_MAGIC: &[u8; 4] = b"LCKP";
+const TRAILER_LEN: usize = 8;
+
+fn seal(image: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(image.len() + TRAILER_LEN);
+    out.extend_from_slice(image);
+    out.extend_from_slice(&crc32(image).to_le_bytes());
+    out.extend_from_slice(TRAILER_MAGIC);
+    out
+}
+
+fn unseal(blob: &[u8]) -> Option<Vec<u8>> {
+    if blob.len() < TRAILER_LEN {
+        return None;
+    }
+    let (body, trailer) = blob.split_at(blob.len() - TRAILER_LEN);
+    if &trailer[4..] != TRAILER_MAGIC {
+        return None;
+    }
+    let want = u32::from_le_bytes(trailer[..4].try_into().expect("4 bytes"));
+    (crc32(body) == want).then(|| body.to_vec())
+}
+
+/// Typed helper mapping each rank to its recent checkpoint images.
 ///
 /// The paper's protocol only ever restores the *last* checkpoint
-/// (causal logging never rolls a process past it), so older images
-/// are deleted once a newer one is durably in place.
+/// (causal logging never rolls a process past it) — but a checkpoint
+/// write can itself be interrupted by the failure it is supposed to
+/// protect against. So every image is sealed with a CRC-32 trailer,
+/// the last `retention` generations are kept (default 2), and
+/// [`CheckpointStore::load_latest`] falls back to the newest *intact*
+/// generation, skipping torn or corrupted ones.
 #[derive(Clone)]
 pub struct CheckpointStore {
     storage: Arc<dyn StableStorage>,
+    retention: usize,
 }
 
 impl CheckpointStore {
-    /// Wrap a storage backend.
+    /// Wrap a storage backend (keeping the last 2 generations).
     pub fn new(storage: Arc<dyn StableStorage>) -> Self {
-        CheckpointStore { storage }
+        CheckpointStore {
+            storage,
+            retention: 2,
+        }
+    }
+
+    /// Override how many checkpoint generations are retained per rank
+    /// (must be at least 1; 1 restores the old prune-all behaviour,
+    /// at the cost of losing torn-write fallback).
+    pub fn with_retention(mut self, generations: usize) -> Self {
+        assert!(generations >= 1, "must retain at least one generation");
+        self.retention = generations;
+        self
     }
 
     fn key(rank: usize, version: u64) -> String {
@@ -26,27 +70,40 @@ impl CheckpointStore {
         format!("ckpt/{rank}/v")
     }
 
-    /// Durably save checkpoint `version` for `rank`, then prune older
-    /// versions. Versions must increase per rank.
+    fn parse_version(key: &str) -> Option<u64> {
+        key.rsplit('v').next()?.parse().ok()
+    }
+
+    /// Durably save checkpoint `version` for `rank` (sealed with a
+    /// CRC-32 trailer), then prune generations beyond the retention
+    /// window. Versions must increase per rank.
     pub fn save(&self, rank: usize, version: u64, image: &[u8]) {
-        self.storage.put(&Self::key(rank, version), image);
-        for key in self.storage.keys_with_prefix(&Self::prefix(rank)) {
-            if key < Self::key(rank, version) {
-                self.storage.delete(&key);
-            }
+        self.storage.put(&Self::key(rank, version), &seal(image));
+        let keys = self.storage.keys_with_prefix(&Self::prefix(rank));
+        let keep_from = keys.len().saturating_sub(self.retention);
+        for key in &keys[..keep_from] {
+            self.storage.delete(key);
         }
     }
 
-    /// Load the latest checkpoint for `rank`, if any, returning its
-    /// version and image.
+    /// Load the newest *intact* checkpoint for `rank`, if any,
+    /// returning its version and image. Generations whose CRC trailer
+    /// does not verify — torn writes, truncation, media corruption —
+    /// are skipped in favour of the next older one.
     pub fn load_latest(&self, rank: usize) -> Option<(u64, Vec<u8>)> {
-        let key = self.storage.keys_with_prefix(&Self::prefix(rank)).pop()?;
-        let version: u64 = key.rsplit('v').next()?.parse().ok()?;
-        let image = self.storage.get(&key)?;
-        Some((version, image))
+        let keys = self.storage.keys_with_prefix(&Self::prefix(rank));
+        for key in keys.iter().rev() {
+            let Some(blob) = self.storage.get(key) else {
+                continue;
+            };
+            if let Some(image) = unseal(&blob) {
+                return Some((Self::parse_version(key)?, image));
+            }
+        }
+        None
     }
 
-    /// Latest checkpoint version for `rank`, if any.
+    /// Newest intact checkpoint version for `rank`, if any.
     pub fn latest_version(&self, rank: usize) -> Option<u64> {
         self.load_latest(rank).map(|(v, _)| v)
     }
@@ -82,14 +139,23 @@ mod tests {
     }
 
     #[test]
-    fn newer_version_wins_and_prunes() {
+    fn newer_version_wins_and_prunes_beyond_retention() {
         let s = store();
         s.save(0, 1, b"v1");
         s.save(0, 2, b"v2");
         s.save(0, 10, b"v10");
         assert_eq!(s.load_latest(0), Some((10, b"v10".to_vec())));
-        // Only one image remains.
+        // Default retention: the last two generations remain.
+        assert_eq!(s.storage().keys_with_prefix("ckpt/0/").len(), 2);
+    }
+
+    #[test]
+    fn retention_one_restores_prune_all() {
+        let s = store().with_retention(1);
+        s.save(0, 1, b"v1");
+        s.save(0, 2, b"v2");
         assert_eq!(s.storage().keys_with_prefix("ckpt/0/").len(), 1);
+        assert_eq!(s.load_latest(0), Some((2, b"v2".to_vec())));
     }
 
     #[test]
@@ -108,5 +174,39 @@ mod tests {
         s.save(0, 9, b"nine");
         s.save(0, 10, b"ten");
         assert_eq!(s.load_latest(0), Some((10, b"ten".to_vec())));
+    }
+
+    #[test]
+    fn truncated_newest_falls_back_to_previous_generation() {
+        let s = store();
+        s.save(0, 1, b"good");
+        s.save(0, 2, b"newer");
+        // Tear the newest image: chop off half the blob (trailer gone).
+        let key = "ckpt/0/v00000000000000000002";
+        let blob = s.storage().get(key).unwrap();
+        s.storage().put(key, &blob[..blob.len() / 2]);
+        assert_eq!(s.load_latest(0), Some((1, b"good".to_vec())));
+        assert_eq!(s.latest_version(0), Some(1));
+    }
+
+    #[test]
+    fn bit_flipped_newest_falls_back_to_previous_generation() {
+        let s = store();
+        s.save(3, 7, b"intact image");
+        s.save(3, 8, b"flipped image");
+        let key = "ckpt/3/v00000000000000000008";
+        let mut blob = s.storage().get(key).unwrap();
+        blob[2] ^= 0x10;
+        s.storage().put(key, &blob);
+        assert_eq!(s.load_latest(3), Some((7, b"intact image".to_vec())));
+    }
+
+    #[test]
+    fn all_generations_corrupt_means_no_checkpoint() {
+        let s = store().with_retention(1);
+        s.save(0, 1, b"only");
+        let key = "ckpt/0/v00000000000000000001";
+        s.storage().put(key, b"garbage");
+        assert!(s.load_latest(0).is_none());
     }
 }

@@ -177,4 +177,47 @@ mod tests {
         assert_eq!(sanitize("ckpt/3/v1"), "ckpt#3#v1");
         assert_eq!(sanitize("weird key!"), "weird_key_");
     }
+
+    /// Set up two checkpoint generations on a real disk store and
+    /// return `(store, path of the newest generation's file)`.
+    fn two_generations(tag: &str) -> (crate::CheckpointStore, PathBuf) {
+        let dir = std::env::temp_dir().join(format!(
+            "lclog-stable-torn-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        let disk = DiskStore::open(&dir).unwrap();
+        let newest = disk.blob_path("ckpt/0/v00000000000000000002");
+        let ckpts = crate::CheckpointStore::new(std::sync::Arc::new(disk));
+        ckpts.save(0, 1, b"generation one");
+        ckpts.save(0, 2, b"generation two");
+        assert!(newest.exists(), "newest generation file on disk");
+        (ckpts, newest)
+    }
+
+    #[test]
+    fn torn_checkpoint_file_falls_back_to_previous_generation() {
+        let (ckpts, newest) = two_generations("truncate");
+        // Simulate a crash mid-write that the tmp+rename dance did not
+        // cover (e.g. media truncation after the rename): chop the
+        // file so the CRC trailer is gone.
+        let bytes = fs::read(&newest).unwrap();
+        fs::write(&newest, &bytes[..bytes.len() / 2]).unwrap();
+        assert_eq!(ckpts.load_latest(0), Some((1, b"generation one".to_vec())));
+    }
+
+    #[test]
+    fn bit_flipped_checkpoint_file_falls_back_to_previous_generation() {
+        let (ckpts, newest) = two_generations("bitflip");
+        let mut bytes = fs::read(&newest).unwrap();
+        bytes[3] ^= 0x40;
+        fs::write(&newest, &bytes).unwrap();
+        assert_eq!(ckpts.load_latest(0), Some((1, b"generation one".to_vec())));
+    }
+
+    #[test]
+    fn intact_checkpoint_files_load_newest() {
+        let (ckpts, _) = two_generations("intact");
+        assert_eq!(ckpts.load_latest(0), Some((2, b"generation two".to_vec())));
+    }
 }

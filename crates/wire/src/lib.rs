@@ -32,12 +32,14 @@
 
 #![warn(missing_docs)]
 
+pub mod crc32;
 mod error;
 mod macros;
 mod reader;
 mod traits;
 pub mod varint;
 
+pub use crc32::crc32;
 pub use error::WireError;
 pub use reader::Reader;
 pub use traits::{Decode, Encode};

@@ -44,7 +44,7 @@ pub mod prelude {
         Event, EventKind, RankApp, RankCtx, RecvSpec, RunConfig, RunReport, StepStatus,
         StorageKind,
     };
-    pub use lclog_simnet::{NetConfig, SimNet};
+    pub use lclog_simnet::{ChaosConfig, NetConfig, Partition, SimNet};
     pub use lclog_wire::{decode_from_slice, encode_to_vec, impl_wire_struct};
 }
 

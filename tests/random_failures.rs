@@ -28,7 +28,6 @@ proptest! {
     // to proptest's RNG persistence.
     #![proptest_config(ProptestConfig {
         cases: 12,
-        max_shrink_iters: 8,
         .. ProptestConfig::default()
     })]
 
@@ -54,6 +53,42 @@ proptest! {
         .expect("recovered run");
         prop_assert_eq!(&clean.digests, &faulty.digests,
             "{}/{} victim {} step {} ckpt {}", kind, bench, victim, at_step, ckpt);
+    }
+
+    // Chaos fabric: seeded loss, duplication, and corruption (up to
+    // 10% each) plus one random kill. The transport's ack/retransmit,
+    // CRC, and dedup layers must hide all of it — the digests of every
+    // rank equal the fault-free run's, i.e. end-to-end exactly-once.
+    #[test]
+    fn prop_chaos_schedule_recovery_is_exact(
+        kind in kind_strategy(),
+        bench in bench_strategy(),
+        chaos_seed in any::<u64>(),
+        drop_p in 0.0f64..0.10,
+        dup_p in 0.0f64..0.10,
+        corrupt_p in 0.0f64..0.10,
+        victim in 0usize..4,
+        at_step in 1u64..18,
+    ) {
+        let n = 4;
+        let base = ClusterConfig::new(
+            n,
+            RunConfig::new(kind).with_checkpoint(CheckpointPolicy::EverySteps(4)),
+        );
+        let clean = run_benchmark(bench, Class::Test, &base).expect("clean run");
+        let chaotic = base
+            .with_net(NetConfig::direct().with_chaos(
+                ChaosConfig::seeded(chaos_seed)
+                    .with_drop(drop_p)
+                    .with_duplicate(dup_p)
+                    .with_corrupt(corrupt_p),
+            ))
+            .with_failures(FailurePlan::kill_at(victim, at_step));
+        let faulty = run_benchmark(bench, Class::Test, &chaotic).expect("chaotic run");
+        prop_assert_eq!(&clean.digests, &faulty.digests,
+            "{}/{} seed {:#x} drop {:.3} dup {:.3} corrupt {:.3} victim {} step {}",
+            kind, bench, chaos_seed, drop_p, dup_p, corrupt_p, victim, at_step);
+        prop_assert_eq!(faulty.kills, 1);
     }
 
     #[test]

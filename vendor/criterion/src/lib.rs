@@ -1,0 +1,169 @@
+//! Offline stand-in for the `criterion` crate: a wall-clock timing
+//! harness with text output and no statistical analysis.
+//!
+//! Mirrors criterion's execution model: when the binary is invoked by
+//! `cargo bench` (a `--bench` argument is present) every benchmark runs
+//! `sample_size` iterations and prints its mean time; when invoked by
+//! `cargo test` each benchmark runs exactly once as a smoke test.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup; accepted for compatibility.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Fresh input every iteration.
+    PerIteration,
+}
+
+/// The benchmark manager handed to `criterion_group!` targets.
+pub struct Criterion {
+    bench_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // cargo bench passes `--bench`; cargo test does not.
+        let bench_mode = std::env::args().any(|a| a == "--bench");
+        Criterion { bench_mode }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), sample_size: 10, criterion: self }
+    }
+
+    /// Registers and immediately runs a standalone benchmark.
+    pub fn bench_function(&mut self, id: impl Into<String>, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let id = id.into();
+        run_one(&id, 10, self.bench_mode, f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    criterion: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets how many timed iterations each benchmark runs in bench mode.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function(&mut self, id: impl Into<String>, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into());
+        run_one(&id, self.sample_size, self.criterion.bench_mode, f);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn run_one(id: &str, sample_size: usize, bench_mode: bool, mut f: impl FnMut(&mut Bencher)) {
+    let samples = if bench_mode { sample_size } else { 1 };
+    let mut b = Bencher { samples, total: Duration::ZERO, iters: 0 };
+    f(&mut b);
+    if b.iters == 0 {
+        println!("{id}: no iterations recorded");
+    } else if bench_mode {
+        let mean = b.total / b.iters as u32;
+        println!("{id}: {} iterations, mean {:?}", b.iters, mean);
+    } else {
+        println!("{id}: ok (test mode, 1 iteration, {:?})", b.total);
+    }
+}
+
+/// Timer handle passed to each benchmark closure.
+pub struct Bencher {
+    samples: usize,
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `samples` calls of `f`.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(f());
+            self.total += start.elapsed();
+            self.iters += 1;
+        }
+    }
+
+    /// Times `routine` on inputs produced (untimed) by `setup`.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.total += start.elapsed();
+            self.iters += 1;
+        }
+    }
+}
+
+/// Declares a function that runs the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        group.bench_function("iter", |b| b.iter(|| 1 + 1));
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1, 2, 3], |v| v.len(), BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+}
