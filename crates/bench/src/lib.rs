@@ -3,13 +3,13 @@
 //! The experiment harness that regenerates every figure of the
 //! paper's evaluation (§IV) plus two ablations:
 //!
-//! * [`experiments::fig6`] — average piggyback amount per message
-//!   (identifier count), 3 protocols × {LU, BT, SP} × {4, 8, 16, 32}
-//!   processes;
-//! * [`experiments::fig7`] — dependency-tracking time overhead, same
-//!   matrix;
-//! * [`experiments::fig8`] — normalized accomplishment time with a
-//!   mid-run failure, blocking (Fig. 4a) vs non-blocking (Fig. 4b)
+//! * [`experiments::fig6_table`] — average piggyback amount per
+//!   message (identifier count), 3 protocols × {LU, BT, SP} ×
+//!   {4, 8, 16, 32} processes;
+//! * [`experiments::fig7_table`] — dependency-tracking time overhead,
+//!   same matrix;
+//! * [`experiments::fig8_table`] — normalized accomplishment time with
+//!   a mid-run failure, blocking (Fig. 4a) vs non-blocking (Fig. 4b)
 //!   communication;
 //! * [`experiments::ablation_rate`] — piggyback growth vs message
 //!   count (TDI flat at `n`, TAG full-history growth, TEL

@@ -113,6 +113,11 @@ pub trait LoggingProtocol: Send {
     /// its own complete delivery constraint, the paper's "proactive
     /// perception of delivery order" (§V), which is also why TDI rolls
     /// forward faster (ablation ABL2).
+    ///
+    /// **Contract: the answer must be constant over the instance's
+    /// lifetime** (a fixed property of the protocol, not of its
+    /// state). The runtime caches it at kernel construction so the
+    /// delivery hot path can consult it without locking the protocol.
     fn needs_full_recovery_info(&self) -> bool {
         false
     }

@@ -307,6 +307,7 @@ impl Cluster {
                 net.attach(crate::logger_rank(n)),
                 Arc::clone(&storage),
                 Arc::clone(&shutdown),
+                sink.clone(),
             ));
         }
         // Attach every endpoint *before* spawning any rank thread: a
@@ -487,7 +488,7 @@ fn rank_main<A: RankApp>(
             engine.crash();
             let _ = tx.send(Outcome::Killed {
                 rank,
-                stats: engine.stats(),
+                stats: engine.snapshot().stats,
             });
             return;
         }
@@ -505,7 +506,7 @@ fn rank_main<A: RankApp>(
                 let _ = tx.send(Outcome::Done {
                     rank,
                     digest: app.digest(&state),
-                    stats: engine.stats(),
+                    stats: engine.snapshot().stats,
                 });
                 // Stay responsive: peers may still fail and need our
                 // logged messages resent.
@@ -516,7 +517,7 @@ fn rank_main<A: RankApp>(
                 engine.crash();
                 let _ = tx.send(Outcome::Killed {
                     rank,
-                    stats: engine.stats(),
+                    stats: engine.snapshot().stats,
                 });
                 return;
             }
@@ -531,7 +532,7 @@ fn rank_main<A: RankApp>(
                 engine.crash();
                 let _ = tx.send(Outcome::Killed {
                     rank,
-                    stats: engine.stats(),
+                    stats: engine.snapshot().stats,
                 });
                 return;
             }

@@ -14,14 +14,22 @@
 //! since handing an envelope to the fabric never blocks). Application
 //! sends return immediately and recovery traffic is serviced even
 //! while the application computes.
+//!
+//! The kernel is `Sync` (its layers carry their own locks), so both
+//! threads call it directly — the comm thread's `ingest` and the app
+//! thread's `try_deliver`/`app_send` run concurrently. The only
+//! coordination between them is the [`Notifier`]: an eventcount the
+//! comm thread bumps after every ingestion batch so the app thread can
+//! sleep without a missed-wakeup race (read the generation *before*
+//! checking the condition; wait only past that generation).
 
 use crate::backoff::Backoff;
 use crate::config::CommMode;
 use crate::fault::Fault;
-use crate::kernel::Kernel;
+use crate::kernel::{Kernel, KernelSnapshot};
 use crate::message::{AppMsg, RecvSpec};
 use bytes::Bytes;
-use lclog_core::{Rank, TrackingStats};
+use lclog_core::Rank;
 use lclog_simnet::{Endpoint, RecvError, SimNet};
 use parking_lot::{Condvar, Mutex};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -29,10 +37,50 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+/// Eventcount: "something may have changed" edges from the comm
+/// thread to the app thread. Waiters snapshot [`Notifier::generation`]
+/// *before* testing their condition and then sleep only
+/// [`Notifier::wait_past`] that snapshot — a notification between test
+/// and sleep makes the sleep return immediately, so no edge is lost.
+struct Notifier {
+    gen: Mutex<u64>,
+    cv: Condvar,
+}
+
+impl Notifier {
+    fn new() -> Self {
+        Notifier {
+            gen: Mutex::new(0),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Current generation; pass to [`Notifier::wait_past`].
+    fn generation(&self) -> u64 {
+        *self.gen.lock()
+    }
+
+    /// Signal all waiters that state changed.
+    fn notify(&self) {
+        *self.gen.lock() += 1;
+        self.cv.notify_all();
+    }
+
+    /// Sleep until the generation moves past `seen` (or `timeout`).
+    /// Returns true when it timed out with no progress observed.
+    fn wait_past(&self, seen: u64, timeout: Duration) -> bool {
+        let mut gen = self.gen.lock();
+        if *gen != seen {
+            return false;
+        }
+        self.cv.wait_for(&mut gen, timeout).timed_out()
+    }
+}
+
 /// Shared engine state.
 struct Shared {
-    kernel: Mutex<Kernel>,
-    cv: Condvar,
+    kernel: Kernel,
+    notifier: Notifier,
     /// Set when this incarnation is dead (crashed) — runtime calls
     /// fail with [`Fault::Killed`].
     dead: AtomicBool,
@@ -62,10 +110,10 @@ impl Engine {
         let mode = kernel.cfg().comm;
         let poll = kernel.cfg().poll_interval;
         let retry = kernel.cfg().retry_interval;
-        let net = kernel_net(&kernel);
+        let net = kernel.net_handle();
         let shared = Arc::new(Shared {
-            kernel: Mutex::new(kernel),
-            cv: Condvar::new(),
+            kernel,
+            notifier: Notifier::new(),
             dead: AtomicBool::new(false),
             shutdown,
         });
@@ -95,7 +143,7 @@ impl Engine {
 
     /// System size.
     pub fn n(&self) -> usize {
-        self.shared.kernel.lock().n()
+        self.shared.kernel.n()
     }
 
     /// Poll-interval schedule for wait loops: start fine-grained so an
@@ -121,9 +169,7 @@ impl Engine {
         let ep = self.endpoint.as_ref().expect("pump in blocking mode");
         loop {
             match ep.try_recv() {
-                Ok(env) => {
-                    self.shared.kernel.lock().ingest(env);
-                }
+                Ok(env) => self.shared.kernel.ingest(env),
                 Err(RecvError::Empty) => break,
                 Err(RecvError::Dead) => {
                     self.shared.dead.store(true, Ordering::Relaxed);
@@ -132,28 +178,27 @@ impl Engine {
                 Err(RecvError::Timeout) => unreachable!("try_recv never times out"),
             }
         }
-        self.shared.kernel.lock().tick();
+        self.shared.kernel.tick();
         Ok(())
     }
 
     /// Send an application message (both modes).
     pub fn send(&self, dst: Rank, tag: u32, data: Bytes) -> Result<(), Fault> {
         self.check_live()?;
+        let kernel = &self.shared.kernel;
         match self.mode {
             CommMode::NonBlocking => {
-                let mut kernel = self.shared.kernel.lock();
                 // Pessimistic logging: hold the send until the logger
                 // has acknowledged our delivery determinants (the comm
                 // thread ingests the ack and notifies).
                 let mut backoff = self.poll_backoff();
-                while !kernel.send_ready() {
-                    if self.shared.dead.load(Ordering::Relaxed) {
-                        return Err(Fault::Killed);
+                loop {
+                    let seen = self.shared.notifier.generation();
+                    if kernel.send_ready() {
+                        break;
                     }
-                    if self.shared.shutdown.load(Ordering::Relaxed) {
-                        return Err(Fault::Shutdown);
-                    }
-                    self.shared.cv.wait_for(&mut kernel, backoff.next_wait());
+                    self.check_live()?;
+                    self.shared.notifier.wait_past(seen, backoff.next_wait());
                 }
                 kernel.app_send(dst, tag, data, false);
                 Ok(())
@@ -164,19 +209,17 @@ impl Engine {
                 // logger ack arrives.
                 let mut backoff = self.poll_backoff();
                 loop {
-                    if self.shared.kernel.lock().send_ready() {
+                    if kernel.send_ready() {
                         break;
                     }
                     self.check_live()?;
                     let ep = self.endpoint.as_ref().expect("blocking mode endpoint");
                     match ep.recv_timeout(backoff.next_wait()) {
                         Ok(env) => {
-                            self.shared.kernel.lock().ingest(env);
+                            kernel.ingest(env);
                             backoff.reset();
                         }
-                        Err(RecvError::Timeout) => {
-                            self.shared.kernel.lock().tick();
-                        }
+                        Err(RecvError::Timeout) => kernel.tick(),
                         Err(RecvError::Dead) => {
                             self.shared.dead.store(true, Ordering::Relaxed);
                             return Err(Fault::Killed);
@@ -185,11 +228,7 @@ impl Engine {
                     }
                 }
                 let needs_ack = data.len() > eager_threshold;
-                let (send_index, transmitted) = self
-                    .shared
-                    .kernel
-                    .lock()
-                    .app_send(dst, tag, data, needs_ack);
+                let (send_index, transmitted) = kernel.app_send(dst, tag, data, needs_ack);
                 if !(needs_ack && transmitted) {
                     return Ok(());
                 }
@@ -202,21 +241,19 @@ impl Engine {
                 loop {
                     self.check_live()?;
                     self.pump()?;
-                    {
-                        let kernel = self.shared.kernel.lock();
-                        if kernel.acked(dst) >= send_index {
-                            return Ok(());
-                        }
-                        // The reliability layer has written the peer
-                        // off: fail the send instead of spinning on a
-                        // rendezvous that can never complete.
-                        if kernel.peer_unreachable(dst) {
-                            return Err(Fault::Unreachable(dst));
-                        }
+                    let (acked, unreachable) = kernel.rendezvous_progress(dst);
+                    if acked >= send_index {
+                        return Ok(());
+                    }
+                    // The reliability layer has written the peer off:
+                    // fail the send instead of spinning on a rendezvous
+                    // that can never complete.
+                    if unreachable {
+                        return Err(Fault::Unreachable(dst));
                     }
                     match ep.recv_timeout(backoff.next_wait()) {
                         Ok(env) => {
-                            self.shared.kernel.lock().ingest(env);
+                            kernel.ingest(env);
                             backoff.reset();
                         }
                         Err(RecvError::Timeout) => {}
@@ -230,7 +267,7 @@ impl Engine {
                         // The receiver may have died and respawned; its
                         // incarnation will ack (or discard-and-ack) the
                         // retransmission.
-                        self.shared.kernel.lock().resend_unacked(dst, send_index);
+                        kernel.resend_unacked(dst, send_index);
                         last_resend = Instant::now();
                     }
                 }
@@ -240,25 +277,28 @@ impl Engine {
 
     /// Blocking receive matching `spec` (both modes).
     pub fn recv(&self, spec: RecvSpec) -> Result<AppMsg, Fault> {
+        let kernel = &self.shared.kernel;
+        let started = Instant::now();
+        let mut dumped = false;
+        let mut backoff = self.poll_backoff();
         match self.mode {
-            CommMode::Blocking { .. } => {
-            let started = Instant::now();
-            let mut dumped = false;
-            let mut backoff = self.poll_backoff();
-            loop {
+            CommMode::Blocking { .. } => loop {
                 self.check_live()?;
                 self.pump()?;
-                if let Some(msg) = self.shared.kernel.lock().try_deliver(spec) {
+                if let Some(msg) = kernel.try_deliver(spec) {
                     return Ok(msg);
                 }
-                if !dumped && started.elapsed() > Duration::from_secs(5) && std::env::var_os("LCLOG_TRACE").is_some() {
+                if !dumped
+                    && started.elapsed() > Duration::from_secs(5)
+                    && std::env::var_os("LCLOG_TRACE").is_some()
+                {
                     dumped = true;
-                    eprintln!("[stall] rank {} recv {:?}: {:?}", self.me, spec, self.shared.kernel.lock());
+                    eprintln!("[stall] rank {} recv {:?}: {:?}", self.me, spec, kernel);
                 }
                 let ep = self.endpoint.as_ref().expect("blocking mode endpoint");
                 match ep.recv_timeout(backoff.next_wait()) {
                     Ok(env) => {
-                        self.shared.kernel.lock().ingest(env);
+                        kernel.ingest(env);
                         backoff.reset();
                     }
                     Err(RecvError::Timeout) => {}
@@ -268,50 +308,33 @@ impl Engine {
                     }
                     Err(RecvError::Empty) => unreachable!(),
                 }
-            }
-            }
-            CommMode::NonBlocking => {
-                let started = Instant::now();
-                let mut dumped = false;
-                let mut backoff = self.poll_backoff();
-                let mut kernel = self.shared.kernel.lock();
-                loop {
-                    if self.shared.dead.load(Ordering::Relaxed) {
-                        return Err(Fault::Killed);
-                    }
-                    if self.shared.shutdown.load(Ordering::Relaxed) {
-                        return Err(Fault::Shutdown);
-                    }
-                    if let Some(msg) = kernel.try_deliver(spec) {
-                        return Ok(msg);
-                    }
-                    if !dumped
-                        && started.elapsed() > Duration::from_secs(5)
-                        && std::env::var_os("LCLOG_TRACE").is_some()
-                    {
-                        dumped = true;
-                        eprintln!("[stall] rank {} recv {:?}: {:?}", self.me, spec, &*kernel);
-                    }
-                    // Releases the lock while parked; the comm thread
-                    // notifies after every ingestion (which resets the
-                    // schedule to its fine-grained start).
-                    if self
-                        .shared
-                        .cv
-                        .wait_for(&mut kernel, backoff.next_wait())
-                        .timed_out()
-                    {
-                        continue;
-                    }
+            },
+            CommMode::NonBlocking => loop {
+                self.check_live()?;
+                // Generation first, condition second: an ingestion
+                // that lands between the two makes wait_past return
+                // immediately instead of being missed.
+                let seen = self.shared.notifier.generation();
+                if let Some(msg) = kernel.try_deliver(spec) {
+                    return Ok(msg);
+                }
+                if !dumped
+                    && started.elapsed() > Duration::from_secs(5)
+                    && std::env::var_os("LCLOG_TRACE").is_some()
+                {
+                    dumped = true;
+                    eprintln!("[stall] rank {} recv {:?}: {:?}", self.me, spec, kernel);
+                }
+                if !self.shared.notifier.wait_past(seen, backoff.next_wait()) {
                     backoff.reset();
                 }
-            }
+            },
         }
     }
 
     /// Take a checkpoint if the policy says one is due after `step`.
     pub fn maybe_checkpoint(&self, app_state: impl FnOnce() -> Vec<u8>, step: u64) -> bool {
-        let mut kernel = self.shared.kernel.lock();
+        let kernel = &self.shared.kernel;
         if kernel.checkpoint_due(step) {
             kernel.do_checkpoint(app_state(), step);
             true
@@ -322,7 +345,7 @@ impl Engine {
 
     /// Unconditional checkpoint after `step`.
     pub fn checkpoint_now(&self, app_state: Vec<u8>, step: u64) {
-        self.shared.kernel.lock().do_checkpoint(app_state, step);
+        self.shared.kernel.do_checkpoint(app_state, step);
     }
 
     /// Simulate a crash of this incarnation: sever the fabric endpoint
@@ -331,7 +354,7 @@ impl Engine {
     pub fn crash(&mut self) {
         self.net.kill(self.me);
         self.shared.dead.store(true, Ordering::Relaxed);
-        self.shared.cv.notify_all();
+        self.shared.notifier.notify();
         if let Some(handle) = self.comm.take() {
             let _ = handle.join();
         }
@@ -354,7 +377,7 @@ impl Engine {
                     let ep = self.endpoint.as_ref().expect("blocking mode endpoint");
                     match ep.recv_timeout(backoff.next_wait()) {
                         Ok(env) => {
-                            self.shared.kernel.lock().ingest(env);
+                            self.shared.kernel.ingest(env);
                             backoff.reset();
                         }
                         Err(RecvError::Timeout) => {}
@@ -370,11 +393,11 @@ impl Engine {
         }
     }
 
-    /// Snapshot of the kernel's tracking statistics.
-    pub fn stats(&self) -> TrackingStats {
-        self.shared.kernel.lock().stats().clone()
+    /// Consistent cross-layer snapshot of the kernel (statistics, log
+    /// pressure, recovery phase).
+    pub fn snapshot(&self) -> KernelSnapshot {
+        self.shared.kernel.snapshot()
     }
-
 }
 
 impl Drop for Engine {
@@ -382,7 +405,7 @@ impl Drop for Engine {
         // Stop the comm thread; without marking dead it would keep
         // polling a live endpoint forever.
         self.shared.dead.store(true, Ordering::Relaxed);
-        self.shared.cv.notify_all();
+        self.shared.notifier.notify();
         if let Some(handle) = self.comm.take() {
             let _ = handle.join();
         }
@@ -395,40 +418,33 @@ fn spawn_comm_thread(shared: Arc<Shared>, endpoint: Endpoint, poll: Duration) ->
         .spawn(move || {
             let mut backoff = Backoff::new((poll / 8).max(Duration::from_micros(1)), poll);
             loop {
-            if shared.dead.load(Ordering::Relaxed) || shared.shutdown.load(Ordering::Relaxed) {
-                return;
-            }
-            match endpoint.recv_timeout(backoff.next_wait()) {
-                Ok(env) => {
-                    backoff.reset();
-                    let mut kernel = shared.kernel.lock();
-                    kernel.ingest(env);
-                    // Drain whatever else is queued before waking the
-                    // app thread.
-                    while let Ok(env) = endpoint.try_recv() {
-                        kernel.ingest(env);
-                    }
-                    kernel.tick();
-                    drop(kernel);
-                    shared.cv.notify_all();
-                }
-                Err(RecvError::Timeout) => {
-                    shared.kernel.lock().tick();
-                    shared.cv.notify_all();
-                }
-                Err(RecvError::Dead) => {
-                    shared.dead.store(true, Ordering::Relaxed);
-                    shared.cv.notify_all();
+                if shared.dead.load(Ordering::Relaxed) || shared.shutdown.load(Ordering::Relaxed) {
                     return;
                 }
-                Err(RecvError::Empty) => unreachable!(),
-            }
+                match endpoint.recv_timeout(backoff.next_wait()) {
+                    Ok(env) => {
+                        backoff.reset();
+                        shared.kernel.ingest(env);
+                        // Drain whatever else is queued before waking
+                        // the app thread.
+                        while let Ok(env) = endpoint.try_recv() {
+                            shared.kernel.ingest(env);
+                        }
+                        shared.kernel.tick();
+                        shared.notifier.notify();
+                    }
+                    Err(RecvError::Timeout) => {
+                        shared.kernel.tick();
+                        shared.notifier.notify();
+                    }
+                    Err(RecvError::Dead) => {
+                        shared.dead.store(true, Ordering::Relaxed);
+                        shared.notifier.notify();
+                        return;
+                    }
+                    Err(RecvError::Empty) => unreachable!(),
+                }
             }
         })
         .expect("spawn comm thread")
-}
-
-/// Extract the fabric handle before the kernel moves into the mutex.
-fn kernel_net(kernel: &Kernel) -> SimNet {
-    kernel.net_handle()
 }

@@ -59,6 +59,38 @@ pub enum EventKind {
         /// Microseconds spent collecting it.
         sync_us: u64,
     },
+    /// The recovery state machine took an edge
+    /// (`running → logging → replaying → synced`).
+    RecoveryTransition {
+        /// Phase left.
+        from: &'static str,
+        /// Phase entered.
+        to: &'static str,
+    },
+    /// The reliability layer exhausted its retransmit budget against a
+    /// silent peer and stopped waiting on it.
+    PeerWrittenOff {
+        /// The written-off rank.
+        peer: Rank,
+        /// Retransmit attempts spent before giving up.
+        attempts: u32,
+    },
+    /// The TEL event-logger service stored a determinant batch.
+    LoggerStored {
+        /// Rank whose determinants were stored.
+        from: Rank,
+        /// Determinants in the batch.
+        count: usize,
+        /// Highest stable determinant sequence after the append.
+        upto: u64,
+    },
+    /// The TEL event-logger service answered a recovery `LOG_QUERY`.
+    LoggerQueried {
+        /// The recovering rank that asked.
+        failed: Rank,
+        /// Stable determinants returned.
+        count: usize,
+    },
     /// The application finished on this rank.
     Done {
         /// Final step count.
@@ -83,6 +115,18 @@ impl fmt::Display for EventKind {
             }
             EventKind::RecoverySynced { sync_us } => {
                 write!(f, "recovery info complete after {sync_us} µs")
+            }
+            EventKind::RecoveryTransition { from, to } => {
+                write!(f, "recovery phase {from} -> {to}")
+            }
+            EventKind::PeerWrittenOff { peer, attempts } => {
+                write!(f, "wrote off rank {peer} after {attempts} retransmits")
+            }
+            EventKind::LoggerStored { from, count, upto } => {
+                write!(f, "logger stored {count} determinants from rank {from} (upto {upto})")
+            }
+            EventKind::LoggerQueried { failed, count } => {
+                write!(f, "logger answered rank {failed}'s query with {count} determinants")
             }
             EventKind::Done { step } => write!(f, "done at step {step}"),
         }

@@ -1,28 +1,65 @@
-//! The rollback-recovery kernel: the state machine of the paper's
-//! Algorithm 1, shared by both communication engines and by every
-//! dependency-tracking protocol.
+//! The rollback-recovery kernel: a thin, `Sync` facade over four
+//! separately-locked layers, together implementing the paper's
+//! Algorithm 1.
 //!
-//! One kernel instance exists per rank incarnation. It owns the
-//! protocol object, the sender-based message log, the Algorithm 1
-//! counter vectors, the receiving queue, and the checkpoint plumbing.
-//! Engines feed it raw envelopes ([`Kernel::ingest`]) and pull
-//! deliverable application messages ([`Kernel::try_deliver`]).
+//! One kernel instance exists per rank incarnation. Engines feed it
+//! raw envelopes ([`Kernel::ingest`], comm thread) and pull
+//! deliverable application messages ([`Kernel::try_deliver`], app
+//! thread) **concurrently** — there is no whole-kernel lock. Each
+//! layer owns exactly the state its operations touch:
+//!
+//! | layer                          | lock     | owns                                             | Algorithm 1 |
+//! |--------------------------------|----------|--------------------------------------------------|-------------|
+//! | [`recovery`](crate::recovery)  | `recovery` | state machine, send counters, sender log, ckpts | 8–9, 12, 32–53 |
+//! | [`tracking`](crate::tracking)  | `tracking` | `LoggingProtocol` box, piggyback merge, stats   | 10–11, 15–31 |
+//! | [`delivery`](crate::delivery)  | `delivery` | receiving queue, `last_deliver_index`           | 13–17 |
+//! | [`reliability`](crate::reliability) | `reliability` | transport channels, rendezvous acks      | (below the paper) |
+//!
+//! # Lock ordering
+//!
+//! Locks are always acquired in the fixed order
+//!
+//! ```text
+//! recovery  →  tracking  →  delivery  →  reliability
+//! ```
+//!
+//! (any contiguous-or-gapped subset, never a back edge). Two rules
+//! make the hierarchy work:
+//!
+//! 1. **`reliability` is a leaf.** It is taken for one `send_wire` or
+//!    one frame-strip and nothing else is ever acquired under it;
+//!    most paths drop every other lock before transmitting.
+//! 2. **`ingest` dispatches lock-free.** The comm thread strips the
+//!    transport frame under `reliability` alone, releases it, and only
+//!    then takes the locks the inner message's handler needs — so the
+//!    hot ingest path (`App` frames) touches `delivery` + `reliability`
+//!    and never contends with `app_send` (`recovery` + `tracking`).
+//!
+//! Two lock-free fast paths keep `try_deliver` off the cold locks: the
+//! `recovering` flag is an `AtomicBool` (Release-stored only after
+//! recovery info is installed under `tracking`, so an Acquire-load of
+//! `false` plus the `tracking` lock acquisition observes the installed
+//! state), and `needs_full_recovery_info` is cached at construction
+//! (the [`LoggingProtocol`] contract requires it constant).
 
-use crate::config::{CheckpointPolicy, RunConfig};
+use crate::config::RunConfig;
+use crate::delivery::{Admit, Delivery};
 use crate::events::{EventKind, EventSink};
 use crate::log::{LogEntry, SenderLog};
 use crate::message::{
     AppMsg, AppWire, CkptAdvanceWire, RecvSpec, ResponseWire, RollbackWire, WireMsg,
 };
-use crate::recvq::{Pending, RecvQueue};
+use crate::recovery::{RecoveryLayer, RecoveryPhase, Transition};
+use crate::reliability::Reliability;
+use crate::tracking::Tracking;
 use crate::transport::{Transport, TransportConfig};
 use bytes::Bytes;
-use lclog_core::{
-    make_protocol, CounterVector, DeliveryVerdict, LoggingProtocol, Rank, TrackingStats,
-};
+use lclog_core::{make_protocol, CounterVector, DeliveryVerdict, Rank, TrackingStats};
 use lclog_simnet::{Envelope, SimNet};
 use lclog_stable::CheckpointStore;
 use lclog_wire::{encode_to_vec, impl_wire_struct};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
 
 /// Everything a checkpoint durably captures (Algorithm 1 line 33:
@@ -53,53 +90,51 @@ impl_wire_struct!(CheckpointImage {
     log
 });
 
-/// Incarnation-side recovery bookkeeping: who has answered our
-/// `ROLLBACK`, and when we last (re)broadcast it.
-#[derive(Debug)]
-struct RecoveryProgress {
-    responded: Vec<bool>,
-    logger_synced: bool,
-    last_broadcast: Instant,
-    started: Instant,
+/// One-lock-round-trip view of everything the harnesses report about
+/// a kernel: tracking statistics, log pressure, rendezvous acks,
+/// transport counters, and the recovery phase.
+#[derive(Debug, Clone)]
+pub struct KernelSnapshot {
+    /// Tracking statistics (piggyback cost, send/deliver counts…).
+    pub stats: TrackingStats,
+    /// Retained sender-log payload + piggyback bytes.
+    pub log_bytes: usize,
+    /// Retained sender-log entries.
+    pub log_entries: usize,
+    /// Highest acknowledged rendezvous send per destination.
+    pub acked: CounterVector,
+    /// Where the recovery state machine stands.
+    pub recovery_phase: RecoveryPhase,
+    /// Messages queued but not yet delivered.
+    pub queued: usize,
+    /// Duplicate frames the transport discarded.
+    pub dup_discarded: u64,
+    /// Corrupt frames the transport detected.
+    pub corrupt_detected: u64,
 }
 
-/// Per-rank rollback-recovery state machine.
+/// Per-rank rollback-recovery kernel: four locked layers behind
+/// `&self` methods (see the module docs for the lock hierarchy).
 pub struct Kernel {
     me: Rank,
     n: usize,
     cfg: RunConfig,
     net: SimNet,
-    protocol: Box<dyn LoggingProtocol>,
-    last_send_index: CounterVector,
-    last_deliver_index: CounterVector,
-    last_ckpt_deliver_index: CounterVector,
-    /// Suppression bound from `RESPONSE`s (Algorithm 1 line 53): do
-    /// not re-send message `k <= rollback_last_send_index[j]` to `j`.
-    rollback_last_send_index: CounterVector,
-    /// `last_send_index` as restored from the checkpoint (zero on a
-    /// first incarnation). Sends at or below this bound happened
-    /// before the checkpoint, so re-execution will never regenerate
-    /// them — if one was still sitting in the dead incarnation's
-    /// retransmission window, only the checkpointed sender log can
-    /// resupply it (see `handle_response`).
-    restored_send_index: CounterVector,
-    log: SenderLog,
-    queue: RecvQueue,
-    stats: TrackingStats,
-    /// Highest acknowledged rendezvous send per destination.
-    acked: CounterVector,
-    ckpt_store: CheckpointStore,
-    ckpt_version: u64,
-    last_ckpt_at: Instant,
-    steps_at_ckpt: u64,
-    recovery: Option<RecoveryProgress>,
-    rollback_epoch: u64,
     /// TEL event-logger service rank (slot `n`), when the protocol
-    /// uses one.
+    /// uses one. Constant per protocol kind.
     logger: Option<Rank>,
-    /// Reliability layer: CRC framing, transport sequencing, duplicate
-    /// discard, ack/retransmit. Every wire message crosses it.
-    transport: Transport,
+    /// Cached `LoggingProtocol::needs_full_recovery_info` — constant
+    /// per protocol instance, so `try_deliver` can consult it without
+    /// the tracking lock.
+    holds_delivery_in_recovery: bool,
+    /// Lock-free mirror of "the state machine is in Logging or
+    /// Replaying". Stored with Release only after recovery info is
+    /// installed under the tracking lock.
+    recovering: AtomicBool,
+    recovery: Mutex<RecoveryLayer>,
+    tracking: Mutex<Tracking>,
+    delivery: Mutex<Delivery>,
+    reliability: Mutex<Reliability>,
     /// Structured timeline collector (disabled by default).
     events: EventSink,
 }
@@ -109,6 +144,7 @@ impl Kernel {
     pub fn new(me: Rank, n: usize, cfg: RunConfig, net: SimNet, ckpt_store: CheckpointStore) -> Self {
         let protocol = make_protocol(cfg.protocol, me, n);
         let logger = protocol.wants_event_logger().then(|| crate::logger_rank(n));
+        let holds_delivery_in_recovery = protocol.needs_full_recovery_info();
         let transport = Transport::new(
             me,
             net.n(),
@@ -124,24 +160,13 @@ impl Kernel {
             n,
             cfg,
             net,
-            protocol,
-            last_send_index: CounterVector::zeroed(n),
-            last_deliver_index: CounterVector::zeroed(n),
-            last_ckpt_deliver_index: CounterVector::zeroed(n),
-            rollback_last_send_index: CounterVector::zeroed(n),
-            restored_send_index: CounterVector::zeroed(n),
-            log: SenderLog::new(n),
-            queue: RecvQueue::new(),
-            stats: TrackingStats::default(),
-            acked: CounterVector::zeroed(n),
-            ckpt_store,
-            ckpt_version: 0,
-            last_ckpt_at: Instant::now(),
-            steps_at_ckpt: 0,
-            recovery: None,
-            rollback_epoch: 0,
             logger,
-            transport,
+            holds_delivery_in_recovery,
+            recovering: AtomicBool::new(false),
+            recovery: Mutex::new(RecoveryLayer::new(n, ckpt_store)),
+            tracking: Mutex::new(Tracking::new(protocol)),
+            delivery: Mutex::new(Delivery::new(n)),
+            reliability: Mutex::new(Reliability::new(transport, n)),
             events: EventSink::disabled(),
         }
     }
@@ -151,17 +176,26 @@ impl Kernel {
     /// fresh sequence space from stale duplicates. Must be called
     /// before any traffic when the incarnation is not the first.
     pub fn set_incarnation(&mut self, incarnation: u64) {
-        self.transport.set_epoch(incarnation);
+        self.reliability.lock().transport.set_epoch(incarnation);
     }
 
     /// True when the reliability layer has written `dst` off: it
     /// stayed silent across the whole retransmit budget.
     pub fn peer_unreachable(&self, dst: Rank) -> bool {
-        self.transport.peer_unreachable(dst)
+        self.reliability.lock().transport.peer_unreachable(dst)
     }
 
-    /// Attach a timeline collector (see [`crate::events`]).
+    /// One-lock read of the blocking engine's rendezvous state for
+    /// `dst`: `(highest acked send_index, peer written off)`.
+    pub fn rendezvous_progress(&self, dst: Rank) -> (u64, bool) {
+        let rel = self.reliability.lock();
+        (rel.acked.get(dst), rel.transport.peer_unreachable(dst))
+    }
+
+    /// Attach a timeline collector (see [`crate::events`]). Call
+    /// before the kernel is shared with the engine.
     pub fn set_event_sink(&mut self, sink: EventSink) {
+        self.reliability.lock().transport.set_event_sink(sink.clone());
         self.events = sink;
     }
 
@@ -185,45 +219,73 @@ impl Kernel {
         self.net.clone()
     }
 
-    /// Tracking statistics snapshot.
-    pub fn stats(&self) -> &TrackingStats {
-        &self.stats
+    /// Consistent cross-layer snapshot for reporting — replaces the
+    /// old `stats()` / `log_bytes()` / `log_entries()` / `acked()`
+    /// accessor pile with one locked round-trip.
+    pub fn snapshot(&self) -> KernelSnapshot {
+        // Canonical lock order: recovery → tracking → delivery →
+        // reliability.
+        let rec = self.recovery.lock();
+        let trk = self.tracking.lock();
+        let del = self.delivery.lock();
+        let rel = self.reliability.lock();
+        KernelSnapshot {
+            stats: trk.stats.clone(),
+            log_bytes: rec.log.bytes(),
+            log_entries: rec.log.len(),
+            acked: rel.acked.clone(),
+            recovery_phase: rec.machine.phase().clone(),
+            queued: del.queue.len(),
+            dup_discarded: rel.transport.dup_discarded(),
+            corrupt_detected: rel.transport.corrupt_detected(),
+        }
     }
 
-    /// Current retained log size in bytes (benchmark reporting).
-    pub fn log_bytes(&self) -> usize {
-        self.log.bytes()
+    /// Where the recovery state machine stands.
+    pub fn recovery_phase(&self) -> RecoveryPhase {
+        self.recovery.lock().machine.phase().clone()
     }
 
-    /// Number of retained log entries.
-    pub fn log_entries(&self) -> usize {
-        self.log.len()
-    }
-
-    /// Highest acknowledged rendezvous send for `dst`.
-    pub fn acked(&self, dst: Rank) -> u64 {
-        self.acked.get(dst)
-    }
-
-    /// True while this incarnation is still collecting `RESPONSE`s.
+    /// True while this incarnation is still collecting recovery
+    /// information (lock-free).
     pub fn is_recovering(&self) -> bool {
-        self.recovery.is_some()
+        self.recovering.load(Ordering::Acquire)
     }
 
     /// Protocol send gate (pessimistic logging holds sends while
     /// determinants are unstable).
     pub fn send_ready(&self) -> bool {
-        self.protocol.send_ready()
+        self.tracking.lock().protocol.send_ready()
     }
 
-    fn send_wire(&mut self, dst: Rank, msg: &WireMsg) {
-        // Every wire message crosses the reliability layer: CRC
-        // framing, sequencing, and ack/retransmit mask the chaos
-        // fabric's drops, duplicates, and corruptions. Sends to dead
-        // ranks are retransmitted until the peer's next incarnation
-        // answers (or the budget writes it off); recovery resends
-        // cover anything lost with the old incarnation.
-        self.transport.send(dst, encode_to_vec(msg));
+    fn send_wire(&self, dst: Rank, msg: &WireMsg) {
+        self.reliability.lock().send_wire(dst, msg);
+    }
+
+    fn emit_transition(&self, tr: Option<Transition>) {
+        if let Some((from, to)) = tr {
+            self.events
+                .emit(self.me, EventKind::RecoveryTransition { from, to });
+        }
+    }
+
+    /// Book the `→ Synced` edge: account the sync time, lift the
+    /// lock-free recovery barrier, and emit the timeline events. The
+    /// `&mut Tracking` parameter is deliberate — it proves the caller
+    /// holds the tracking lock, so every `install_recovery_info` is
+    /// complete before the Release store makes `recovering == false`
+    /// visible to the app thread's Acquire load.
+    fn finish_sync(&self, trk: &mut Tracking, done: (u64, Transition)) {
+        let (sync_ns, tr) = done;
+        trk.stats.recovery_sync_ns += sync_ns;
+        self.recovering.store(false, Ordering::Release);
+        self.emit_transition(Some(tr));
+        self.events.emit(
+            self.me,
+            EventKind::RecoverySynced {
+                sync_us: sync_ns / 1_000,
+            },
+        );
     }
 
     // ---------------------------------------------------------------
@@ -236,27 +298,33 @@ impl Kernel {
     ///
     /// Returns `(send_index, transmitted)`; when `transmitted` and
     /// `needs_ack`, the blocking engine waits for [`WireMsg::Ack`].
-    pub fn app_send(&mut self, dst: Rank, tag: u32, data: Bytes, needs_ack: bool) -> (u64, bool) {
-        let send_index = self.last_send_index.bump(dst);
-        let t0 = Instant::now();
-        let artifacts = self.protocol.on_send(dst, send_index);
-        self.stats.track_send_ns += t0.elapsed().as_nanos() as u64;
-        self.stats.sends += 1;
-        self.stats.piggyback_ids += artifacts.id_count;
-        self.stats.piggyback_bytes += artifacts.piggyback.len() as u64;
-        let entry = LogEntry {
+    ///
+    /// Locks: `recovery` + `tracking`, then `reliability` (after
+    /// releasing both). The log insert and the suppression decision
+    /// happen atomically under `recovery`, so a concurrent `ROLLBACK`
+    /// either sees the entry in the log (and resends it) or has
+    /// already clamped the suppression bound this send is checked
+    /// against; wire-level copies that cross are deduplicated by the
+    /// receiver's send_index.
+    pub fn app_send(&self, dst: Rank, tag: u32, data: Bytes, needs_ack: bool) -> (u64, bool) {
+        let mut rec = self.recovery.lock();
+        let send_index = rec.last_send_index.bump(dst);
+        let mut trk = self.tracking.lock();
+        let artifacts = trk.on_send(dst, send_index);
+        rec.log.insert(LogEntry {
             dst: dst as u32,
             send_index,
             tag,
             piggyback: artifacts.piggyback.clone(),
             data: data.clone(),
-        };
-        self.log.insert(entry);
-        let retained = self.log.bytes() as u64;
-        if retained > self.stats.log_bytes_peak {
-            self.stats.log_bytes_peak = retained;
+        });
+        let retained = rec.log.bytes() as u64;
+        if retained > trk.stats.log_bytes_peak {
+            trk.stats.log_bytes_peak = retained;
         }
-        let transmit = send_index > self.rollback_last_send_index.get(dst);
+        let transmit = send_index > rec.rollback_last_send_index.get(dst);
+        drop(trk);
+        drop(rec);
         if transmit {
             self.send_wire(
                 dst,
@@ -274,33 +342,29 @@ impl Kernel {
 
     /// Retransmit a logged message whose rendezvous ack has not
     /// arrived (receiver may have failed and respawned meanwhile).
-    pub fn resend_unacked(&mut self, dst: Rank, send_index: u64) {
-        let wire = self.log.entries_after(dst, send_index - 1).next().and_then(|e| {
-            (e.send_index == send_index).then(|| {
-                WireMsg::App(AppWire {
-                    tag: e.tag,
-                    send_index: e.send_index,
-                    piggyback: e.piggyback.clone(),
-                    needs_ack: true,
-                    data: e.data.clone(),
+    pub fn resend_unacked(&self, dst: Rank, send_index: u64) {
+        let wire = {
+            let rec = self.recovery.lock();
+            let found = rec.log.entries_after(dst, send_index - 1).next().and_then(|e| {
+                (e.send_index == send_index).then(|| {
+                    WireMsg::App(AppWire {
+                        tag: e.tag,
+                        send_index: e.send_index,
+                        piggyback: e.piggyback.clone(),
+                        needs_ack: true,
+                        data: e.data.clone(),
+                    })
                 })
-            })
-        });
+            });
+            found
+        };
         match wire {
             Some(msg) => self.send_wire(dst, &msg),
             None => {
                 // The entry was released by a CHECKPOINT_ADVANCE: the
                 // receiver durably consumed it — an implicit ack.
-                self.note_consumed(dst, send_index);
+                self.reliability.lock().note_consumed(dst, send_index);
             }
-        }
-    }
-
-    /// Record proof that `peer` has consumed our messages up to
-    /// `upto` — implicit acknowledgement for any pending rendezvous.
-    fn note_consumed(&mut self, peer: Rank, upto: u64) {
-        if upto > self.acked.get(peer) {
-            self.acked.set(peer, upto);
         }
     }
 
@@ -308,13 +372,15 @@ impl Kernel {
     // Ingestion and delivery (lines 13–31)
     // ---------------------------------------------------------------
 
-    /// Process one raw envelope from the fabric. The reliability layer
-    /// strips the transport frame first: corrupt envelopes are
-    /// NACK'ed, duplicates discarded, and control frames consumed
-    /// without ever reaching the dispatch below.
-    pub fn ingest(&mut self, env: Envelope) {
+    /// Process one raw envelope from the fabric (comm thread). The
+    /// reliability layer strips the transport frame first — corrupt
+    /// envelopes are NACK'ed, duplicates discarded, and control frames
+    /// consumed without ever reaching the dispatch below — then its
+    /// lock is released and the inner message routed to the layer that
+    /// owns it.
+    pub fn ingest(&self, env: Envelope) {
         let src = env.src;
-        let Some(inner) = self.transport.ingest(env) else {
+        let Some(inner) = self.reliability.lock().ingest(env) else {
             return;
         };
         let msg: WireMsg = match lclog_wire::decode_from_slice(&inner) {
@@ -328,109 +394,97 @@ impl Kernel {
         };
         match msg {
             WireMsg::App(wire) => self.ingest_app(src, wire),
-            WireMsg::Ack(idx) => {
-                if idx > self.acked.get(src) {
-                    self.acked.set(src, idx);
-                }
-            }
+            WireMsg::Ack(idx) => self.reliability.lock().note_consumed(src, idx),
             WireMsg::Rollback(w) => self.handle_rollback(src, w),
             WireMsg::Response(w) => self.handle_response(src, w),
             WireMsg::CkptAdvance(w) => {
-                self.log.release(src, w.delivered_from_you);
+                self.recovery.lock().log.release(src, w.delivered_from_you);
+                self.tracking
+                    .lock()
+                    .protocol
+                    .on_peer_checkpoint(src, w.total_delivered);
                 // Checkpointed delivery counts double as acks.
-                self.note_consumed(src, w.delivered_from_you);
-                self.protocol.on_peer_checkpoint(src, w.total_delivered);
+                self.reliability
+                    .lock()
+                    .note_consumed(src, w.delivered_from_you);
             }
-            WireMsg::LogAck(upto) => self.protocol.on_logger_ack(upto),
-            WireMsg::LogQueryResp(dets) => {
-                self.protocol.install_recovery_info(dets);
-                if let Some(rec) = &mut self.recovery {
-                    rec.logger_synced = true;
-                }
-                self.finish_recovery_if_complete();
-            }
+            WireMsg::LogAck(upto) => self.tracking.lock().protocol.on_logger_ack(upto),
+            WireMsg::LogQueryResp(dets) => self.handle_logger_sync(dets),
             WireMsg::LogDets(_) | WireMsg::LogQuery(_) => {
                 debug_assert!(false, "logger-bound message reached rank {}", self.me);
             }
         }
     }
 
-    fn ingest_app(&mut self, src: Rank, wire: AppWire) {
-        // Repetitive-message identification (§III.C.3): the original
-        // was already consumed, so discard — and acknowledge, because
-        // the sender may be blocked on this retransmission.
-        if wire.send_index <= self.last_deliver_index.get(src) {
-            if wire.needs_ack {
-                self.send_wire(src, &WireMsg::Ack(wire.send_index));
-            }
-            return;
+    /// Locks: `delivery`, then (for a repetitive re-ack) `reliability`.
+    fn ingest_app(&self, src: Rank, wire: AppWire) {
+        let verdict = self.delivery.lock().admit(src, wire);
+        if let Admit::Repetitive {
+            needs_ack: true,
+            send_index,
+        } = verdict
+        {
+            self.send_wire(src, &WireMsg::Ack(send_index));
         }
-        // A copy is already queued (recovery resend/retransmission
-        // crossing): drop silently; the queued copy's delivery will
-        // acknowledge.
-        if self.queue.contains(src, wire.send_index) {
-            return;
-        }
-        // Rendezvous sends are acknowledged at *delivery*, not
-        // ingestion: §IV.B's observation that the communication
-        // subsystem cannot buffer a whole large message, so the sender
-        // stays blocked until the receiver transits from computing (or
-        // recovering) to receiving.
-        self.queue.push(Pending { src, wire });
     }
 
     /// Deliver the first queued message matching `spec` whose
     /// per-sender FIFO predecessor has been delivered and whose
-    /// protocol dependency gate opens (lines 15–31).
-    pub fn try_deliver(&mut self, spec: RecvSpec) -> Option<AppMsg> {
+    /// protocol dependency gate opens (lines 15–31). App thread.
+    ///
+    /// Locks: `tracking` + `delivery`, then `reliability` (after
+    /// releasing both) — never `recovery`, whose role here is played
+    /// by the lock-free `recovering` flag.
+    pub fn try_deliver(&self, spec: RecvSpec) -> Option<AppMsg> {
         // PWD protocols must not deliver against an incomplete replay
         // script; hold everything until every survivor (and the event
         // logger) has answered our ROLLBACK. TDI has no such wait —
         // each message carries its own complete delivery constraint.
-        if self.recovery.is_some() && self.protocol.needs_full_recovery_info() {
+        if self.holds_delivery_in_recovery && self.recovering.load(Ordering::Acquire) {
             return None;
         }
-        let protocol = &self.protocol;
-        let ldi = &self.last_deliver_index;
-        let taken = self.queue.take_first_matching(spec, |src, idx, piggyback| {
-            idx == ldi.get(src) + 1
-                && matches!(
-                    protocol.deliverable(src, idx, piggyback),
-                    DeliveryVerdict::Deliver
-                )
-        })?;
+        let mut trk = self.tracking.lock();
+        let mut del = self.delivery.lock();
+        let taken = {
+            let Delivery {
+                queue,
+                last_deliver_index,
+            } = &mut *del;
+            let protocol = &trk.protocol;
+            queue.take_first_matching(spec, |src, idx, piggyback| {
+                idx == last_deliver_index.get(src) + 1
+                    && matches!(
+                        protocol.deliverable(src, idx, piggyback),
+                        DeliveryVerdict::Deliver
+                    )
+            })?
+        };
         let src = taken.src;
         let wire = taken.wire;
+        trk.on_deliver(src, wire.send_index, &wire.piggyback);
+        del.note_delivered(src);
+        let dets = if self.logger.is_some() {
+            trk.protocol.drain_determinants_for_logger()
+        } else {
+            Vec::new()
+        };
+        drop(del);
+        drop(trk);
+        // Rendezvous ack at delivery time (§IV.B), then freshly created
+        // determinants to the TEL event logger.
         if wire.needs_ack {
             self.send_wire(src, &WireMsg::Ack(wire.send_index));
         }
-        let t0 = Instant::now();
-        self.protocol
-            .on_deliver(src, wire.send_index, &wire.piggyback)
-            .expect("delivery gate approved this message");
-        self.stats.track_deliver_ns += t0.elapsed().as_nanos() as u64;
-        self.stats.delivers += 1;
-        let upto = self.last_deliver_index.bump(src);
-        // Stale duplicates of already-delivered messages (recovery
-        // resend crossings) would otherwise linger in the queue
-        // forever.
-        self.queue.drop_repetitive(src, upto);
-        self.ship_determinants();
+        if let Some(logger) = self.logger {
+            if !dets.is_empty() {
+                self.send_wire(logger, &WireMsg::LogDets(dets));
+            }
+        }
         Some(AppMsg {
             src,
             tag: wire.tag,
             data: wire.data,
         })
-    }
-
-    /// Forward freshly created determinants to the TEL event logger.
-    fn ship_determinants(&mut self) {
-        if let Some(logger) = self.logger {
-            let dets = self.protocol.drain_determinants_for_logger();
-            if !dets.is_empty() {
-                self.send_wire(logger, &WireMsg::LogDets(dets));
-            }
-        }
     }
 
     // ---------------------------------------------------------------
@@ -439,24 +493,28 @@ impl Kernel {
 
     /// Should a checkpoint be taken now (between steps)?
     pub fn checkpoint_due(&self, step: u64) -> bool {
-        match self.cfg.checkpoint {
-            CheckpointPolicy::EverySteps(k) => k > 0 && step >= self.steps_at_ckpt + k,
-            CheckpointPolicy::EveryElapsed(d) => self.last_ckpt_at.elapsed() >= d,
-            CheckpointPolicy::Never => false,
-        }
+        self.recovery.lock().checkpoint_due(self.cfg.checkpoint, step)
     }
 
     /// Take a checkpoint of `app_state` after `step`.
-    pub fn do_checkpoint(&mut self, app_state: Vec<u8>, step: u64) {
+    ///
+    /// Locks: `recovery` + `tracking` + `delivery` held together while
+    /// the image is assembled — the one operation that genuinely needs
+    /// a cross-layer-consistent cut — then `reliability` for the
+    /// `CHECKPOINT_ADVANCE` broadcast after the others are released.
+    pub fn do_checkpoint(&self, app_state: Vec<u8>, step: u64) {
+        let mut rec = self.recovery.lock();
+        let mut trk = self.tracking.lock();
+        let del = self.delivery.lock();
         let image = CheckpointImage {
             step,
             app_state,
-            protocol: self.protocol.checkpoint_bytes(),
-            last_send: self.last_send_index.clone(),
-            last_deliver: self.last_deliver_index.clone(),
-            log: self.log.to_entries(),
+            protocol: trk.protocol.checkpoint_bytes(),
+            last_send: rec.last_send_index.clone(),
+            last_deliver: del.last_deliver_index.clone(),
+            log: rec.log.to_entries(),
         };
-        self.ckpt_version += 1;
+        rec.ckpt_version += 1;
         let encoded = encode_to_vec(&image);
         self.events.emit(
             self.me,
@@ -465,29 +523,36 @@ impl Kernel {
                 bytes: encoded.len(),
             },
         );
-        self.ckpt_store.save(self.me, self.ckpt_version, &encoded);
-        self.protocol.on_local_checkpoint();
-        let total = self.protocol.delivered_total();
+        rec.ckpt_store.save(self.me, rec.ckpt_version, &encoded);
+        trk.protocol.on_local_checkpoint();
+        let total = trk.protocol.delivered_total();
+        let mut advances = Vec::with_capacity(self.n.saturating_sub(1));
         for k in 0..self.n {
             if k == self.me {
                 continue;
             }
-            // The paper notifies only senders whose messages the
-            // checkpoint newly covers; we notify everyone so TAG/TEL
-            // peers can also prune determinant state (`total_delivered`
-            // is the GC horizon). Log release is idempotent.
-            self.send_wire(
+            let delivered = del.last_deliver_index.get(k);
+            advances.push((
                 k,
-                &WireMsg::CkptAdvance(CkptAdvanceWire {
-                    delivered_from_you: self.last_deliver_index.get(k),
+                CkptAdvanceWire {
+                    delivered_from_you: delivered,
                     total_delivered: total,
-                }),
-            );
-            self.last_ckpt_deliver_index
-                .set(k, self.last_deliver_index.get(k));
+                },
+            ));
+            rec.last_ckpt_deliver_index.set(k, delivered);
         }
-        self.last_ckpt_at = Instant::now();
-        self.steps_at_ckpt = step;
+        rec.last_ckpt_at = Instant::now();
+        rec.steps_at_ckpt = step;
+        drop(del);
+        drop(trk);
+        drop(rec);
+        // The paper notifies only senders whose messages the
+        // checkpoint newly covers; we notify everyone so TAG/TEL peers
+        // can also prune determinant state (`total_delivered` is the
+        // GC horizon). Log release is idempotent.
+        for (k, w) in advances {
+            self.send_wire(k, &WireMsg::CkptAdvance(w));
+        }
     }
 
     // ---------------------------------------------------------------
@@ -498,78 +563,96 @@ impl Kernel {
     /// lines 41–45). Returns `(step, app_state)` for the application
     /// loop. (Algorithm 1's lines 43–44 restore every vector from
     /// `checkpoint.depend_interval` — an obvious typo we correct.)
-    pub fn restore(&mut self, image: CheckpointImage) -> (u64, Vec<u8>) {
-        self.protocol
+    pub fn restore(&self, image: CheckpointImage) -> (u64, Vec<u8>) {
+        let mut rec = self.recovery.lock();
+        let mut trk = self.tracking.lock();
+        let mut del = self.delivery.lock();
+        trk.protocol
             .restore_from_checkpoint(&image.protocol)
             .expect("checkpoint protocol state decodes");
-        self.last_send_index = image.last_send.clone();
-        self.restored_send_index = image.last_send;
-        self.last_deliver_index = image.last_deliver.clone();
-        self.last_ckpt_deliver_index = image.last_deliver;
-        self.log = SenderLog::from_entries(self.n, image.log);
-        self.stats.log_bytes_peak = self.stats.log_bytes_peak.max(self.log.bytes() as u64);
-        self.ckpt_version = self
+        rec.last_send_index = image.last_send.clone();
+        rec.restored_send_index = image.last_send;
+        del.last_deliver_index = image.last_deliver.clone();
+        rec.last_ckpt_deliver_index = image.last_deliver;
+        rec.log = SenderLog::from_entries(self.n, image.log);
+        trk.stats.log_bytes_peak = trk.stats.log_bytes_peak.max(rec.log.bytes() as u64);
+        rec.ckpt_version = rec
             .ckpt_store
             .latest_version(self.me)
-            .unwrap_or(self.ckpt_version);
-        self.steps_at_ckpt = image.step;
-        self.last_ckpt_at = Instant::now();
+            .unwrap_or(rec.ckpt_version);
+        rec.steps_at_ckpt = image.step;
+        rec.last_ckpt_at = Instant::now();
         (image.step, image.app_state)
     }
 
     /// Load this rank's latest checkpoint image, if any.
     pub fn load_checkpoint(&self) -> Option<CheckpointImage> {
-        let (_, bytes) = self.ckpt_store.load_latest(self.me)?;
+        let (_, bytes) = self.recovery.lock().ckpt_store.load_latest(self.me)?;
         Some(lclog_wire::decode_from_slice(&bytes).expect("checkpoint image decodes"))
     }
 
-    /// Begin incarnation recovery: broadcast `ROLLBACK` (line 46) and,
-    /// under TEL, query the event logger for stable determinants.
-    pub fn begin_recovery(&mut self) {
-        let mut responded = vec![false; self.n];
-        responded[self.me] = true;
-        self.recovery = Some(RecoveryProgress {
-            responded,
-            logger_synced: self.logger.is_none(),
-            last_broadcast: Instant::now(),
-            started: Instant::now(),
-        });
-        self.broadcast_rollback();
+    /// Begin incarnation recovery: drive the state machine
+    /// `Running → Logging`, broadcast `ROLLBACK` (line 46) and, under
+    /// TEL, query the event logger for stable determinants.
+    ///
+    /// # Panics
+    ///
+    /// If called twice on one incarnation (the state machine rejects
+    /// `begin` outside `Running`).
+    pub fn begin_recovery(&self) {
+        let mut rec = self.recovery.lock();
+        let tr = rec.machine.begin(self.me, self.logger.is_some());
+        self.recovering.store(true, Ordering::Release);
+        self.emit_transition(Some(tr));
+        self.broadcast_rollback(&mut rec);
+        // Degenerate single-rank system: nothing to collect.
+        if let Some(done) = rec.machine.try_complete() {
+            let mut trk = self.tracking.lock();
+            self.finish_sync(&mut trk, done);
+        }
     }
 
-    fn broadcast_rollback(&mut self) {
-        self.rollback_epoch += 1;
+    /// Locks: caller holds `recovery`; takes `delivery` (counter
+    /// snapshot) then `reliability` (the broadcast itself).
+    fn broadcast_rollback(&self, rec: &mut RecoveryLayer) {
+        rec.rollback_epoch += 1;
         let wire = RollbackWire {
-            last_deliver_index: self.last_deliver_index.as_slice().to_vec(),
-            epoch: self.rollback_epoch,
+            last_deliver_index: self
+                .delivery
+                .lock()
+                .last_deliver_index
+                .as_slice()
+                .to_vec(),
+            epoch: rec.rollback_epoch,
         };
-        let targets: Vec<Rank> = match &self.recovery {
-            Some(rec) => (0..self.n).filter(|&k| !rec.responded[k]).collect(),
-            None => return,
-        };
+        let targets = rec.machine.pending_targets();
         self.events.emit(
             self.me,
             EventKind::RollbackBroadcast {
-                epoch: self.rollback_epoch,
+                epoch: rec.rollback_epoch,
             },
         );
-        for k in targets {
-            self.send_wire(k, &WireMsg::Rollback(wire.clone()));
-        }
-        if let Some(logger) = self.logger {
-            if !self.recovery.as_ref().is_none_or(|r| r.logger_synced) {
-                self.send_wire(logger, &WireMsg::LogQuery(self.me as u32));
+        {
+            let mut rel = self.reliability.lock();
+            for k in targets {
+                rel.send_wire(k, &WireMsg::Rollback(wire.clone()));
+            }
+            if let Some(logger) = self.logger {
+                if rec.machine.needs_logger_sync() {
+                    rel.send_wire(logger, &WireMsg::LogQuery(self.me as u32));
+                }
             }
         }
-        if let Some(rec) = &mut self.recovery {
-            rec.last_broadcast = Instant::now();
-        }
+        rec.machine.note_broadcast();
     }
 
     /// Survivor side of `ROLLBACK` (lines 47–51): answer with our
     /// delivery count and determinant knowledge, then resend logged
     /// messages the failed process lost.
-    fn handle_rollback(&mut self, src: Rank, w: RollbackWire) {
+    ///
+    /// Locks: `recovery` → `tracking` → `delivery`, all released
+    /// before `reliability` sends the answer.
+    fn handle_rollback(&self, src: Rank, w: RollbackWire) {
         // The rollback vector is the *authoritative* post-restore
         // delivery state of src's new incarnation. Anything we
         // believed beyond it — an ack, or a RESPONSE-based duplicate
@@ -578,20 +661,13 @@ impl Kernel {
         // Fig. 2) — describes deliveries that have been rolled back
         // and must be forgotten, or we would suppress regenerated
         // messages the incarnation still needs.
-        if let Some(&upto) = w.last_deliver_index.get(self.me) {
-            self.acked.set(src, upto);
-            self.rollback_last_send_index.set(src, upto);
+        let upto = w.last_deliver_index.get(self.me).copied();
+        let mut rec = self.recovery.lock();
+        if let Some(upto) = upto {
+            rec.rollback_last_send_index.set(src, upto);
         }
-        self.send_wire(
-            src,
-            &WireMsg::Response(ResponseWire {
-                delivered_from_you: self.last_deliver_index.get(src),
-                dets: self.protocol.determinants_for(src),
-                epoch: w.epoch,
-            }),
-        );
-        let lost_after = w.last_deliver_index.get(self.me).copied().unwrap_or(0);
-        let resends: Vec<WireMsg> = self
+        let lost_after = upto.unwrap_or(0);
+        let mut resends: Vec<WireMsg> = rec
             .log
             .entries_after(src, lost_after)
             .map(|e| {
@@ -604,6 +680,9 @@ impl Kernel {
                 })
             })
             .collect();
+        let dets = self.tracking.lock().protocol.determinants_for(src);
+        let delivered_from_you = self.delivery.lock().last_deliver_index.get(src);
+        drop(rec);
         if !resends.is_empty() {
             self.events.emit(
                 self.me,
@@ -613,8 +692,20 @@ impl Kernel {
                 },
             );
         }
-        for msg in resends {
-            self.send_wire(src, &msg);
+        let mut rel = self.reliability.lock();
+        if let Some(upto) = upto {
+            rel.acked.set(src, upto);
+        }
+        rel.send_wire(
+            src,
+            &WireMsg::Response(ResponseWire {
+                delivered_from_you,
+                dets,
+                epoch: w.epoch,
+            }),
+        );
+        for msg in resends.drain(..) {
+            rel.send_wire(src, &msg);
         }
         // Anything we had queued from the pre-failure incarnation will
         // be resent/regenerated with identical identities; keeping the
@@ -623,12 +714,15 @@ impl Kernel {
     }
 
     /// Incarnation side of `RESPONSE` (lines 52–53).
-    fn handle_response(&mut self, src: Rank, w: ResponseWire) {
-        if w.delivered_from_you > self.rollback_last_send_index.get(src) {
-            self.rollback_last_send_index
-                .set(src, w.delivered_from_you);
+    ///
+    /// Locks: `recovery` → `tracking` (recovery info installed and the
+    /// barrier possibly lifted with both held), then `reliability` for
+    /// the resupply resends.
+    fn handle_response(&self, src: Rank, w: ResponseWire) {
+        let mut rec = self.recovery.lock();
+        if w.delivered_from_you > rec.rollback_last_send_index.get(src) {
+            rec.rollback_last_send_index.set(src, w.delivered_from_you);
         }
-        self.note_consumed(src, w.delivered_from_you);
         // The dead incarnation's transport may have been holding sent-
         // but-undelivered messages for retransmission when it crashed;
         // on a lossy fabric those copies are gone for good. Any such
@@ -637,10 +731,10 @@ impl Kernel {
         // it either — the checkpointed sender log is its only
         // surviving copy. Resend that window; the receiver's dedup
         // absorbs whatever did arrive.
-        let resends: Vec<WireMsg> = self
+        let resends: Vec<WireMsg> = rec
             .log
             .entries_after(src, w.delivered_from_you)
-            .filter(|e| e.send_index <= self.restored_send_index.get(src))
+            .filter(|e| e.send_index <= rec.restored_send_index.get(src))
             .map(|e| {
                 WireMsg::App(AppWire {
                     tag: e.tag,
@@ -651,6 +745,23 @@ impl Kernel {
                 })
             })
             .collect();
+        let (newly, tr) = rec.machine.note_response(src);
+        self.emit_transition(tr);
+        if newly {
+            self.events
+                .emit(self.me, EventKind::ResponseReceived { from: src });
+        }
+        let done = rec.machine.try_complete();
+        {
+            let mut trk = self.tracking.lock();
+            if !w.dets.is_empty() {
+                trk.protocol.install_recovery_info(w.dets);
+            }
+            if let Some(done) = done {
+                self.finish_sync(&mut trk, done);
+            }
+        }
+        drop(rec);
         if !resends.is_empty() {
             self.events.emit(
                 self.me,
@@ -660,38 +771,24 @@ impl Kernel {
                 },
             );
         }
+        let mut rel = self.reliability.lock();
+        rel.note_consumed(src, w.delivered_from_you);
         for msg in resends {
-            self.send_wire(src, &msg);
+            rel.send_wire(src, &msg);
         }
-        if !w.dets.is_empty() {
-            self.protocol.install_recovery_info(w.dets);
-        }
-        if let Some(rec) = &mut self.recovery {
-            if !rec.responded[src] {
-                rec.responded[src] = true;
-                self.events
-                    .emit(self.me, EventKind::ResponseReceived { from: src });
-            }
-        }
-        self.finish_recovery_if_complete();
     }
 
-    /// Clear recovery mode once every survivor has responded *and*
-    /// the event logger (when used) has answered — whichever arrives
-    /// last.
-    fn finish_recovery_if_complete(&mut self) {
-        if let Some(rec) = &self.recovery {
-            if rec.logger_synced && rec.responded.iter().all(|&r| r) {
-                let sync_ns = rec.started.elapsed().as_nanos() as u64;
-                self.stats.recovery_sync_ns += sync_ns;
-                self.events.emit(
-                    self.me,
-                    EventKind::RecoverySynced {
-                        sync_us: sync_ns / 1_000,
-                    },
-                );
-                self.recovery = None;
-            }
+    /// The event logger answered our `LOG_QUERY` with the failed
+    /// incarnation's stable determinants.
+    fn handle_logger_sync(&self, dets: Vec<lclog_core::Determinant>) {
+        let mut rec = self.recovery.lock();
+        let (_, tr) = rec.machine.note_logger_synced();
+        self.emit_transition(tr);
+        let done = rec.machine.try_complete();
+        let mut trk = self.tracking.lock();
+        trk.protocol.install_recovery_info(dets);
+        if let Some(done) = done {
+            self.finish_sync(&mut trk, done);
         }
     }
 
@@ -699,36 +796,46 @@ impl Kernel {
     /// retransmission timers, and rebroadcast `ROLLBACK` to peers that
     /// have not responded (they may have been dead when the first
     /// broadcast went out — the multi-failure case of Fig. 2).
-    pub fn tick(&mut self) {
-        self.transport.tick();
-        let due = match &self.recovery {
-            Some(rec) => rec.last_broadcast.elapsed() >= self.cfg.retry_interval,
-            None => false,
-        };
-        if due {
-            self.broadcast_rollback();
+    pub fn tick(&self) {
+        self.reliability.lock().transport.tick();
+        if self.recovering.load(Ordering::Acquire) {
+            let mut rec = self.recovery.lock();
+            if rec.machine.rebroadcast_due(self.cfg.retry_interval) {
+                self.broadcast_rollback(&mut rec);
+            }
         }
+    }
+
+    /// The backing store checkpoints were written to (tests re-create
+    /// kernels around the same storage).
+    #[cfg(test)]
+    pub(crate) fn ckpt_storage(&self) -> std::sync::Arc<dyn lclog_stable::StableStorage> {
+        std::sync::Arc::clone(self.recovery.lock().ckpt_store.storage())
     }
 }
 
 impl std::fmt::Debug for Kernel {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Canonical lock order, same as every other multi-layer path.
+        let rec = self.recovery.lock();
+        let trk = self.tracking.lock();
+        let del = self.delivery.lock();
+        let rel = self.reliability.lock();
         f.debug_struct("Kernel")
             .field("me", &self.me)
             .field("n", &self.n)
             .field("protocol", &self.cfg.protocol)
-            .field("queued_len", &self.queue.len())
-            .field("queued", &self.queue.summary())
-            .field("queue_empty", &self.queue.is_empty())
-            .field("log_bytes", &self.log_bytes())
-            .field("log_entries", &self.log_entries())
-            .field("last_send", &self.last_send_index.as_slice())
-            .field("last_deliver", &self.last_deliver_index.as_slice())
-            .field("delivered_total", &self.protocol.delivered_total())
-            .field("recovering", &self.is_recovering())
-            .field("dup_discarded", &self.transport.dup_discarded())
-            .field("corrupt_detected", &self.transport.corrupt_detected())
-            .field("channels", &self.transport.channel_summary())
+            .field("queued_len", &del.queue.len())
+            .field("queued", &del.queue.summary())
+            .field("log_bytes", &rec.log.bytes())
+            .field("log_entries", &rec.log.len())
+            .field("last_send", &rec.last_send_index.as_slice())
+            .field("last_deliver", &del.last_deliver_index.as_slice())
+            .field("delivered_total", &trk.protocol.delivered_total())
+            .field("recovery_phase", rec.machine.phase())
+            .field("dup_discarded", &rel.transport.dup_discarded())
+            .field("corrupt_detected", &rel.transport.corrupt_detected())
+            .field("channels", &rel.transport.channel_summary())
             .finish()
     }
 }
@@ -761,8 +868,9 @@ mod tests {
         (kernels, net, endpoints)
     }
 
-    /// Drain one endpoint fully into its kernel.
-    fn pump(kernel: &mut Kernel, ep: &lclog_simnet::Endpoint) {
+    /// Drain one endpoint fully into its kernel — `&Kernel`: every
+    /// runtime-path method is lock-internal now.
+    fn pump(kernel: &Kernel, ep: &lclog_simnet::Endpoint) {
         while let Ok(env) = ep.try_recv() {
             kernel.ingest(env);
         }
@@ -771,32 +879,31 @@ mod tests {
     #[test]
     fn send_deliver_roundtrip_updates_counters() {
         let (mut ks, _net, eps) = harness(2, ProtocolKind::Tdi);
-        let (mut k0, mut k1) = {
+        let (k0, k1) = {
             let mut it = ks.drain(..);
             (it.next().unwrap(), it.next().unwrap())
         };
         let (idx, sent) = k0.app_send(1, 7, Bytes::from_static(b"hello"), false);
         assert_eq!(idx, 1);
         assert!(sent);
-        assert_eq!(k0.stats().sends, 1);
-        assert_eq!(k0.stats().piggyback_ids, 2); // TDI: n identifiers
-        pump(&mut k1, &eps[1]);
+        let snap = k0.snapshot();
+        assert_eq!(snap.stats.sends, 1);
+        assert_eq!(snap.stats.piggyback_ids, 2); // TDI: n identifiers
+        pump(&k1, &eps[1]);
         let msg = k1.try_deliver(RecvSpec::any()).expect("deliverable");
         assert_eq!(msg.src, 0);
         assert_eq!(msg.tag, 7);
         assert_eq!(&msg.data[..], b"hello");
-        assert_eq!(k1.stats().delivers, 1);
+        assert_eq!(k1.snapshot().stats.delivers, 1);
         assert!(k1.try_deliver(RecvSpec::any()).is_none());
     }
 
     #[test]
     fn fifo_gap_blocks_delivery_until_predecessor_arrives() {
         let (mut ks, net, eps) = harness(2, ProtocolKind::Tdi);
-        let mut k1 = ks.pop().unwrap();
-        let mut k0 = ks.pop().unwrap();
-        // Send two messages but drop the first on the floor by killing
-        // and respawning rank 1's endpoint... simpler: send both, but
-        // ingest only the second by swallowing the first envelope.
+        let k1 = ks.pop().unwrap();
+        let k0 = ks.pop().unwrap();
+        // Send two messages, but ingest only the second first.
         k0.app_send(1, 0, Bytes::from_static(b"first"), false);
         k0.app_send(1, 0, Bytes::from_static(b"second"), false);
         let first = eps[1].try_recv().unwrap();
@@ -812,106 +919,106 @@ mod tests {
     #[test]
     fn repetitive_message_discarded_and_acked() {
         let (mut ks, _net, eps) = harness(2, ProtocolKind::Tdi);
-        let mut k1 = ks.pop().unwrap();
-        let mut k0 = ks.pop().unwrap();
+        let k1 = ks.pop().unwrap();
+        let k0 = ks.pop().unwrap();
         k0.app_send(1, 0, Bytes::from_static(b"m"), true);
-        pump(&mut k1, &eps[1]);
+        pump(&k1, &eps[1]);
         k1.try_deliver(RecvSpec::any()).unwrap();
         // Ack for the first transmission.
-        pump(&mut k0, &eps[0]);
-        assert_eq!(k0.acked(1), 1);
+        pump(&k0, &eps[0]);
+        assert_eq!(k0.rendezvous_progress(1), (1, false));
         // Re-transmit the same message (as a recovering sender would).
         k0.resend_unacked(1, 1);
-        pump(&mut k1, &eps[1]);
+        pump(&k1, &eps[1]);
         // Discarded as repetitive — not deliverable again…
         assert!(k1.try_deliver(RecvSpec::any()).is_none());
         // …but still acknowledged (Fig. 3's duplicate handling).
-        pump(&mut k0, &eps[0]);
-        assert_eq!(k0.acked(1), 1);
+        pump(&k0, &eps[0]);
+        assert_eq!(k0.rendezvous_progress(1).0, 1);
     }
 
     #[test]
     fn checkpoint_advance_releases_peer_log() {
         let (mut ks, _net, eps) = harness(2, ProtocolKind::Tdi);
-        let mut k1 = ks.pop().unwrap();
-        let mut k0 = ks.pop().unwrap();
+        let k1 = ks.pop().unwrap();
+        let k0 = ks.pop().unwrap();
         k0.app_send(1, 0, Bytes::from_static(b"a"), false);
         k0.app_send(1, 0, Bytes::from_static(b"b"), false);
-        assert!(k0.log_bytes() > 0);
-        pump(&mut k1, &eps[1]);
+        assert!(k0.snapshot().log_bytes > 0);
+        pump(&k1, &eps[1]);
         k1.try_deliver(RecvSpec::any()).unwrap();
         k1.try_deliver(RecvSpec::any()).unwrap();
         // Rank 1 checkpoints: its CkptAdvance lets rank 0 GC both
         // entries.
         k1.do_checkpoint(vec![], 1);
-        pump(&mut k0, &eps[0]);
-        assert_eq!(k0.log_bytes(), 0);
+        pump(&k0, &eps[0]);
+        let snap = k0.snapshot();
+        assert_eq!(snap.log_bytes, 0);
+        assert_eq!(snap.log_entries, 0);
     }
 
     #[test]
     fn rollback_resends_lost_messages_with_logged_piggyback() {
         let (mut ks, net, eps) = harness(2, ProtocolKind::Tdi);
-        let mut k1 = ks.pop().unwrap();
-        let mut k0 = ks.pop().unwrap();
+        let k1 = ks.pop().unwrap();
+        let k0 = ks.pop().unwrap();
         // Rank 0 sends 3 messages; rank 1 delivers only the first,
         // checkpoints, then fails.
         for b in [&b"a"[..], b"b", b"c"] {
             k0.app_send(1, 0, Bytes::copy_from_slice(b), false);
         }
-        pump(&mut k1, &eps[1]);
+        pump(&k1, &eps[1]);
         k1.try_deliver(RecvSpec::any()).unwrap();
         k1.do_checkpoint(vec![], 1);
-        pump(&mut k0, &eps[0]); // absorb CkptAdvance (releases "a")
+        pump(&k0, &eps[0]); // absorb CkptAdvance (releases "a")
         // Crash rank 1, respawn.
         net.kill(1);
         let ep1b = net.respawn(1);
-        let store = CheckpointStore::new(k1_store(&k1));
+        let store = CheckpointStore::new(k1.ckpt_storage());
         let mut k1b = Kernel::new(1, 2, RunConfig::new(ProtocolKind::Tdi), net.clone(), store);
         k1b.set_incarnation(2);
         let image = k1b.load_checkpoint().expect("checkpoint exists");
         let (step, _app) = k1b.restore(image);
         assert_eq!(step, 1);
+        assert_eq!(k1b.recovery_phase(), RecoveryPhase::Running);
         k1b.begin_recovery();
         assert!(k1b.is_recovering());
+        assert_eq!(k1b.recovery_phase(), RecoveryPhase::Logging);
         // Rank 0 handles the rollback: responds + resends b, c.
-        pump(&mut k0, &eps[0]);
+        pump(&k0, &eps[0]);
         // Incarnation ingests the response and resends.
         while let Ok(env) = ep1b.try_recv() {
             k1b.ingest(env);
         }
         assert!(!k1b.is_recovering(), "response received");
+        assert_eq!(k1b.recovery_phase(), RecoveryPhase::Synced);
         let m = k1b.try_deliver(RecvSpec::any()).unwrap();
         assert_eq!(&m.data[..], b"b");
         let m = k1b.try_deliver(RecvSpec::any()).unwrap();
         assert_eq!(&m.data[..], b"c");
     }
 
-    /// Grab the same backing store a kernel checkpointed into.
-    fn k1_store(k: &Kernel) -> Arc<dyn lclog_stable::StableStorage> {
-        Arc::clone(k.ckpt_store.storage())
-    }
-
     #[test]
     fn recovering_sender_suppresses_already_delivered_sends() {
         let (mut ks, net, eps) = harness(2, ProtocolKind::Tdi);
-        let mut k1 = ks.pop().unwrap();
-        let mut k0 = ks.pop().unwrap();
+        let k1 = ks.pop().unwrap();
+        let k0 = ks.pop().unwrap();
         // Rank 0 sends two messages; rank 1 delivers both. Rank 0 then
         // fails before checkpointing.
         k0.app_send(1, 0, Bytes::from_static(b"x"), false);
         k0.app_send(1, 0, Bytes::from_static(b"y"), false);
-        pump(&mut k1, &eps[1]);
+        pump(&k1, &eps[1]);
         k1.try_deliver(RecvSpec::any()).unwrap();
         k1.try_deliver(RecvSpec::any()).unwrap();
         net.kill(0);
         let ep0b = net.respawn(0);
-        let store = CheckpointStore::new(k1_store(&k0));
+        let store = CheckpointStore::new(k0.ckpt_storage());
         let mut k0b = Kernel::new(0, 2, RunConfig::new(ProtocolKind::Tdi), net.clone(), store);
         k0b.set_incarnation(2);
         // No checkpoint: fresh state, recover from scratch.
         assert!(k0b.load_checkpoint().is_none());
         k0b.begin_recovery();
-        pump(&mut k1, &eps[1]); // rank 1 responds: delivered 2 from you
+        pump(&k1, &eps[1]); // rank 1 responds: delivered 2 from you
         while let Ok(env) = ep0b.try_recv() {
             k0b.ingest(env);
         }
@@ -924,7 +1031,7 @@ mod tests {
         let (_, sent) = k0b.app_send(1, 0, Bytes::from_static(b"z"), false);
         assert!(sent, "new send transmitted");
         // Log was rebuilt for all three.
-        assert_eq!(k0b.log_entries(), 3);
+        assert_eq!(k0b.snapshot().log_entries, 3);
     }
 
     #[test]
@@ -937,8 +1044,8 @@ mod tests {
         // surviving copies are in the checkpointed log, and the
         // RESPONSE (delivered 0 from you) must trigger their resend.
         let (mut ks, net, eps) = harness(2, ProtocolKind::Tdi);
-        let mut k1 = ks.pop().unwrap();
-        let mut k0 = ks.pop().unwrap();
+        let k1 = ks.pop().unwrap();
+        let k0 = ks.pop().unwrap();
         k0.app_send(1, 0, Bytes::from_static(b"a"), false);
         k0.app_send(1, 0, Bytes::from_static(b"b"), false);
         // The fabric eats both frames (chaos drop) — and the
@@ -947,19 +1054,19 @@ mod tests {
         while eps[1].try_recv().is_ok() {}
         net.kill(0);
         let ep0b = net.respawn(0);
-        let store = CheckpointStore::new(k1_store(&k0));
+        let store = CheckpointStore::new(k0.ckpt_storage());
         let mut k0b = Kernel::new(0, 2, RunConfig::new(ProtocolKind::Tdi), net.clone(), store);
         k0b.set_incarnation(2);
         let image = k0b.load_checkpoint().expect("checkpoint exists");
         k0b.restore(image);
         k0b.begin_recovery();
-        pump(&mut k1, &eps[1]); // ROLLBACK in, RESPONSE (delivered 0) out
+        pump(&k1, &eps[1]); // ROLLBACK in, RESPONSE (delivered 0) out
         while let Ok(env) = ep0b.try_recv() {
             k0b.ingest(env);
         }
         assert!(!k0b.is_recovering());
         // The RESPONSE resupplied both logged sends.
-        pump(&mut k1, &eps[1]);
+        pump(&k1, &eps[1]);
         assert_eq!(&k1.try_deliver(RecvSpec::any()).unwrap().data[..], b"a");
         assert_eq!(&k1.try_deliver(RecvSpec::any()).unwrap().data[..], b"b");
     }
@@ -975,7 +1082,7 @@ mod tests {
         net.kill(0);
         net.kill(1);
         let ep0b = net.respawn(0);
-        let store = CheckpointStore::new(k1_store(&k0));
+        let store = CheckpointStore::new(k0.ckpt_storage());
         let mut cfg = RunConfig::new(ProtocolKind::Tdi);
         cfg.retry_interval = Duration::from_millis(1);
         let mut k0b = Kernel::new(0, 2, cfg.clone(), net.clone(), store.clone());
@@ -1006,6 +1113,49 @@ mod tests {
         }
         assert!(!k0b.is_recovering());
         assert!(!k1b.is_recovering());
+        assert_eq!(k0b.recovery_phase(), RecoveryPhase::Synced);
+        assert_eq!(k1b.recovery_phase(), RecoveryPhase::Synced);
         drop(eps);
+    }
+
+    #[test]
+    fn concurrent_send_and_ingest_do_not_serialize_or_corrupt() {
+        // The point of the lock split: rank 0's app thread hammers
+        // app_send while another thread concurrently ingests rank 0's
+        // inbound acks — the two paths share no lock except the
+        // reliability leaf. Assert the counters come out exact.
+        let (mut ks, _net, mut eps) = harness(2, ProtocolKind::Tdi);
+        let k1 = ks.pop().unwrap();
+        let k0 = Arc::new(ks.pop().unwrap());
+        let ep1 = eps.pop().unwrap();
+        let ep0 = eps.pop().unwrap();
+        let sends = 2_000u64;
+        let ingester = {
+            let k0 = Arc::clone(&k0);
+            std::thread::spawn(move || {
+                // Every rendezvous send produces exactly one Ack frame.
+                let mut seen = 0u64;
+                while seen < sends {
+                    match ep0.try_recv() {
+                        Ok(env) => {
+                            k0.ingest(env);
+                            seen += 1;
+                        }
+                        Err(_) => std::hint::spin_loop(),
+                    }
+                }
+            })
+        };
+        for i in 0..sends {
+            k0.app_send(1, 0, Bytes::from(vec![i as u8; 16]), true);
+            // Keep rank 1 consuming so acks flow back.
+            pump(&k1, &ep1);
+            while k1.try_deliver(RecvSpec::any()).is_some() {}
+        }
+        pump(&k1, &ep1);
+        while k1.try_deliver(RecvSpec::any()).is_some() {}
+        ingester.join().unwrap();
+        assert_eq!(k0.snapshot().stats.sends, sends);
+        assert_eq!(k1.snapshot().stats.delivers, sends);
     }
 }

@@ -45,6 +45,7 @@ mod backoff;
 mod cluster;
 pub mod collectives;
 mod config;
+mod delivery;
 mod engine;
 pub mod events;
 mod fault;
@@ -52,15 +53,19 @@ mod kernel;
 mod log;
 mod message;
 mod process;
+mod recovery;
 mod recvq;
+mod reliability;
 mod service;
+mod tracking;
 mod transport;
 
 pub use cluster::{Cluster, ClusterConfig, FailurePlan, Kill, RunReport, StorageKind};
 pub use events::{Event, EventKind, EventSink};
 pub use config::{CheckpointPolicy, CommMode, RunConfig};
 pub use fault::{Fault, StepStatus};
-pub use kernel::CheckpointImage;
+pub use kernel::{CheckpointImage, Kernel, KernelSnapshot};
+pub use recovery::RecoveryPhase;
 pub use log::{LogEntry, SenderLog};
 pub use message::{AppMsg, RecvSpec, WireMsg, ANY_SOURCE, ANY_TAG};
 pub use process::{RankApp, RankCtx};

@@ -1,0 +1,58 @@
+//! The reliability layer as the kernel sees it: the PR-1 transport
+//! (CRC framing, sequencing, dedup, ack/retransmit, epochs) plus the
+//! *application-level* rendezvous acknowledgement counters.
+//!
+//! This is the innermost lock of the kernel's hierarchy: it is taken
+//! on every wire transmission and every raw-envelope ingestion, and
+//! never held while any other kernel lock is acquired — `ingest`
+//! strips the transport frame under this lock, releases it, and only
+//! then dispatches the inner message to the layer that owns it.
+
+use crate::message::WireMsg;
+use crate::transport::Transport;
+use lclog_core::{CounterVector, Rank};
+use lclog_simnet::Envelope;
+use lclog_wire::encode_to_vec;
+
+/// Transport + rendezvous-ack state.
+pub(crate) struct Reliability {
+    pub transport: Transport,
+    /// Highest acknowledged rendezvous send per destination.
+    pub acked: CounterVector,
+}
+
+impl Reliability {
+    pub fn new(transport: Transport, n: usize) -> Self {
+        Reliability {
+            transport,
+            acked: CounterVector::zeroed(n),
+        }
+    }
+
+    /// Send one wire message reliably to `dst`.
+    ///
+    /// Every wire message crosses the transport: CRC framing,
+    /// sequencing, and ack/retransmit mask the chaos fabric's drops,
+    /// duplicates, and corruptions. Sends to dead ranks are
+    /// retransmitted until the peer's next incarnation answers (or the
+    /// budget writes it off); recovery resends cover anything lost
+    /// with the old incarnation.
+    pub fn send_wire(&mut self, dst: Rank, msg: &WireMsg) {
+        self.transport.send(dst, encode_to_vec(msg));
+    }
+
+    /// Strip the transport frame off one raw envelope. Returns the
+    /// inner encoded [`WireMsg`] (`None` for control frames,
+    /// duplicates, and corrupt envelopes).
+    pub fn ingest(&mut self, env: Envelope) -> Option<bytes::Bytes> {
+        self.transport.ingest(env)
+    }
+
+    /// Record proof that `peer` has consumed our messages up to
+    /// `upto` — implicit acknowledgement for any pending rendezvous.
+    pub fn note_consumed(&mut self, peer: Rank, upto: u64) {
+        if upto > self.acked.get(peer) {
+            self.acked.set(peer, upto);
+        }
+    }
+}

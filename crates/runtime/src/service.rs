@@ -10,6 +10,7 @@
 //! and wedge a pessimistic sender.
 
 use crate::backoff::Backoff;
+use crate::events::{EventKind, EventSink};
 use crate::message::WireMsg;
 use crate::transport::{Transport, TransportConfig};
 use lclog_core::{Determinant, Rank};
@@ -34,6 +35,7 @@ pub fn spawn_event_logger(
     endpoint: Endpoint,
     storage: Arc<dyn StableStorage>,
     shutdown: Arc<AtomicBool>,
+    sink: EventSink,
 ) -> JoinHandle<()> {
     std::thread::Builder::new()
         .name("lclog-event-logger".into())
@@ -49,6 +51,7 @@ pub fn spawn_event_logger(
                     budget: 40,
                 },
             );
+            transport.set_event_sink(sink.clone());
             // In-memory mirror of stable storage for fast queries; the
             // stable copy is authoritative and written first.
             let mut dets: HashMap<Rank, Vec<Determinant>> = HashMap::new();
@@ -78,6 +81,7 @@ pub fn spawn_event_logger(
                 match msg {
                     WireMsg::LogDets(batch) => {
                         let key = format!("eventlog/{src}");
+                        let count = batch.len();
                         let upto = acked.entry(src).or_insert(0);
                         for det in batch {
                             debug_assert_eq!(det.receiver as Rank, src);
@@ -89,6 +93,14 @@ pub fn spawn_event_logger(
                             }
                         }
                         let ack = WireMsg::LogAck(*upto);
+                        sink.emit(
+                            me,
+                            EventKind::LoggerStored {
+                                from: src,
+                                count,
+                                upto: *upto,
+                            },
+                        );
                         transport.send(src, encode_to_vec(&ack));
                     }
                     WireMsg::LogQuery(failed) => {
@@ -96,6 +108,13 @@ pub fn spawn_event_logger(
                             .get(&(failed as Rank))
                             .cloned()
                             .unwrap_or_default();
+                        sink.emit(
+                            me,
+                            EventKind::LoggerQueried {
+                                failed: failed as Rank,
+                                count: found.len(),
+                            },
+                        );
                         let resp = WireMsg::LogQueryResp(found);
                         transport.send(src, encode_to_vec(&resp));
                     }

@@ -1,0 +1,54 @@
+//! The tracking layer: the pluggable [`LoggingProtocol`] box and
+//! nothing else — the piggyback construction/merge the paper's whole
+//! argument is about (TDI makes *this* layer cheap; Algorithm 1
+//! lines 8–11 on send, 15–31 on deliver).
+//!
+//! Keeping the protocol object in its own lock means the per-message
+//! tracking cost — `on_send` piggyback construction, the delivery
+//! gate, `on_deliver` merge — is paid without holding the delivery
+//! buffer, the reliability channels, or the recovery bookkeeping.
+//! [`TrackingStats`] lives here too because every counter it holds is
+//! incremented next to a protocol call.
+
+use lclog_core::{LoggingProtocol, SendArtifacts, TrackingStats};
+use lclog_core::Rank;
+use std::time::Instant;
+
+/// Protocol box + the statistics measured around its calls.
+pub(crate) struct Tracking {
+    pub protocol: Box<dyn LoggingProtocol>,
+    pub stats: TrackingStats,
+}
+
+impl Tracking {
+    pub fn new(protocol: Box<dyn LoggingProtocol>) -> Self {
+        Tracking {
+            protocol,
+            stats: TrackingStats::default(),
+        }
+    }
+
+    /// Timed `on_send` (Algorithm 1 lines 8–11): builds the piggyback
+    /// and accounts the tracking cost.
+    pub fn on_send(&mut self, dst: Rank, send_index: u64) -> SendArtifacts {
+        let t0 = Instant::now();
+        let artifacts = self.protocol.on_send(dst, send_index);
+        self.stats.track_send_ns += t0.elapsed().as_nanos() as u64;
+        self.stats.sends += 1;
+        self.stats.piggyback_ids += artifacts.id_count;
+        self.stats.piggyback_bytes += artifacts.piggyback.len() as u64;
+        artifacts
+    }
+
+    /// Timed `on_deliver` (lines 15–31): merges the piggyback and
+    /// accounts the tracking cost. The delivery gate must already have
+    /// approved this message.
+    pub fn on_deliver(&mut self, src: Rank, send_index: u64, piggyback: &[u8]) {
+        let t0 = Instant::now();
+        self.protocol
+            .on_deliver(src, send_index, piggyback)
+            .expect("delivery gate approved this message");
+        self.stats.track_deliver_ns += t0.elapsed().as_nanos() as u64;
+        self.stats.delivers += 1;
+    }
+}

@@ -27,6 +27,7 @@
 //! previous incarnation; the rollback protocol above regenerates
 //! whatever of that prefix still matters.
 
+use crate::events::{EventKind, EventSink};
 use bytes::Bytes;
 use lclog_core::Rank;
 use lclog_simnet::{Envelope, SimNet};
@@ -134,6 +135,8 @@ pub(crate) struct Transport {
     dup_discarded: u64,
     /// CRC mismatches detected (observability).
     corrupt_detected: u64,
+    /// Timeline collector (disabled by default).
+    events: EventSink,
 }
 
 impl Transport {
@@ -163,7 +166,14 @@ impl Transport {
                 .collect(),
             dup_discarded: 0,
             corrupt_detected: 0,
+            events: EventSink::disabled(),
         }
+    }
+
+    /// Attach a timeline collector (peer write-offs are timeline
+    /// events).
+    pub(crate) fn set_event_sink(&mut self, sink: EventSink) {
+        self.events = sink;
     }
 
     /// Set this endpoint's epoch (the rank's incarnation number).
@@ -396,13 +406,13 @@ impl Transport {
                 }
                 ch.attempts += 1;
                 if ch.attempts > self.cfg.budget {
-                    if std::env::var_os("LCLOG_TRACE").is_some() {
-                        eprintln!(
-                            "[transport] {} epoch {} wrote off dst {} after {} attempts, {} unacked (lowest {:?})",
-                            self.me, self.epoch, dst, ch.attempts, ch.unacked.len(),
-                            ch.unacked.keys().next()
-                        );
-                    }
+                    self.events.emit(
+                        self.me,
+                        EventKind::PeerWrittenOff {
+                            peer: dst,
+                            attempts: ch.attempts,
+                        },
+                    );
                     // The peer has been silent across the whole budget:
                     // stop retrying so callers can surface
                     // `Fault::Unreachable` instead of hanging. Recovery

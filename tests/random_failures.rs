@@ -91,6 +91,49 @@ proptest! {
         prop_assert_eq!(faulty.kills, 1);
     }
 
+    // The recovery state machine must be one-way within an
+    // incarnation: once a rank's timeline shows a transition into
+    // `synced`, no further recovery transition — in particular no
+    // re-entry into `replaying` — may appear for that rank until its
+    // next respawn (a `Spawned` event starts a fresh machine).
+    #[test]
+    fn prop_recovery_never_reenters_replaying_after_sync(
+        kind in kind_strategy(),
+        seed in any::<u64>(),
+    ) {
+        let n = 4;
+        let base = ClusterConfig::new(
+            n,
+            RunConfig::new(kind).with_checkpoint(CheckpointPolicy::EverySteps(4)),
+        );
+        let clean = run_benchmark(Benchmark::Lu, Class::Test, &base).expect("clean run");
+        let traced = base
+            .with_failures(FailurePlan::seeded_random(seed, n, 2, 14))
+            .with_trace(true);
+        let faulty =
+            run_benchmark(Benchmark::Lu, Class::Test, &traced).expect("recovered run");
+        prop_assert_eq!(&clean.digests, &faulty.digests, "{} seed {:#x}", kind, seed);
+        for rank in 0..n {
+            let mut synced = false;
+            for ev in faulty.timeline.iter().filter(|e| e.rank == rank) {
+                match &ev.kind {
+                    EventKind::Spawned { .. } => synced = false,
+                    EventKind::RecoveryTransition { from, to } => {
+                        prop_assert!(
+                            !synced,
+                            "rank {} took {} -> {} after syncing (seed {:#x})",
+                            rank, from, to, seed
+                        );
+                        if *to == "synced" {
+                            synced = true;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
     #[test]
     fn prop_double_failure_recovery_is_exact_tdi(
         victims in proptest::sample::subsequence(vec![0usize, 1, 2, 3], 2),
