@@ -3,14 +3,15 @@
 //! ```text
 //! reproduce [--quick] [fig6|fig7|fig8|ablation-rate|ablation-replay|
 //!                       ablation-ckpt|ablation-protocols|ablation-f|
-//!                       ablation-chaos|all]
+//!                       ablation-chaos|data-plane|all]
 //! ```
 //!
 //! Tables are printed to stdout and archived as CSV under `results/`.
 
 use lclog_bench::experiments::{
     ablation_chaos, ablation_ckpt, ablation_f_bound, ablation_protocols, ablation_rate,
-    ablation_replay, fig6_table, fig7_table, fig8_table, overhead_matrix, ExpConfig,
+    ablation_replay, data_plane_table, fig6_table, fig7_table, fig8_table, overhead_matrix,
+    ExpConfig,
 };
 use lclog_bench::Table;
 use std::path::Path;
@@ -103,6 +104,12 @@ fn main() {
         let t = ablation_chaos(if quick { 4 } else { 8 });
         print!("{}", t.render());
         save(&t, "ablation_chaos");
+        println!();
+    }
+    if all || which.contains(&"data-plane") {
+        let t = data_plane_table(if quick { 4 } else { 8 });
+        print!("{}", t.render());
+        save(&t, "data_plane");
         println!();
     }
 }

@@ -10,6 +10,7 @@ use crate::fault::{Fault, StepStatus};
 use crate::kernel::Kernel;
 use crate::process::{RankApp, RankCtx};
 use crate::service::spawn_event_logger;
+use crate::transport::DataPlaneStats;
 use lclog_core::{Rank, TrackingStats};
 use lclog_simnet::{NetConfig, SimNet};
 use lclog_stable::{CheckpointStore, DiskStore, MemStore, StableStorage};
@@ -255,6 +256,11 @@ pub struct RunReport {
     pub chaos_duplicated: u64,
     /// Envelopes the chaos fabric flipped a bit in.
     pub chaos_corrupted: u64,
+    /// Per-rank data-plane byte accounting (frames built, payload
+    /// copies, zero-copy resends), merged across incarnations.
+    pub per_rank_data_plane: Vec<DataPlaneStats>,
+    /// Cluster-wide sum of `per_rank_data_plane`.
+    pub data_plane: DataPlaneStats,
     /// Structured fault-tolerance timeline (empty unless
     /// [`ClusterConfig::trace`] was set).
     pub timeline: Vec<Event>,
@@ -265,10 +271,12 @@ enum Outcome {
         rank: Rank,
         digest: u64,
         stats: TrackingStats,
+        data_plane: DataPlaneStats,
     },
     Killed {
         rank: Rank,
         stats: TrackingStats,
+        data_plane: DataPlaneStats,
     },
 }
 
@@ -334,6 +342,7 @@ impl Cluster {
         let start = Instant::now();
         let mut digests: Vec<Option<u64>> = vec![None; n];
         let mut per_rank_stats = vec![TrackingStats::default(); n];
+        let mut per_rank_data_plane = vec![DataPlaneStats::default(); n];
         let mut incarnations = vec![1u64; n];
         let mut kills = 0u32;
 
@@ -343,13 +352,20 @@ impl Cluster {
                     rank,
                     digest,
                     stats,
+                    data_plane,
                 }) => {
                     digests[rank] = Some(digest);
                     per_rank_stats[rank].merge(&stats);
+                    per_rank_data_plane[rank].merge(&data_plane);
                 }
-                Ok(Outcome::Killed { rank, stats }) => {
+                Ok(Outcome::Killed {
+                    rank,
+                    stats,
+                    data_plane,
+                }) => {
                     kills += 1;
                     per_rank_stats[rank].merge(&stats);
+                    per_rank_data_plane[rank].merge(&data_plane);
                     incarnations[rank] += 1;
                     let endpoint = net.respawn(rank);
                     handles.push(spawn_rank(
@@ -390,6 +406,10 @@ impl Cluster {
         for s in &per_rank_stats {
             stats.merge(s);
         }
+        let mut data_plane = DataPlaneStats::default();
+        for d in &per_rank_data_plane {
+            data_plane.merge(d);
+        }
         Ok(RunReport {
             digests: digests.into_iter().map(Option::unwrap).collect(),
             per_rank_stats,
@@ -402,6 +422,8 @@ impl Cluster {
             chaos_dropped: net.stats().chaos_dropped(),
             chaos_duplicated: net.stats().chaos_duplicated(),
             chaos_corrupted: net.stats().chaos_corrupted(),
+            per_rank_data_plane,
+            data_plane,
             timeline: sink.take(),
         })
     }
@@ -486,9 +508,11 @@ fn rank_main<A: RankApp>(
         if plan.should_kill(rank, incarnation, step) {
             sink.emit(rank, EventKind::Crashed { step });
             engine.crash();
+            let snap = engine.snapshot();
             let _ = tx.send(Outcome::Killed {
                 rank,
-                stats: engine.snapshot().stats,
+                stats: snap.stats,
+                data_plane: snap.data_plane,
             });
             return;
         }
@@ -503,10 +527,12 @@ fn rank_main<A: RankApp>(
                 // A final checkpoint lets every peer release the last
                 // log entries referring to us.
                 engine.checkpoint_now(lclog_wire::encode_to_vec(&state), step);
+                let snap = engine.snapshot();
                 let _ = tx.send(Outcome::Done {
                     rank,
                     digest: app.digest(&state),
-                    stats: engine.snapshot().stats,
+                    stats: snap.stats,
+                    data_plane: snap.data_plane,
                 });
                 // Stay responsive: peers may still fail and need our
                 // logged messages resent.
@@ -515,9 +541,11 @@ fn rank_main<A: RankApp>(
             }
             Err(Fault::Killed) => {
                 engine.crash();
+                let snap = engine.snapshot();
                 let _ = tx.send(Outcome::Killed {
                     rank,
-                    stats: engine.snapshot().stats,
+                    stats: snap.stats,
+                    data_plane: snap.data_plane,
                 });
                 return;
             }
@@ -530,9 +558,11 @@ fn rank_main<A: RankApp>(
                 // failures.
                 sink.emit(rank, EventKind::Crashed { step });
                 engine.crash();
+                let snap = engine.snapshot();
                 let _ = tx.send(Outcome::Killed {
                     rank,
-                    stats: engine.snapshot().stats,
+                    stats: snap.stats,
+                    data_plane: snap.data_plane,
                 });
                 return;
             }

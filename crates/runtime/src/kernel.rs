@@ -52,7 +52,7 @@ use crate::message::{
 use crate::recovery::{RecoveryLayer, RecoveryPhase, Transition};
 use crate::reliability::Reliability;
 use crate::tracking::Tracking;
-use crate::transport::{Transport, TransportConfig};
+use crate::transport::{DataPlaneStats, Transport, TransportConfig};
 use bytes::Bytes;
 use lclog_core::{make_protocol, CounterVector, DeliveryVerdict, Rank, TrackingStats};
 use lclog_simnet::{Envelope, SimNet};
@@ -111,6 +111,9 @@ pub struct KernelSnapshot {
     pub dup_discarded: u64,
     /// Corrupt frames the transport detected.
     pub corrupt_detected: u64,
+    /// Data-plane byte accounting: frames built, bytes framed, payload
+    /// copies, zero-copy resends.
+    pub data_plane: DataPlaneStats,
 }
 
 /// Per-rank rollback-recovery kernel: four locked layers behind
@@ -238,6 +241,7 @@ impl Kernel {
             queued: del.queue.len(),
             dup_discarded: rel.transport.dup_discarded(),
             corrupt_detected: rel.transport.corrupt_detected(),
+            data_plane: rel.transport.data_plane(),
         }
     }
 
@@ -299,67 +303,73 @@ impl Kernel {
     /// Returns `(send_index, transmitted)`; when `transmitted` and
     /// `needs_ack`, the blocking engine waits for [`WireMsg::Ack`].
     ///
-    /// Locks: `recovery` + `tracking`, then `reliability` (after
-    /// releasing both). The log insert and the suppression decision
-    /// happen atomically under `recovery`, so a concurrent `ROLLBACK`
-    /// either sees the entry in the log (and resends it) or has
-    /// already clamped the suppression bound this send is checked
-    /// against; wire-level copies that cross are deduplicated by the
-    /// receiver's send_index.
+    /// Locks: `recovery` + `tracking`, with `reliability` taken
+    /// briefly under both for the frame build + transmit (legal —
+    /// `reliability` is the leaf of the hierarchy, and nothing is
+    /// acquired under it). Holding `recovery` across the transmit
+    /// keeps the log insert and the suppression decision atomic: a
+    /// concurrent `ROLLBACK` either sees the entry in the log (and
+    /// resends it) or has already clamped the suppression bound this
+    /// send is checked against; wire-level copies that cross are
+    /// deduplicated by the receiver's send_index.
+    ///
+    /// ## Zero-copy budget
+    ///
+    /// A transmitted send performs **exactly one frame allocation**:
+    /// the transport encodes `[crc | header | WireMsg::App]` in a
+    /// single pass and hands back the encoded-message region as a
+    /// zero-copy window, which the sender-log entry stores for
+    /// verbatim resends — the log entry, the transport's unacked
+    /// slot, and the in-flight envelope are all refcounted handles on
+    /// that one buffer, and the entry's `piggyback`/`data` handles
+    /// move in from the send without a decode pass. A suppressed send
+    /// encodes once into the log and transmits nothing.
     pub fn app_send(&self, dst: Rank, tag: u32, data: Bytes, needs_ack: bool) -> (u64, bool) {
         let mut rec = self.recovery.lock();
         let send_index = rec.last_send_index.bump(dst);
         let mut trk = self.tracking.lock();
         let artifacts = trk.on_send(dst, send_index);
-        rec.log.insert(LogEntry {
-            dst: dst as u32,
-            send_index,
-            tag,
-            piggyback: artifacts.piggyback.clone(),
-            data: data.clone(),
-        });
+        let piggyback = Bytes::from(artifacts.piggyback);
+        let transmit = send_index > rec.rollback_last_send_index.get(dst);
+        let entry = if transmit {
+            let msg = WireMsg::App(AppWire {
+                tag,
+                send_index,
+                piggyback,
+                needs_ack,
+                data,
+            });
+            let inner = self.reliability.lock().send_wire(dst, &msg);
+            let WireMsg::App(w) = msg else { unreachable!() };
+            LogEntry::from_parts(dst as u32, w, inner)
+        } else {
+            LogEntry::new(dst as u32, send_index, tag, piggyback, needs_ack, data)
+        };
+        rec.log.insert(entry);
         let retained = rec.log.bytes() as u64;
         if retained > trk.stats.log_bytes_peak {
             trk.stats.log_bytes_peak = retained;
-        }
-        let transmit = send_index > rec.rollback_last_send_index.get(dst);
-        drop(trk);
-        drop(rec);
-        if transmit {
-            self.send_wire(
-                dst,
-                &WireMsg::App(AppWire {
-                    tag,
-                    send_index,
-                    piggyback: artifacts.piggyback,
-                    needs_ack,
-                    data,
-                }),
-            );
         }
         (send_index, transmit)
     }
 
     /// Retransmit a logged message whose rendezvous ack has not
     /// arrived (receiver may have failed and respawned meanwhile).
+    /// The logged wire form is resent verbatim ([`LogEntry::to_wire`],
+    /// zero payload copies); it carries `needs_ack`, because only
+    /// rendezvous sends are ever waited on.
     pub fn resend_unacked(&self, dst: Rank, send_index: u64) {
         let wire = {
             let rec = self.recovery.lock();
-            let found = rec.log.entries_after(dst, send_index - 1).next().and_then(|e| {
-                (e.send_index == send_index).then(|| {
-                    WireMsg::App(AppWire {
-                        tag: e.tag,
-                        send_index: e.send_index,
-                        piggyback: e.piggyback.clone(),
-                        needs_ack: true,
-                        data: e.data.clone(),
-                    })
-                })
-            });
+            let found = rec
+                .log
+                .entries_after(dst, send_index - 1)
+                .next()
+                .and_then(|e| (e.send_index == send_index).then(|| e.to_wire()));
             found
         };
         match wire {
-            Some(msg) => self.send_wire(dst, &msg),
+            Some(inner) => self.reliability.lock().send_encoded(dst, inner),
             None => {
                 // The entry was released by a CHECKPOINT_ADVANCE: the
                 // receiver durably consumed it — an implicit ack.
@@ -383,7 +393,9 @@ impl Kernel {
         let Some(inner) = self.reliability.lock().ingest(env) else {
             return;
         };
-        let msg: WireMsg = match lclog_wire::decode_from_slice(&inner) {
+        // Zero-copy decode: `App` payload and piggyback come out as
+        // windows into the ingested frame, not fresh allocations.
+        let msg: WireMsg = match lclog_wire::decode_from_bytes(&inner) {
             Ok(m) => m,
             Err(_) => {
                 // The frame passed its CRC, so this is a codec bug,
@@ -667,18 +679,14 @@ impl Kernel {
             rec.rollback_last_send_index.set(src, upto);
         }
         let lost_after = upto.unwrap_or(0);
-        let mut resends: Vec<WireMsg> = rec
+        // Logged wire bytes are resent verbatim — refcount bumps, zero
+        // payload copies; the original piggyback (and `needs_ack`,
+        // which is safe: rendezvous acks are idempotent) ride along
+        // exactly as first framed.
+        let mut resends: Vec<Bytes> = rec
             .log
             .entries_after(src, lost_after)
-            .map(|e| {
-                WireMsg::App(AppWire {
-                    tag: e.tag,
-                    send_index: e.send_index,
-                    piggyback: e.piggyback.clone(),
-                    needs_ack: false,
-                    data: e.data.clone(),
-                })
-            })
+            .map(|e| e.to_wire())
             .collect();
         let dets = self.tracking.lock().protocol.determinants_for(src);
         let delivered_from_you = self.delivery.lock().last_deliver_index.get(src);
@@ -704,8 +712,8 @@ impl Kernel {
                 epoch: w.epoch,
             }),
         );
-        for msg in resends.drain(..) {
-            rel.send_wire(src, &msg);
+        for inner in resends.drain(..) {
+            rel.send_encoded(src, inner);
         }
         // Anything we had queued from the pre-failure incarnation will
         // be resent/regenerated with identical identities; keeping the
@@ -731,19 +739,11 @@ impl Kernel {
         // it either — the checkpointed sender log is its only
         // surviving copy. Resend that window; the receiver's dedup
         // absorbs whatever did arrive.
-        let resends: Vec<WireMsg> = rec
+        let resends: Vec<Bytes> = rec
             .log
             .entries_after(src, w.delivered_from_you)
             .filter(|e| e.send_index <= rec.restored_send_index.get(src))
-            .map(|e| {
-                WireMsg::App(AppWire {
-                    tag: e.tag,
-                    send_index: e.send_index,
-                    piggyback: e.piggyback.clone(),
-                    needs_ack: false,
-                    data: e.data.clone(),
-                })
-            })
+            .map(|e| e.to_wire())
             .collect();
         let (newly, tr) = rec.machine.note_response(src);
         self.emit_transition(tr);
@@ -773,8 +773,8 @@ impl Kernel {
         }
         let mut rel = self.reliability.lock();
         rel.note_consumed(src, w.delivered_from_you);
-        for msg in resends {
-            rel.send_wire(src, &msg);
+        for inner in resends {
+            rel.send_encoded(src, inner);
         }
     }
 

@@ -67,8 +67,12 @@ pub use fault::{Fault, StepStatus};
 pub use kernel::{CheckpointImage, Kernel, KernelSnapshot};
 pub use recovery::RecoveryPhase;
 pub use log::{LogEntry, SenderLog};
-pub use message::{AppMsg, RecvSpec, WireMsg, ANY_SOURCE, ANY_TAG};
+pub use message::{
+    AppMsg, AppWire, CkptAdvanceWire, RecvSpec, ResponseWire, RollbackWire, WireMsg, ANY_SOURCE,
+    ANY_TAG,
+};
 pub use process::{RankApp, RankCtx};
+pub use transport::DataPlaneStats;
 
 /// Rank identifier (re-exported from the protocol layer).
 pub use lclog_core::Rank;

@@ -13,12 +13,30 @@
 //! * **checkpointed** with the rest of the sender's state, because the
 //!   sender itself may fail and its incarnation must still serve
 //!   peers' recoveries from the restored log.
+//!
+//! ## Zero-copy ownership
+//!
+//! A [`LogEntry`] owns one refcounted handle on the message's
+//! **already-encoded wire form** (the `WireMsg::App` bytes that went
+//! into the frame), plus refcounted handles for the piggyback and
+//! payload. On the steady-state send path the wire handle is a window
+//! into the very frame the transport built — the log, the transport's
+//! unacked map, and the in-flight envelope share one allocation —
+//! while `piggyback`/`data` move in from the send call itself (no
+//! decode pass). On checkpoint restore they are instead zero-copy
+//! windows decoded out of `wire`. Resends hand [`LogEntry::to_wire`]
+//! straight back to the transport with **zero payload copies**; the
+//! resent message carries its original `needs_ack` flag, which is
+//! safe because rendezvous acknowledgements are idempotent (the
+//! receiver's ack counter is a monotonic max).
 
+use crate::message::{AppWire, WireMsg};
 use bytes::Bytes;
 use lclog_core::Rank;
-use lclog_wire::impl_wire_struct;
+use lclog_wire::{decode_from_bytes, encode_to_bytes, Decode, Encode, Reader, WireError};
 
-/// One logged send.
+/// One logged send: decoded header fields plus the shared encoded
+/// wire buffer they are windows into.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LogEntry {
     /// Destination rank.
@@ -27,19 +45,134 @@ pub struct LogEntry {
     pub send_index: u64,
     /// Application tag.
     pub tag: u32,
-    /// The piggyback the message originally carried.
-    pub piggyback: Vec<u8>,
-    /// Application payload.
+    /// Whether the original send requested a rendezvous ack.
+    pub needs_ack: bool,
+    /// The piggyback the message originally carried (window into the
+    /// wire buffer, or a handle on the protocol's vector).
+    pub piggyback: Bytes,
+    /// Application payload (same sharing).
     pub data: Bytes,
+    /// The encoded `WireMsg::App`, exactly as framed; private so every
+    /// entry is guaranteed consistent with its decoded fields.
+    wire: Bytes,
 }
 
-impl_wire_struct!(LogEntry {
-    dst,
-    send_index,
-    tag,
-    piggyback,
-    data
-});
+impl LogEntry {
+    /// Build an entry by encoding the message once (the only
+    /// allocation; used for suppressed sends that are logged without
+    /// being transmitted). `piggyback` and `data` handles are
+    /// refcount-shared with the caller.
+    pub fn new(
+        dst: u32,
+        send_index: u64,
+        tag: u32,
+        piggyback: Bytes,
+        needs_ack: bool,
+        data: Bytes,
+    ) -> Self {
+        let wire = encode_to_bytes(&WireMsg::App(AppWire {
+            tag,
+            send_index,
+            piggyback: piggyback.clone(),
+            needs_ack,
+            data: data.clone(),
+        }));
+        LogEntry {
+            dst,
+            send_index,
+            tag,
+            needs_ack,
+            piggyback,
+            data,
+            wire,
+        }
+    }
+
+    /// Build an entry on the send hot path from the [`AppWire`] that
+    /// was just encoded and the encoded-message window the transport
+    /// returned — no decode pass, no refcount churn: the header
+    /// fields and the `piggyback`/`data` handles move straight in.
+    /// The caller guarantees `wire` is the encoding of `w` (debug
+    /// builds verify).
+    pub(crate) fn from_parts(dst: u32, w: AppWire, wire: Bytes) -> Self {
+        debug_assert_eq!(
+            decode_from_bytes::<WireMsg>(&wire).ok().as_ref(),
+            Some(&WireMsg::App(w.clone())),
+            "from_parts wire bytes must encode exactly the given AppWire"
+        );
+        LogEntry {
+            dst,
+            send_index: w.send_index,
+            tag: w.tag,
+            needs_ack: w.needs_ack,
+            piggyback: w.piggyback,
+            data: w.data,
+            wire,
+        }
+    }
+
+    /// Build an entry from already-encoded `WireMsg::App` bytes (the
+    /// inner window the transport returned when it framed the send).
+    /// Decoding is zero-copy: `piggyback` and `data` become windows
+    /// into `wire`. Errors if `wire` is not a well-formed `App`
+    /// message.
+    pub fn from_wire(dst: u32, wire: Bytes) -> Result<Self, WireError> {
+        match decode_from_bytes::<WireMsg>(&wire)? {
+            WireMsg::App(w) => Ok(LogEntry {
+                dst,
+                send_index: w.send_index,
+                tag: w.tag,
+                needs_ack: w.needs_ack,
+                piggyback: w.piggyback,
+                data: w.data,
+                wire,
+            }),
+            other => Err(WireError::InvalidTag {
+                type_name: "LogEntry (expected WireMsg::App)",
+                tag: match other {
+                    WireMsg::Ack(_) => 1,
+                    WireMsg::Rollback(_) => 2,
+                    WireMsg::Response(_) => 3,
+                    WireMsg::CkptAdvance(_) => 4,
+                    WireMsg::LogDets(_) => 5,
+                    WireMsg::LogAck(_) => 6,
+                    WireMsg::LogQuery(_) => 7,
+                    WireMsg::LogQueryResp(_) => 8,
+                    WireMsg::App(_) => unreachable!("matched above"),
+                },
+            }),
+        }
+    }
+
+    /// The encoded `WireMsg::App` for resending — a refcount bump, no
+    /// re-encoding. This is the single construction point for every
+    /// resend path (rollback replay, response-driven regeneration,
+    /// rendezvous retry).
+    pub fn to_wire(&self) -> Bytes {
+        self.wire.clone()
+    }
+}
+
+/// Checkpoints persist only `(dst, wire)`; the decoded fields are
+/// rebuilt zero-copy on restore, so the image stores each message
+/// once.
+impl Encode for LogEntry {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.dst.encode(buf);
+        self.wire.encode(buf);
+    }
+    fn encoded_len(&self) -> usize {
+        self.dst.encoded_len() + self.wire.encoded_len()
+    }
+}
+
+impl Decode for LogEntry {
+    fn decode(reader: &mut Reader<'_>) -> Result<Self, WireError> {
+        let dst = u32::decode(reader)?;
+        let wire = Bytes::decode(reader)?;
+        LogEntry::from_wire(dst, wire)
+    }
+}
 
 /// Per-sender volatile message log.
 #[derive(Debug, Clone, Default)]
@@ -106,7 +239,7 @@ impl SenderLog {
         self.bytes
     }
 
-    /// Flatten for checkpointing.
+    /// Flatten for checkpointing (refcount bumps, not buffer copies).
     pub fn to_entries(&self) -> Vec<LogEntry> {
         self.by_dst
             .iter()
@@ -127,15 +260,17 @@ impl SenderLog {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use lclog_wire::{decode_from_slice, encode_to_vec};
 
     fn entry(dst: u32, idx: u64) -> LogEntry {
-        LogEntry {
+        LogEntry::new(
             dst,
-            send_index: idx,
-            tag: 0,
-            piggyback: vec![1, 2],
-            data: Bytes::from(vec![0u8; 8]),
-        }
+            idx,
+            0,
+            Bytes::from(vec![1, 2]),
+            false,
+            Bytes::from(vec![0u8; 8]),
+        )
     }
 
     #[test]
@@ -199,5 +334,38 @@ mod tests {
             rebuilt.entries_after(2, 0).map(|e| e.send_index).collect::<Vec<_>>(),
             vec![4]
         );
+    }
+
+    #[test]
+    fn entry_wire_roundtrip_and_consistency() {
+        let e = LogEntry::new(
+            3,
+            7,
+            9,
+            Bytes::from(vec![4, 5, 6]),
+            true,
+            Bytes::from(b"payload".to_vec()),
+        );
+        // Encode/decode (the checkpoint path) rebuilds identical
+        // decoded fields from the stored wire form.
+        let bytes = encode_to_vec(&e);
+        assert_eq!(bytes.len(), e.encoded_len());
+        let back: LogEntry = decode_from_slice(&bytes).unwrap();
+        assert_eq!(back, e);
+        assert!(back.needs_ack);
+        assert_eq!(back.tag, 9);
+        // from_wire of to_wire is the identity on decoded fields and
+        // shares the wire allocation (refcount, not copy).
+        let w = e.to_wire();
+        let again = LogEntry::from_wire(3, w.clone()).unwrap();
+        assert_eq!(again, e);
+        assert!(again.to_wire().shares_allocation(&w));
+        assert!(again.data.shares_allocation(&w), "payload is a window into wire");
+    }
+
+    #[test]
+    fn from_wire_rejects_non_app_messages() {
+        let wire = lclog_wire::encode_to_bytes(&WireMsg::Ack(9));
+        assert!(LogEntry::from_wire(0, wire).is_err());
     }
 }

@@ -78,7 +78,10 @@ pub struct AppWire {
     /// Per-(sender → receiver) send order number, starting at 1.
     pub send_index: u64,
     /// Protocol piggyback (TDI vector / TAG increment / TEL window).
-    pub piggyback: Vec<u8>,
+    /// Held as a refcounted handle: on receive it is a zero-copy
+    /// window into the ingested frame; on send it wraps the vector the
+    /// protocol built (no copy either way).
+    pub piggyback: Bytes,
     /// Whether the receiver's runtime must acknowledge ingestion
     /// (rendezvous sends in blocking mode).
     pub needs_ack: bool,
@@ -222,7 +225,7 @@ mod tests {
             WireMsg::App(AppWire {
                 tag: 5,
                 send_index: 6,
-                piggyback: vec![1, 2, 3],
+                piggyback: Bytes::from(vec![1, 2, 3]),
                 needs_ack: true,
                 data: Bytes::from_static(b"xyz"),
             }),

@@ -102,7 +102,7 @@ mod tests {
             wire: AppWire {
                 tag,
                 send_index,
-                piggyback: vec![],
+                piggyback: Bytes::new(),
                 needs_ack: false,
                 data: Bytes::new(),
             },

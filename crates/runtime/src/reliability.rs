@@ -10,9 +10,9 @@
 
 use crate::message::WireMsg;
 use crate::transport::Transport;
+use bytes::Bytes;
 use lclog_core::{CounterVector, Rank};
 use lclog_simnet::Envelope;
-use lclog_wire::encode_to_vec;
 
 /// Transport + rendezvous-ack state.
 pub(crate) struct Reliability {
@@ -37,8 +37,19 @@ impl Reliability {
     /// retransmitted until the peer's next incarnation answers (or the
     /// budget writes it off); recovery resends cover anything lost
     /// with the old incarnation.
-    pub fn send_wire(&mut self, dst: Rank, msg: &WireMsg) {
-        self.transport.send(dst, encode_to_vec(msg));
+    /// The frame (CRC + header + encoded message) is built in one
+    /// pass into one allocation; the returned `Bytes` is the
+    /// encoded-message region of that frame as a zero-copy window,
+    /// which `app_send` hands to the sender log.
+    pub fn send_wire(&mut self, dst: Rank, msg: &WireMsg) -> Bytes {
+        self.transport.send_msg(dst, msg)
+    }
+
+    /// Resend an already-encoded wire message (a window into the
+    /// sender log) with zero payload copies — only a small frame
+    /// header is built fresh.
+    pub fn send_encoded(&mut self, dst: Rank, inner: Bytes) {
+        self.transport.send_encoded(dst, inner);
     }
 
     /// Strip the transport frame off one raw envelope. Returns the

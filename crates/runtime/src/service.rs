@@ -74,7 +74,7 @@ pub fn spawn_event_logger(
                     continue;
                 };
                 backoff.reset();
-                let msg: WireMsg = match lclog_wire::decode_from_slice(&inner) {
+                let msg: WireMsg = match lclog_wire::decode_from_bytes(&inner) {
                     Ok(m) => m,
                     Err(_) => continue,
                 };
@@ -101,7 +101,7 @@ pub fn spawn_event_logger(
                                 upto: *upto,
                             },
                         );
-                        transport.send(src, encode_to_vec(&ack));
+                        transport.send_msg(src, &ack);
                     }
                     WireMsg::LogQuery(failed) => {
                         let found = dets
@@ -116,7 +116,7 @@ pub fn spawn_event_logger(
                             },
                         );
                         let resp = WireMsg::LogQueryResp(found);
-                        transport.send(src, encode_to_vec(&resp));
+                        transport.send_msg(src, &resp);
                     }
                     _ => {}
                 }

@@ -40,13 +40,14 @@ proptest! {
             match op {
                 Op::Send { dst } => {
                     sent[dst] += 1;
-                    log.insert(LogEntry {
-                        dst: dst as u32,
-                        send_index: sent[dst],
-                        tag: 0,
-                        piggyback: vec![1, 2],
-                        data: Bytes::from_static(b"x"),
-                    });
+                    log.insert(LogEntry::new(
+                        dst as u32,
+                        sent[dst],
+                        0,
+                        Bytes::from_static(&[1, 2]),
+                        false,
+                        Bytes::from_static(b"x"),
+                    ));
                 }
                 Op::Release { dst, upto_fraction } => {
                     let upto = (sent[dst] * upto_fraction as u64) / 255;
@@ -83,13 +84,14 @@ proptest! {
         for op in ops {
             if let Op::Send { dst } = op {
                 sent[dst] += 1;
-                log.insert(LogEntry {
-                    dst: dst as u32,
-                    send_index: sent[dst],
-                    tag: 0,
-                    piggyback: vec![],
-                    data: Bytes::new(),
-                });
+                log.insert(LogEntry::new(
+                    dst as u32,
+                    sent[dst],
+                    0,
+                    Bytes::new(),
+                    false,
+                    Bytes::new(),
+                ));
             }
         }
         let suffix: Vec<u64> = log.entries_after(0, from).map(|e| e.send_index).collect();

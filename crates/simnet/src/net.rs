@@ -254,6 +254,21 @@ impl SimNet {
     /// chaos seed and the per-link sequence number, so a schedule
     /// replays identically for the same per-link send sequence.
     pub fn send(&self, src: Rank, dst: Rank, payload: Bytes) -> Result<(), SendError> {
+        self.send_parts(src, dst, payload, Bytes::new())
+    }
+
+    /// Send a two-segment frame (`payload ++ body`) without joining
+    /// the segments. The zero-copy resend path uses this to pair a
+    /// small fresh header with a refcounted window into the sender
+    /// log; the fabric charges, corrupts, and delivers the pair as one
+    /// logical frame.
+    pub fn send_parts(
+        &self,
+        src: Rank,
+        dst: Rank,
+        payload: Bytes,
+        body: Bytes,
+    ) -> Result<(), SendError> {
         if dst >= self.fabric.n {
             return Err(SendError::BadRank(dst));
         }
@@ -261,8 +276,9 @@ impl SimNet {
             return Err(SendError::BadRank(src));
         }
         let seq = self.fabric.pair_seq[src * self.fabric.n + dst].fetch_add(1, Ordering::Relaxed) + 1;
-        self.fabric.stats.record_send(payload.len());
+        self.fabric.stats.record_send(payload.len() + body.len());
         let mut payload = payload;
+        let mut body = body;
         let mut duplicated = false;
         let mut stall = Duration::ZERO;
         if let Some(chaos) = &self.fabric.chaos {
@@ -276,11 +292,21 @@ impl SimNet {
                 return Ok(());
             }
             if let Some(bit) = fate.corrupt_bit {
-                if !payload.is_empty() {
-                    let mut bytes = payload.to_vec();
-                    let target = (bit % (bytes.len() as u64 * 8)) as usize;
-                    bytes[target / 8] ^= 1 << (target % 8);
-                    payload = Bytes::from(bytes);
+                let total = payload.len() + body.len();
+                if total > 0 {
+                    // Pick the flipped bit across the logical frame so
+                    // segmented sends are corrupted with the same
+                    // probability per byte as contiguous ones, then
+                    // copy-on-write only the segment that owns it.
+                    let target = (bit % (total as u64 * 8)) as usize;
+                    let (seg, seg_bit) = if target / 8 < payload.len() {
+                        (&mut payload, target)
+                    } else {
+                        (&mut body, target - payload.len() * 8)
+                    };
+                    let mut bytes = seg.to_vec();
+                    bytes[seg_bit / 8] ^= 1 << (seg_bit % 8);
+                    *seg = Bytes::from(bytes);
                     self.fabric.stats.record_chaos_corrupted();
                 }
             }
@@ -298,6 +324,7 @@ impl SimNet {
             dst,
             seq,
             payload,
+            body,
         };
         // A duplicate keeps the same fabric `seq`: it models the same
         // frame arriving twice, which the reliability layer above the

@@ -27,16 +27,77 @@ static TABLE: [u32; 256] = build_table();
 
 /// CRC-32 checksum of `bytes`.
 pub fn crc32(bytes: &[u8]) -> u32 {
-    let mut crc = !0u32;
-    for &b in bytes {
-        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    let mut h = Crc32::new();
+    h.update(bytes);
+    h.finalize()
+}
+
+/// CRC-32 of the logical concatenation `head ++ body`, computed
+/// without materializing the concatenation. The data plane uses this
+/// to checksum two-segment frames (fresh header + zero-copy payload)
+/// as if they were one contiguous buffer.
+pub fn crc32_concat(head: &[u8], body: &[u8]) -> u32 {
+    let mut h = Crc32::new();
+    h.update(head);
+    h.update(body);
+    h.finalize()
+}
+
+/// Incremental CRC-32 hasher: feed any number of slices with
+/// [`Crc32::update`]; [`Crc32::finalize`] yields the same value
+/// [`crc32`] would produce over their concatenation.
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
     }
-    !crc
+}
+
+impl Crc32 {
+    /// Fresh hasher.
+    pub fn new() -> Self {
+        Crc32 { state: !0u32 }
+    }
+
+    /// Absorb `bytes`.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut crc = self.state;
+        for &b in bytes {
+            crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+        }
+        self.state = crc;
+    }
+
+    /// Final checksum over everything absorbed so far.
+    pub fn finalize(&self) -> u32 {
+        !self.state
+    }
 }
 
 #[cfg(test)]
 mod tests {
-    use super::crc32;
+    use super::{crc32, crc32_concat, Crc32};
+
+    #[test]
+    fn concat_matches_contiguous() {
+        let data = b"the frame header and then the payload bytes";
+        for split in 0..=data.len() {
+            assert_eq!(
+                crc32_concat(&data[..split], &data[split..]),
+                crc32(data),
+                "split at {split}"
+            );
+        }
+        let mut h = Crc32::new();
+        h.update(b"the frame ");
+        h.update(b"");
+        h.update(b"header and then the payload bytes");
+        assert_eq!(h.finalize(), crc32(data));
+    }
 
     #[test]
     fn known_vectors() {

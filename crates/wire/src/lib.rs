@@ -39,16 +39,56 @@ mod reader;
 mod traits;
 pub mod varint;
 
-pub use crc32::crc32;
+pub use crc32::{crc32, crc32_concat, Crc32};
 pub use error::WireError;
 pub use reader::Reader;
 pub use traits::{Decode, Encode};
+
+use bytes::{Bytes, BytesMut};
 
 /// Encode a value into a fresh byte vector.
 pub fn encode_to_vec<T: Encode + ?Sized>(value: &T) -> Vec<u8> {
     let mut buf = Vec::with_capacity(value.encoded_len());
     value.encode(&mut buf);
     buf
+}
+
+/// Append a value's encoding to a reusable [`BytesMut`] frame builder.
+///
+/// This is the single-pass framing primitive: reserve once, encode
+/// header and payload into the same allocation, then
+/// [`BytesMut::freeze`] and slice out zero-copy windows.
+pub fn encode_into<T: Encode + ?Sized>(value: &T, buf: &mut BytesMut) {
+    buf.reserve(value.encoded_len());
+    value.encode(buf.as_mut_vec());
+}
+
+/// Encode a value into a frozen [`Bytes`] buffer sized exactly to its
+/// encoding (one allocation, no copy on freeze).
+pub fn encode_to_bytes<T: Encode + ?Sized>(value: &T) -> Bytes {
+    let mut buf = BytesMut::with_capacity(value.encoded_len());
+    value.encode(buf.as_mut_vec());
+    buf.freeze()
+}
+
+/// Decode a value from a refcounted buffer, requiring the buffer to be
+/// fully consumed. Byte-buffer fields (`Bytes`) decode as **zero-copy
+/// windows** into `buf` instead of copies.
+pub fn decode_from_bytes<T: Decode>(buf: &Bytes) -> Result<T, WireError> {
+    let mut reader = Reader::from_bytes(buf);
+    let value = T::decode(&mut reader)?;
+    reader.finish()?;
+    Ok(value)
+}
+
+/// Decode a value from the front of a refcounted buffer, returning the
+/// value and the number of bytes consumed. Like [`decode_from_bytes`],
+/// nested `Bytes` fields alias `buf` rather than copying.
+pub fn decode_prefix_bytes<T: Decode>(buf: &Bytes) -> Result<(T, usize), WireError> {
+    let mut reader = Reader::from_bytes(buf);
+    let value = T::decode(&mut reader)?;
+    let consumed = reader.position();
+    Ok((value, consumed))
 }
 
 /// Decode a value from a byte slice, requiring the slice to be fully

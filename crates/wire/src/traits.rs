@@ -184,7 +184,9 @@ impl Encode for Bytes {
 impl Decode for Bytes {
     fn decode(reader: &mut Reader<'_>) -> Result<Self, WireError> {
         let len = decode_len(reader, 1)?;
-        Ok(Bytes::copy_from_slice(reader.take(len)?))
+        // Zero-copy when the reader is backed by a `Bytes` (see
+        // `Reader::take_bytes`); copies otherwise.
+        reader.take_bytes(len)
     }
 }
 

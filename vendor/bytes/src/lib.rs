@@ -1,76 +1,171 @@
-//! Offline stand-in for the `bytes` crate: a cheaply-cloneable,
-//! immutable byte buffer backed by `Arc<[u8]>`.
+//! Offline stand-in for the `bytes` crate: cheaply-cloneable immutable
+//! byte buffers with **zero-copy slicing**, plus a `BytesMut` builder
+//! whose `freeze()` hands the accumulated bytes over without copying.
+//!
+//! A `Bytes` is a `(Arc<Vec<u8>>, offset, len)` view: `clone()` and
+//! `slice()` bump a refcount and adjust the window; the backing
+//! allocation is freed when the last view drops. This is the property
+//! the data plane relies on — one frame allocation per send, with the
+//! sender log, the unacked map, and the in-flight envelope all holding
+//! windows into it.
+//!
+//! Under `debug_assertions` the [`audit`] module counts every copying
+//! constructor (`copy_from_slice` and friends) so the transport can
+//! assert a copy budget per send path.
 
 use std::fmt;
-use std::ops::Deref;
-use std::sync::Arc;
+use std::ops::{Bound, Deref, DerefMut, RangeBounds};
+use std::sync::{Arc, OnceLock};
 
-/// An immutable, reference-counted contiguous slice of memory.
-#[derive(Clone, Default)]
+/// Copy-audit counters, live only under `debug_assertions`.
+///
+/// Every constructor that memcpys bytes into a fresh allocation bumps
+/// [`audit::copies`]. Zero-copy operations (`clone`, `slice`,
+/// `From<Vec<u8>>`, `BytesMut::freeze`) do not. Code that wants to
+/// prove a path copy-free snapshots the counter around it.
+pub mod audit {
+    #[cfg(debug_assertions)]
+    use std::cell::Cell;
+
+    // Per-thread so a copy-budget assertion around a send path cannot
+    // be tripped by concurrent traffic on other threads.
+    #[cfg(debug_assertions)]
+    thread_local! {
+        static COPIES: Cell<u64> = const { Cell::new(0) };
+        static BYTES_COPIED: Cell<u64> = const { Cell::new(0) };
+    }
+
+    /// Copying `Bytes` constructions performed by the current thread.
+    #[cfg(debug_assertions)]
+    pub fn copies() -> u64 {
+        COPIES.with(Cell::get)
+    }
+
+    /// Bytes memcpy'd by the current thread's copying constructions.
+    #[cfg(debug_assertions)]
+    pub fn bytes_copied() -> u64 {
+        BYTES_COPIED.with(Cell::get)
+    }
+
+    #[cfg(debug_assertions)]
+    pub(crate) fn note_copy(n: usize) {
+        COPIES.with(|c| c.set(c.get() + 1));
+        BYTES_COPIED.with(|c| c.set(c.get() + n as u64));
+    }
+
+    #[cfg(not(debug_assertions))]
+    #[inline(always)]
+    pub(crate) fn note_copy(_n: usize) {}
+}
+
+fn empty_backing() -> Arc<Vec<u8>> {
+    static EMPTY: OnceLock<Arc<Vec<u8>>> = OnceLock::new();
+    Arc::clone(EMPTY.get_or_init(|| Arc::new(Vec::new())))
+}
+
+/// An immutable, reference-counted window into a contiguous allocation.
+#[derive(Clone)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    data: Arc<Vec<u8>>,
+    off: usize,
+    len: usize,
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::new()
+    }
 }
 
 impl Bytes {
-    /// Creates a new empty `Bytes`.
+    /// Creates a new empty `Bytes` (shared backing, no allocation
+    /// beyond the process-wide empty buffer).
     pub fn new() -> Self {
-        Bytes { data: Arc::from(&[][..]) }
+        Bytes { data: empty_backing(), off: 0, len: 0 }
     }
 
-    /// Creates `Bytes` from a static slice without copying the backing
-    /// storage semantics of upstream (this stand-in copies once).
+    /// Creates `Bytes` from a static slice (this stand-in copies once;
+    /// upstream borrows).
     pub fn from_static(bytes: &'static [u8]) -> Self {
-        Bytes { data: Arc::from(bytes) }
+        Bytes::copy_from_slice(bytes)
     }
 
-    /// Copies `data` into a new `Bytes`.
+    /// Copies `data` into a new `Bytes`. Counted by [`audit`].
     pub fn copy_from_slice(data: &[u8]) -> Self {
-        Bytes { data: Arc::from(data) }
+        audit::note_copy(data.len());
+        let len = data.len();
+        Bytes { data: Arc::new(data.to_vec()), off: 0, len }
     }
 
-    /// Number of bytes.
+    /// Number of bytes in this view.
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.len
     }
 
-    /// True when the buffer holds no bytes.
+    /// True when the view holds no bytes.
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.len == 0
     }
 
-    /// Returns a slice containing the entire buffer.
+    /// Returns a slice containing the entire view.
     #[allow(clippy::should_implement_trait)]
     pub fn as_ref(&self) -> &[u8] {
-        &self.data
+        &self.data[self.off..self.off + self.len]
     }
 
     /// Returns a copy of the contents as a `Vec<u8>`.
     pub fn to_vec(&self) -> Vec<u8> {
-        self.data.to_vec()
+        self.as_ref().to_vec()
     }
 
-    /// Returns a sub-range of the buffer as a new `Bytes` (copies).
-    pub fn slice(&self, range: std::ops::Range<usize>) -> Self {
-        Bytes { data: Arc::from(&self.data[range]) }
+    /// Returns a sub-range of the view as a new `Bytes` **without
+    /// copying**: the result shares the backing allocation.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Self {
+        let start = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len,
+        };
+        assert!(
+            start <= end && end <= self.len,
+            "slice out of range: {start}..{end} of {}",
+            self.len
+        );
+        Bytes { data: Arc::clone(&self.data), off: self.off + start, len: end - start }
+    }
+
+    /// True when `self` and `other` are windows into the **same
+    /// allocation** — the zero-copy invariant probe used by tests and
+    /// the debug copy counter. Views of the shared empty backing are
+    /// never considered aliased.
+    pub fn shares_allocation(&self, other: &Bytes) -> bool {
+        self.len > 0 && other.len > 0 && Arc::ptr_eq(&self.data, &other.data)
     }
 }
 
 impl Deref for Bytes {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
-        &self.data
+        self.as_ref()
     }
 }
 
 impl AsRef<[u8]> for Bytes {
     fn as_ref(&self) -> &[u8] {
-        &self.data
+        Bytes::as_ref(self)
     }
 }
 
 impl From<Vec<u8>> for Bytes {
+    /// Takes ownership of `v` without copying its contents.
     fn from(v: Vec<u8>) -> Self {
-        Bytes { data: Arc::from(v.into_boxed_slice()) }
+        let len = v.len();
+        Bytes { data: Arc::new(v), off: 0, len }
     }
 }
 
@@ -82,7 +177,7 @@ impl From<&[u8]> for Bytes {
 
 impl PartialEq for Bytes {
     fn eq(&self, other: &Self) -> bool {
-        self.data[..] == other.data[..]
+        self.as_ref() == other.as_ref()
     }
 }
 
@@ -90,25 +185,25 @@ impl Eq for Bytes {}
 
 impl PartialEq<[u8]> for Bytes {
     fn eq(&self, other: &[u8]) -> bool {
-        self.data[..] == *other
+        self.as_ref() == other
     }
 }
 
 impl PartialEq<&[u8]> for Bytes {
     fn eq(&self, other: &&[u8]) -> bool {
-        self.data[..] == **other
+        self.as_ref() == *other
     }
 }
 
 impl PartialEq<Vec<u8>> for Bytes {
     fn eq(&self, other: &Vec<u8>) -> bool {
-        self.data[..] == other[..]
+        self.as_ref() == &other[..]
     }
 }
 
 impl std::hash::Hash for Bytes {
     fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
-        self.data.hash(state);
+        self.as_ref().hash(state);
     }
 }
 
@@ -120,14 +215,14 @@ impl PartialOrd for Bytes {
 
 impl Ord for Bytes {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.data[..].cmp(&other.data[..])
+        self.as_ref().cmp(other.as_ref())
     }
 }
 
 impl fmt::Debug for Bytes {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "b\"")?;
-        for &b in self.data.iter() {
+        for &b in self.as_ref() {
             for esc in std::ascii::escape_default(b) {
                 write!(f, "{}", esc as char)?;
             }
@@ -148,7 +243,98 @@ impl<'a> IntoIterator for &'a Bytes {
     type Item = &'a u8;
     type IntoIter = std::slice::Iter<'a, u8>;
     fn into_iter(self) -> Self::IntoIter {
-        self.data.iter()
+        self.as_ref().iter()
+    }
+}
+
+/// A unique, growable byte buffer; `freeze()` converts it into an
+/// immutable [`Bytes`] **without copying** (the `Vec` moves into the
+/// shared allocation).
+#[derive(Default)]
+pub struct BytesMut {
+    vec: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Empty buffer with room for `cap` bytes.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut { vec: Vec::with_capacity(cap) }
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.vec.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.vec.is_empty()
+    }
+
+    /// Capacity of the backing allocation.
+    pub fn capacity(&self) -> usize {
+        self.vec.capacity()
+    }
+
+    /// Clears contents, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.vec.clear();
+    }
+
+    /// Reserves room for at least `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.vec.reserve(additional);
+    }
+
+    /// Appends `src`.
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.vec.extend_from_slice(src);
+    }
+
+    /// Appends one byte.
+    pub fn put_u8(&mut self, b: u8) {
+        self.vec.push(b);
+    }
+
+    /// Mutable access to the underlying `Vec` so `Encode` impls (which
+    /// write into `&mut Vec<u8>`) can target this buffer directly.
+    pub fn as_mut_vec(&mut self) -> &mut Vec<u8> {
+        &mut self.vec
+    }
+
+    /// Converts into an immutable [`Bytes`] without copying.
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.vec)
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.vec
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.vec
+    }
+}
+
+impl From<Vec<u8>> for BytesMut {
+    fn from(vec: Vec<u8>) -> Self {
+        BytesMut { vec }
+    }
+}
+
+impl fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BytesMut").field("len", &self.vec.len()).finish()
     }
 }
 
@@ -167,5 +353,53 @@ mod tests {
         let c = b.clone();
         assert_eq!(c, b);
         assert_eq!(b.slice(1..3), Bytes::from_static(&[2, 3]));
+    }
+
+    #[test]
+    fn slice_is_zero_copy_and_nested() {
+        let b = Bytes::from(vec![0, 1, 2, 3, 4, 5, 6, 7]);
+        let s = b.slice(2..6);
+        assert_eq!(s, &[2u8, 3, 4, 5][..]);
+        assert!(s.shares_allocation(&b));
+        let s2 = s.slice(1..3);
+        assert_eq!(s2, &[3u8, 4][..]);
+        assert!(s2.shares_allocation(&b));
+        // Open-ended ranges work too.
+        assert_eq!(b.slice(6..), &[6u8, 7][..]);
+        assert_eq!(b.slice(..2), &[0u8, 1][..]);
+        // Copying constructors do NOT alias.
+        assert!(!Bytes::copy_from_slice(&b).shares_allocation(&b));
+    }
+
+    #[test]
+    fn freeze_is_zero_copy() {
+        let mut m = BytesMut::with_capacity(16);
+        m.extend_from_slice(&[9, 8, 7]);
+        m.put_u8(6);
+        assert_eq!(m.len(), 4);
+        let b = m.freeze();
+        assert_eq!(b, &[9u8, 8, 7, 6][..]);
+        let s = b.slice(1..3);
+        assert!(s.shares_allocation(&b));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    fn audit_counts_copying_constructors_only() {
+        let before = audit::copies();
+        let b = Bytes::from(vec![1, 2, 3, 4]); // zero-copy
+        let _ = b.clone(); // zero-copy
+        let _ = b.slice(1..4); // zero-copy
+        let _ = BytesMut::from(vec![5, 6]).freeze(); // zero-copy
+        assert_eq!(audit::copies(), before);
+        let _ = Bytes::copy_from_slice(&[1, 2]);
+        assert_eq!(audit::copies(), before + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "slice out of range")]
+    fn slice_bounds_checked() {
+        let b = Bytes::from(vec![1, 2, 3]);
+        let _ = b.slice(1..5);
     }
 }
