@@ -5,7 +5,7 @@ use crate::table::Table;
 use lclog_core::ProtocolKind;
 use lclog_npb::{run_benchmark, Benchmark, Class};
 use lclog_runtime::{
-    CheckpointPolicy, Cluster, ClusterConfig, CommMode, FailurePlan, RunConfig,
+    CheckpointPolicy, Cluster, ClusterConfig, CommMode, DetectorConfig, FailurePlan, RunConfig,
 };
 use lclog_simnet::{ChaosConfig, NetConfig};
 use std::time::Duration;
@@ -537,6 +537,104 @@ pub fn data_plane_table(n: usize) -> Table {
                 dp.retransmit_frames.to_string(),
                 (r.digests == clean.digests).to_string(),
             ]);
+        }
+    }
+    t
+}
+
+/// DET1 (failure detector ablation): sweep the φ-accrual suspicion
+/// threshold against fabric delay profiles and report, per cell, how
+/// fast real deaths are certified (`detect_ms`, mean crash→declaration
+/// latency), how many certifications were *false* (`false_kills` — a
+/// live incarnation fenced and forced to rejoin), and whether the run
+/// still produced the failure-free digests. Low thresholds detect
+/// faster but misfire under heavy-tailed delays; the table makes the
+/// trade visible and motivates the φ = 8 default.
+pub fn ablation_detector(n: usize) -> Table {
+    let mut t = Table::new(
+        format!("DET1 — Detector threshold × delay profile (LU/TDI, {n} ranks, 1 real kill)"),
+        &[
+            "phi",
+            "delays",
+            "wall_ms",
+            "declared",
+            "detect_ms",
+            "false_kills",
+            "gate_to",
+            "digests_ok",
+        ],
+    );
+    let class = Class::Test;
+    let steps = total_steps(Benchmark::Lu, class);
+    let ckpt = (steps / 6).max(2);
+    let clean = {
+        let mut c = ClusterConfig::new(
+            n,
+            RunConfig::new(ProtocolKind::Tdi).with_checkpoint(CheckpointPolicy::EverySteps(ckpt)),
+        );
+        c.max_wall = Duration::from_secs(600);
+        run_benchmark(Benchmark::Lu, class, &c).expect("clean run")
+    };
+    // (label, P(extra delay), median, sigma, cap). The mild cap stays
+    // under every threshold's detection silence; the heavy cap (40 ms)
+    // deliberately crosses the low-φ ones.
+    let profiles: [(&str, f64, u64, f64, u64); 3] = [
+        ("none", 0.0, 0, 0.0, 0),
+        ("mild", 0.02, 2, 1.0, 10),
+        ("heavy", 0.05, 4, 1.2, 40),
+    ];
+    for phi in [2.0f64, 4.0, 8.0, 12.0] {
+        for (label, p, median, sigma, cap) in profiles {
+            let mut c = ClusterConfig::new(
+                n,
+                RunConfig::new(ProtocolKind::Tdi)
+                    .with_checkpoint(CheckpointPolicy::EverySteps(ckpt))
+                    .with_detector(DetectorConfig::default().with_threshold(phi)),
+            )
+            .with_failures(FailurePlan::kill_at(1 % n, steps / 2));
+            if p > 0.0 {
+                c = c.with_net(NetConfig::direct().with_chaos(
+                    ChaosConfig::seeded(0xDE7 ^ n as u64).with_heavy_tail(
+                        p,
+                        Duration::from_millis(median),
+                        sigma,
+                        Duration::from_millis(cap),
+                    ),
+                ));
+            }
+            c.max_wall = Duration::from_secs(600);
+            // A pathological cell (φ so low that fencing churn starves
+            // progress) may trip the watchdog: report it as a failed
+            // row instead of aborting the sweep.
+            match run_benchmark(Benchmark::Lu, class, &c) {
+                Ok(r) => {
+                    let det = r.detector.clone().unwrap_or_default();
+                    t.row(vec![
+                        format!("{phi:.0}"),
+                        label.to_string(),
+                        format!("{:.1}", r.wall.as_secs_f64() * 1e3),
+                        det.declarations.to_string(),
+                        det.mean_latency()
+                            .map(|d| format!("{:.1}", d.as_secs_f64() * 1e3))
+                            .unwrap_or_else(|| "-".into()),
+                        det.false_kills.to_string(),
+                        det.gate_timeouts.to_string(),
+                        (r.digests == clean.digests).to_string(),
+                    ]);
+                }
+                Err(e) => {
+                    t.row(vec![
+                        format!("{phi:.0}"),
+                        label.to_string(),
+                        "-".into(),
+                        "-".into(),
+                        "-".into(),
+                        "-".into(),
+                        "-".into(),
+                        format!("false ({e})"),
+                    ]);
+                }
+            }
         }
     }
     t

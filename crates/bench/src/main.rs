@@ -3,15 +3,15 @@
 //! ```text
 //! reproduce [--quick] [fig6|fig7|fig8|ablation-rate|ablation-replay|
 //!                       ablation-ckpt|ablation-protocols|ablation-f|
-//!                       ablation-chaos|data-plane|all]
+//!                       ablation-chaos|data-plane|detector|all]
 //! ```
 //!
 //! Tables are printed to stdout and archived as CSV under `results/`.
 
 use lclog_bench::experiments::{
-    ablation_chaos, ablation_ckpt, ablation_f_bound, ablation_protocols, ablation_rate,
-    ablation_replay, data_plane_table, fig6_table, fig7_table, fig8_table, overhead_matrix,
-    ExpConfig,
+    ablation_chaos, ablation_ckpt, ablation_detector, ablation_f_bound, ablation_protocols,
+    ablation_rate, ablation_replay, data_plane_table, fig6_table, fig7_table, fig8_table,
+    overhead_matrix, ExpConfig,
 };
 use lclog_bench::Table;
 use std::path::Path;
@@ -110,6 +110,12 @@ fn main() {
         let t = data_plane_table(if quick { 4 } else { 8 });
         print!("{}", t.render());
         save(&t, "data_plane");
+        println!();
+    }
+    if all || which.contains(&"detector") {
+        let t = ablation_detector(if quick { 4 } else { 8 });
+        print!("{}", t.render());
+        save(&t, "detector_ablation");
         println!();
     }
 }

@@ -4,6 +4,7 @@
 //! testbed scripts.
 
 use crate::config::RunConfig;
+use crate::detector::MembershipTable;
 use crate::engine::Engine;
 use crate::events::{Event, EventKind, EventSink};
 use crate::fault::{Fault, StepStatus};
@@ -12,6 +13,7 @@ use crate::process::{RankApp, RankCtx};
 use crate::service::spawn_event_logger;
 use crate::transport::DataPlaneStats;
 use lclog_core::{Rank, TrackingStats};
+use std::collections::HashMap;
 use lclog_simnet::{NetConfig, SimNet};
 use lclog_stable::{CheckpointStore, DiskStore, MemStore, StableStorage};
 use std::path::PathBuf;
@@ -264,6 +266,37 @@ pub struct RunReport {
     /// Structured fault-tolerance timeline (empty unless
     /// [`ClusterConfig::trace`] was set).
     pub timeline: Vec<Event>,
+    /// Failure-detection bookkeeping (`None` unless the run had a
+    /// detector configured).
+    pub detector: Option<DetectorReport>,
+}
+
+/// What a detected-failures run learned about its own detector: how
+/// fast real deaths were certified and how many live incarnations a
+/// false suspicion fenced.
+#[derive(Debug, Clone, Default)]
+pub struct DetectorReport {
+    /// Death declarations certified by the membership arbiter.
+    pub declarations: u32,
+    /// Live incarnations fenced by a false suspicion; each one cost a
+    /// full crash-and-rejoin cycle.
+    pub false_kills: u32,
+    /// Per injected kill that was certified: time from the crash to
+    /// the arbiter's declaration.
+    pub detection_latency: Vec<Duration>,
+    /// Respawns that started on the gate-timeout fallback instead of a
+    /// certified declaration (no survivor managed to detect in time).
+    pub gate_timeouts: u32,
+}
+
+impl DetectorReport {
+    /// Mean declared-dead latency across certified kills.
+    pub fn mean_latency(&self) -> Option<Duration> {
+        if self.detection_latency.is_empty() {
+            return None;
+        }
+        Some(self.detection_latency.iter().sum::<Duration>() / self.detection_latency.len() as u32)
+    }
 }
 
 enum Outcome {
@@ -277,7 +310,12 @@ enum Outcome {
         rank: Rank,
         stats: TrackingStats,
         data_plane: DataPlaneStats,
+        /// True when the death was a membership fencing of a live
+        /// incarnation (false suspicion), not an injected kill.
+        fenced: bool,
     },
+    /// A respawn gate fell through on its timeout (bookkeeping only).
+    GateTimeout,
 }
 
 /// Entry point for running applications under rollback recovery.
@@ -308,14 +346,22 @@ impl Cluster {
         let plan = Arc::new(cfg.failures.clone());
         let (tx, rx) = crossbeam::channel::unbounded::<Outcome>();
 
+        // Detected-failures mode: the stable service slot doubles as
+        // the membership arbiter, so the service runs even for
+        // protocols that need no event logger.
+        let membership = cfg
+            .run
+            .detector
+            .map(|_| Arc::new(MembershipTable::new(n)));
         let mut handles: Vec<JoinHandle<()>> = Vec::new();
-        if cfg.run.protocol.uses_event_logger() {
+        if cfg.run.protocol.uses_event_logger() || membership.is_some() {
             handles.push(spawn_event_logger(
                 net.clone(),
                 net.attach(crate::logger_rank(n)),
                 Arc::clone(&storage),
                 Arc::clone(&shutdown),
                 sink.clone(),
+                membership.clone(),
             ));
         }
         // Attach every endpoint *before* spawning any rank thread: a
@@ -336,6 +382,7 @@ impl Cluster {
                 Arc::clone(&shutdown),
                 sink.clone(),
                 tx.clone(),
+                membership.clone(),
             ));
         }
 
@@ -345,6 +392,12 @@ impl Cluster {
         let mut per_rank_data_plane = vec![DataPlaneStats::default(); n];
         let mut incarnations = vec![1u64; n];
         let mut kills = 0u32;
+        let mut false_kills = 0u32;
+        let mut gate_timeouts = 0u32;
+        // Detection-latency bookkeeping: when each incarnation died
+        // (the rank thread reports its own death immediately, so the
+        // receive time is the crash time to within scheduling noise).
+        let mut killed_at: HashMap<(Rank, u64), Instant> = HashMap::new();
 
         while digests.iter().any(Option::is_none) {
             match rx.recv_timeout(Duration::from_millis(50)) {
@@ -362,8 +415,17 @@ impl Cluster {
                     rank,
                     stats,
                     data_plane,
+                    fenced,
                 }) => {
                     kills += 1;
+                    if fenced {
+                        false_kills += 1;
+                        // A fenced incarnation was falsely declared —
+                        // its digest (if any) is void; it must rejoin.
+                        digests[rank] = None;
+                    } else {
+                        killed_at.insert((rank, incarnations[rank]), Instant::now());
+                    }
                     per_rank_stats[rank].merge(&stats);
                     per_rank_data_plane[rank].merge(&data_plane);
                     incarnations[rank] += 1;
@@ -381,8 +443,10 @@ impl Cluster {
                         Arc::clone(&shutdown),
                         sink.clone(),
                         tx.clone(),
+                        membership.clone(),
                     ));
                 }
+                Ok(Outcome::GateTimeout) => gate_timeouts += 1,
                 Err(_) => {
                     if start.elapsed() > cfg.max_wall {
                         shutdown.store(true, Ordering::Relaxed);
@@ -410,6 +474,25 @@ impl Cluster {
         for d in &per_rank_data_plane {
             data_plane.merge(d);
         }
+        let detector = membership.map(|table| {
+            let mut report = DetectorReport {
+                false_kills,
+                gate_timeouts,
+                ..DetectorReport::default()
+            };
+            for decl in table.declarations() {
+                report.declarations += 1;
+                // Latency is only meaningful for declarations matching
+                // an injected kill; a declaration with no matching
+                // death was a false suspicion.
+                if let Some(&died) = killed_at.get(&(decl.rank, decl.incarnation)) {
+                    report
+                        .detection_latency
+                        .push(decl.at.saturating_duration_since(died));
+                }
+            }
+            report
+        });
         Ok(RunReport {
             digests: digests.into_iter().map(Option::unwrap).collect(),
             per_rank_stats,
@@ -425,6 +508,7 @@ impl Cluster {
             per_rank_data_plane,
             data_plane,
             timeline: sink.take(),
+            detector,
         })
     }
 }
@@ -443,6 +527,7 @@ fn spawn_rank<A: RankApp>(
     shutdown: Arc<AtomicBool>,
     sink: EventSink,
     tx: crossbeam::channel::Sender<Outcome>,
+    membership: Option<Arc<MembershipTable>>,
 ) -> JoinHandle<()> {
     std::thread::Builder::new()
         .name(format!("lclog-rank-{rank}.{incarnation}"))
@@ -460,6 +545,7 @@ fn spawn_rank<A: RankApp>(
                 shutdown,
                 sink,
                 tx,
+                membership,
             )
         })
         .expect("spawn rank thread")
@@ -479,7 +565,22 @@ fn rank_main<A: RankApp>(
     shutdown: Arc<AtomicBool>,
     sink: EventSink,
     tx: crossbeam::channel::Sender<Outcome>,
+    membership: Option<Arc<MembershipTable>>,
 ) {
+    // Detected-failures mode: a replacement incarnation does not start
+    // until the arbiter has *certified* its predecessor dead — the
+    // respawn is driven by detection, not by the injection script. The
+    // gate-timeout fallback preserves liveness if no survivor can
+    // detect (e.g. everyone else is also down).
+    if incarnation > 1 {
+        if let (Some(table), Some(dcfg)) = (&membership, &run.detector) {
+            if !table.wait_floor_above(rank, incarnation - 1, dcfg.gate_timeout)
+                && !shutdown.load(Ordering::Relaxed)
+            {
+                let _ = tx.send(Outcome::GateTimeout);
+            }
+        }
+    }
     let mut kernel = Kernel::new(rank, n, run, net, ckpts);
     kernel.set_incarnation(incarnation);
     kernel.set_event_sink(sink.clone());
@@ -513,6 +614,7 @@ fn rank_main<A: RankApp>(
                 rank,
                 stats: snap.stats,
                 data_plane: snap.data_plane,
+                fenced: false,
             });
             return;
         }
@@ -537,6 +639,20 @@ fn rank_main<A: RankApp>(
                 // Stay responsive: peers may still fail and need our
                 // logged messages resent.
                 engine.serve_until_shutdown();
+                if engine.is_fenced() && !shutdown.load(Ordering::Relaxed) {
+                    // A false suspicion fenced a *finished* rank. Its
+                    // reported digest is void; crash and rejoin like
+                    // any other fenced incarnation. Stats were already
+                    // reported with the Done outcome, so send empties
+                    // to avoid double counting.
+                    engine.crash();
+                    let _ = tx.send(Outcome::Killed {
+                        rank,
+                        stats: TrackingStats::default(),
+                        data_plane: DataPlaneStats::default(),
+                        fenced: true,
+                    });
+                }
                 return;
             }
             Err(Fault::Killed) => {
@@ -546,6 +662,7 @@ fn rank_main<A: RankApp>(
                     rank,
                     stats: snap.stats,
                     data_plane: snap.data_plane,
+                    fenced: false,
                 });
                 return;
             }
@@ -555,7 +672,8 @@ fn rank_main<A: RankApp>(
                 // the checkpoint and re-run recovery, so the operation
                 // is retried against whatever incarnation of the peer
                 // eventually answers. The run watchdog bounds repeated
-                // failures.
+                // failures. (With a detector configured this fault is
+                // never surfaced — exhaustion becomes a suspicion.)
                 sink.emit(rank, EventKind::Crashed { step });
                 engine.crash();
                 let snap = engine.snapshot();
@@ -563,6 +681,24 @@ fn rank_main<A: RankApp>(
                     rank,
                     stats: snap.stats,
                     data_plane: snap.data_plane,
+                    fenced: false,
+                });
+                return;
+            }
+            Err(Fault::Fenced) => {
+                // The membership service declared this very (live)
+                // incarnation dead. Every peer rejects our frames now,
+                // so volatile state is forfeit exactly as if we had
+                // crashed: unwind and rejoin via the normal rollback
+                // path as the next incarnation.
+                sink.emit(rank, EventKind::Crashed { step });
+                engine.crash();
+                let snap = engine.snapshot();
+                let _ = tx.send(Outcome::Killed {
+                    rank,
+                    stats: snap.stats,
+                    data_plane: snap.data_plane,
+                    fenced: true,
                 });
                 return;
             }

@@ -1,3 +1,4 @@
+use crate::detector::DetectorConfig;
 use lclog_core::ProtocolKind;
 use std::time::Duration;
 
@@ -63,7 +64,16 @@ pub struct RunConfig {
     pub retransmit_cap: Duration,
     /// Consecutive no-progress retransmission rounds before a peer is
     /// declared [`crate::Fault::Unreachable`].
+    ///
+    /// With a detector configured, budget exhaustion is instead fed to
+    /// the detector as a suspicion input and retransmission continues.
     pub retransmit_budget: u32,
+    /// When `Some`, failures are *detected* instead of announced: the
+    /// φ-accrual detector runs at every rank, the membership arbiter
+    /// runs on the service slot, stale incarnations are fenced, and
+    /// budget exhaustion becomes a suspicion input rather than a
+    /// unilateral [`crate::Fault::Unreachable`] verdict.
+    pub detector: Option<DetectorConfig>,
 }
 
 impl RunConfig {
@@ -79,6 +89,7 @@ impl RunConfig {
             retransmit_timeout: Duration::from_millis(2),
             retransmit_cap: Duration::from_millis(50),
             retransmit_budget: 40,
+            detector: None,
         }
     }
 
@@ -91,6 +102,13 @@ impl RunConfig {
     /// Builder-style checkpoint policy override.
     pub fn with_checkpoint(mut self, policy: CheckpointPolicy) -> Self {
         self.checkpoint = policy;
+        self
+    }
+
+    /// Builder-style detector enablement: switch from announced to
+    /// detected failures.
+    pub fn with_detector(mut self, detector: DetectorConfig) -> Self {
+        self.detector = Some(detector);
         self
     }
 }

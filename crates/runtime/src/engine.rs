@@ -157,10 +157,19 @@ impl Engine {
         if self.shared.dead.load(Ordering::Relaxed) {
             return Err(Fault::Killed);
         }
+        if self.shared.kernel.is_fenced() {
+            return Err(Fault::Fenced);
+        }
         if self.shared.shutdown.load(Ordering::Relaxed) {
             return Err(Fault::Shutdown);
         }
         Ok(())
+    }
+
+    /// True once a membership view declared this live incarnation dead
+    /// (a false suspicion caught it). The harness treats it as a crash.
+    pub fn is_fenced(&self) -> bool {
+        self.shared.kernel.is_fenced()
     }
 
     /// Drain the fabric inbox into the kernel (blocking mode only —
@@ -367,6 +376,12 @@ impl Engine {
         let mut backoff = self.poll_backoff();
         while !self.shared.shutdown.load(Ordering::Relaxed) {
             if self.shared.dead.load(Ordering::Relaxed) {
+                return;
+            }
+            // A false suspicion can fence even a finished rank; return
+            // so the harness can crash-and-respawn it (peers reject a
+            // fenced incarnation's frames, so serving is pointless).
+            if self.shared.kernel.is_fenced() {
                 return;
             }
             match self.mode {

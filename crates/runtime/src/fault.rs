@@ -15,7 +15,15 @@ pub enum Fault {
     /// cluster harness treats this like a crash (restore + `ROLLBACK`)
     /// so the operation is retried against whatever incarnation of the
     /// peer eventually answers, instead of hanging forever.
+    ///
+    /// Only surfaced when no detector is configured; with one, budget
+    /// exhaustion feeds the detector instead.
     Unreachable(Rank),
+    /// A membership view declared this very incarnation dead (a false
+    /// suspicion caught it alive). The rank must drop its volatile
+    /// state and rejoin through the normal rollback path — continuing
+    /// would mix two incarnations' sends into one membership epoch.
+    Fenced,
 }
 
 impl fmt::Display for Fault {
@@ -25,6 +33,9 @@ impl fmt::Display for Fault {
             Fault::Shutdown => write!(f, "cluster shutting down"),
             Fault::Unreachable(peer) => {
                 write!(f, "peer rank {peer} unreachable (retransmit budget exhausted)")
+            }
+            Fault::Fenced => {
+                write!(f, "this incarnation was declared dead (fenced); must rejoin")
             }
         }
     }

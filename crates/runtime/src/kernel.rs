@@ -44,17 +44,18 @@
 
 use crate::config::RunConfig;
 use crate::delivery::{Admit, Delivery};
+use crate::detector::Detector;
 use crate::events::{EventKind, EventSink};
 use crate::log::{LogEntry, SenderLog};
 use crate::message::{
-    AppMsg, AppWire, CkptAdvanceWire, RecvSpec, ResponseWire, RollbackWire, WireMsg,
+    AppMsg, AppWire, CkptAdvanceWire, RecvSpec, ResponseWire, RollbackWire, SuspectWire, WireMsg,
 };
 use crate::recovery::{RecoveryLayer, RecoveryPhase, Transition};
 use crate::reliability::Reliability;
 use crate::tracking::Tracking;
 use crate::transport::{DataPlaneStats, Transport, TransportConfig};
 use bytes::Bytes;
-use lclog_core::{make_protocol, CounterVector, DeliveryVerdict, Rank, TrackingStats};
+use lclog_core::{make_protocol, CounterVector, DeliveryVerdict, MembershipView, Rank, TrackingStats};
 use lclog_simnet::{Envelope, SimNet};
 use lclog_stable::CheckpointStore;
 use lclog_wire::{encode_to_vec, impl_wire_struct};
@@ -111,6 +112,9 @@ pub struct KernelSnapshot {
     pub dup_discarded: u64,
     /// Corrupt frames the transport detected.
     pub corrupt_detected: u64,
+    /// Frames rejected (and answered with `FENCED`) because they came
+    /// from a below-floor incarnation.
+    pub fenced_rejected: u64,
     /// Data-plane byte accounting: frames built, bytes framed, payload
     /// copies, zero-copy resends.
     pub data_plane: DataPlaneStats,
@@ -134,6 +138,11 @@ pub struct Kernel {
     /// Replaying". Stored with Release only after recovery info is
     /// installed under the tracking lock.
     recovering: AtomicBool,
+    /// Lock-free mirror of the transport's self-fenced flag: a
+    /// membership view (or a peer's `Fenced` notice) declared this
+    /// incarnation dead. Engines poll it in `check_live` and surface
+    /// [`crate::Fault::Fenced`].
+    fenced: AtomicBool,
     recovery: Mutex<RecoveryLayer>,
     tracking: Mutex<Tracking>,
     delivery: Mutex<Delivery>,
@@ -158,6 +167,10 @@ impl Kernel {
                 budget: cfg.retransmit_budget,
             },
         );
+        let mut reliability = Reliability::new(transport, n);
+        if let Some(dcfg) = cfg.detector {
+            reliability.set_detector(Detector::new(me, n, dcfg));
+        }
         Kernel {
             me,
             n,
@@ -166,10 +179,11 @@ impl Kernel {
             logger,
             holds_delivery_in_recovery,
             recovering: AtomicBool::new(false),
+            fenced: AtomicBool::new(false),
             recovery: Mutex::new(RecoveryLayer::new(n, ckpt_store)),
             tracking: Mutex::new(Tracking::new(protocol)),
             delivery: Mutex::new(Delivery::new(n)),
-            reliability: Mutex::new(Reliability::new(transport, n)),
+            reliability: Mutex::new(reliability),
             events: EventSink::disabled(),
         }
     }
@@ -241,6 +255,7 @@ impl Kernel {
             queued: del.queue.len(),
             dup_discarded: rel.transport.dup_discarded(),
             corrupt_detected: rel.transport.corrupt_detected(),
+            fenced_rejected: rel.transport.fenced_rejected(),
             data_plane: rel.transport.data_plane(),
         }
     }
@@ -254,6 +269,14 @@ impl Kernel {
     /// information (lock-free).
     pub fn is_recovering(&self) -> bool {
         self.recovering.load(Ordering::Acquire)
+    }
+
+    /// True once a membership view (or a peer's `FENCED` notice)
+    /// declared this very incarnation dead (lock-free). Engines must
+    /// stop the application with [`crate::Fault::Fenced`]: volatile
+    /// state is forfeit, the successor rejoins via `ROLLBACK`.
+    pub fn is_fenced(&self) -> bool {
+        self.fenced.load(Ordering::Acquire)
     }
 
     /// Protocol send gate (pessimistic logging holds sends while
@@ -390,7 +413,17 @@ impl Kernel {
     /// owns it.
     pub fn ingest(&self, env: Envelope) {
         let src = env.src;
-        let Some(inner) = self.reliability.lock().ingest(env) else {
+        let inner = {
+            let mut rel = self.reliability.lock();
+            let inner = rel.ingest(env);
+            // A `FENCED` notice from a peer lands entirely inside the
+            // transport; mirror its verdict while we hold the lock.
+            if rel.transport.is_self_fenced() {
+                self.fenced.store(true, Ordering::Release);
+            }
+            inner
+        };
+        let Some(inner) = inner else {
             return;
         };
         // Zero-copy decode: `App` payload and piggyback come out as
@@ -422,8 +455,9 @@ impl Kernel {
             }
             WireMsg::LogAck(upto) => self.tracking.lock().protocol.on_logger_ack(upto),
             WireMsg::LogQueryResp(dets) => self.handle_logger_sync(dets),
-            WireMsg::LogDets(_) | WireMsg::LogQuery(_) => {
-                debug_assert!(false, "logger-bound message reached rank {}", self.me);
+            WireMsg::Membership(view) => self.handle_membership(view),
+            WireMsg::LogDets(_) | WireMsg::LogQuery(_) | WireMsg::Suspect(_) => {
+                debug_assert!(false, "service-bound message reached rank {}", self.me);
             }
         }
     }
@@ -792,12 +826,122 @@ impl Kernel {
         }
     }
 
+    /// A certified membership view from the arbiter. Three duties:
+    ///
+    /// 1. Raise the transport's fence floors, so below-floor
+    ///    incarnations are rejected (and notified) from here on — and
+    ///    mirror the verdict if the view fences *us*.
+    /// 2. Reset the detector's book on every newly-declared rank: the
+    ///    successor incarnation starts with a clean silence clock and
+    ///    an unlatched suspicion.
+    /// 3. **Supervised recovery**: if we are mid-recovery and a rank
+    ///    we are still owed a `RESPONSE` by was just declared dead,
+    ///    re-drive the `ROLLBACK` broadcast immediately — its
+    ///    successor needs our rollback vector, and waiting for the
+    ///    retry clock would leave `Replaying{progress}` wedged on a
+    ///    corpse for a whole retry interval per cascade link.
+    ///
+    /// Locks: `reliability` alone, released, then (only when duty 3
+    /// applies) `recovery` — never nested, so the leaf rule holds.
+    fn handle_membership(&self, view: MembershipView) {
+        let advanced = {
+            let mut rel = self.reliability.lock();
+            let advanced = rel.transport.apply_fence_floors(view.epoch, &view.floor);
+            if rel.transport.is_self_fenced() {
+                self.fenced.store(true, Ordering::Release);
+            }
+            if let (Some(adv), Some(det)) = (&advanced, &mut rel.detector) {
+                let now = Instant::now();
+                for &r in adv {
+                    det.reset_peer(r, now);
+                }
+            }
+            advanced
+        };
+        let Some(advanced) = advanced else {
+            return; // stale or already-applied view
+        };
+        if advanced.is_empty() || !self.recovering.load(Ordering::Acquire) {
+            return;
+        }
+        let mut rec = self.recovery.lock();
+        if !rec.machine.is_recovering() {
+            return;
+        }
+        let pending = rec.machine.pending_targets();
+        if advanced.iter().any(|r| pending.contains(r)) {
+            self.broadcast_rollback(&mut rec);
+        }
+    }
+
     /// Periodic maintenance: drive the reliability layer's
-    /// retransmission timers, and rebroadcast `ROLLBACK` to peers that
-    /// have not responded (they may have been dead when the first
-    /// broadcast went out — the multi-failure case of Fig. 2).
+    /// retransmission timers and the failure detector (liveness feed,
+    /// forced suspicions, threshold crossings, idle heartbeats), then
+    /// rebroadcast `ROLLBACK` to peers that have not responded (they
+    /// may have been dead when the first broadcast went out — the
+    /// multi-failure case of Fig. 2).
     pub fn tick(&self) {
-        self.reliability.lock().transport.tick();
+        // (rank, believed incarnation, φ·100) per new suspicion.
+        let mut suspects: Vec<(Rank, u64, u64)> = Vec::new();
+        {
+            let mut rel = self.reliability.lock();
+            rel.transport.tick();
+            let Reliability {
+                transport, detector, ..
+            } = &mut *rel;
+            if let Some(det) = detector {
+                let now = Instant::now();
+                transport.take_heard(|r| det.heard(r, now));
+                // Budget exhaustion = forced threshold crossing.
+                let mut crossed: Vec<(Rank, u64)> = Vec::new();
+                for r in transport.take_pending_suspects() {
+                    if det.force_suspect(r) {
+                        crossed.push((r, (det.phi(r, now) * 100.0) as u64));
+                    }
+                }
+                crossed.extend(det.poll(now));
+                if det.heartbeat_due(now) {
+                    for k in 0..self.n {
+                        if k != self.me {
+                            transport.send_heartbeat(k);
+                        }
+                    }
+                }
+                // The believed incarnation: the highest one we have
+                // evidence of — data-frame epochs or heartbeats seen
+                // (`peer_incarnation`), or the membership floor if a
+                // successor has been declared but never spoke. A
+                // stale belief is harmless: the arbiter answers it
+                // with the current view instead of a declaration.
+                for (r, phi_x100) in crossed {
+                    let believed = transport
+                        .peer_incarnation(r)
+                        .max(transport.fence_floor(r))
+                        .max(1);
+                    suspects.push((r, believed, phi_x100));
+                }
+            }
+            if rel.transport.is_self_fenced() {
+                self.fenced.store(true, Ordering::Release);
+            }
+        }
+        for (r, incarnation, phi_x100) in suspects {
+            self.events.emit(
+                self.me,
+                EventKind::PeerSuspected {
+                    peer: r,
+                    incarnation,
+                    phi_x100,
+                },
+            );
+            self.send_wire(
+                crate::logger_rank(self.n),
+                &WireMsg::Suspect(SuspectWire {
+                    rank: r as u32,
+                    incarnation,
+                }),
+            );
+        }
         if self.recovering.load(Ordering::Acquire) {
             let mut rec = self.recovery.lock();
             if rec.machine.rebroadcast_due(self.cfg.retry_interval) {
@@ -835,6 +979,8 @@ impl std::fmt::Debug for Kernel {
             .field("recovery_phase", rec.machine.phase())
             .field("dup_discarded", &rel.transport.dup_discarded())
             .field("corrupt_detected", &rel.transport.corrupt_detected())
+            .field("fence_epoch", &rel.transport.fence_epoch())
+            .field("fenced_rejected", &rel.transport.fenced_rejected())
             .field("channels", &rel.transport.channel_summary())
             .finish()
     }

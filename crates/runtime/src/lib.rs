@@ -46,6 +46,7 @@ mod cluster;
 pub mod collectives;
 mod config;
 mod delivery;
+mod detector;
 mod engine;
 pub mod events;
 mod fault;
@@ -60,22 +61,28 @@ mod service;
 mod tracking;
 mod transport;
 
-pub use cluster::{Cluster, ClusterConfig, FailurePlan, Kill, RunReport, StorageKind};
+pub use cluster::{
+    Cluster, ClusterConfig, DetectorReport, FailurePlan, Kill, RunReport, StorageKind,
+};
 pub use events::{Event, EventKind, EventSink};
 pub use config::{CheckpointPolicy, CommMode, RunConfig};
+pub use detector::DetectorConfig;
 pub use fault::{Fault, StepStatus};
 pub use kernel::{CheckpointImage, Kernel, KernelSnapshot};
 pub use recovery::RecoveryPhase;
 pub use log::{LogEntry, SenderLog};
 pub use message::{
-    AppMsg, AppWire, CkptAdvanceWire, RecvSpec, ResponseWire, RollbackWire, WireMsg, ANY_SOURCE,
-    ANY_TAG,
+    AppMsg, AppWire, CkptAdvanceWire, RecvSpec, ResponseWire, RollbackWire, SuspectWire, WireMsg,
+    ANY_SOURCE, ANY_TAG,
 };
 pub use process::{RankApp, RankCtx};
 pub use transport::DataPlaneStats;
 
 /// Rank identifier (re-exported from the protocol layer).
 pub use lclog_core::Rank;
+
+/// Certified membership view (re-exported from the protocol layer).
+pub use lclog_core::MembershipView;
 
 /// The fabric rank used by the TEL event-logger service: always
 /// allocated as slot `n` of an `n`-process application.

@@ -8,17 +8,23 @@
 //! strips the transport frame under this lock, releases it, and only
 //! then dispatches the inner message to the layer that owns it.
 
+use crate::detector::Detector;
 use crate::message::WireMsg;
 use crate::transport::Transport;
 use bytes::Bytes;
 use lclog_core::{CounterVector, Rank};
 use lclog_simnet::Envelope;
+use std::time::Instant;
 
 /// Transport + rendezvous-ack state.
 pub(crate) struct Reliability {
     pub transport: Transport,
     /// Highest acknowledged rendezvous send per destination.
     pub acked: CounterVector,
+    /// φ-accrual failure detector (detected-failures mode only). Lives
+    /// here so its liveness feed — intact frames surfaced by the
+    /// transport — never needs another lock.
+    pub detector: Option<Detector>,
 }
 
 impl Reliability {
@@ -26,7 +32,15 @@ impl Reliability {
         Reliability {
             transport,
             acked: CounterVector::zeroed(n),
+            detector: None,
         }
+    }
+
+    /// Install the failure detector and switch the transport's budget
+    /// verdicts to suspicion inputs.
+    pub fn set_detector(&mut self, detector: Detector) {
+        self.transport.set_suspicion_mode(true);
+        self.detector = Some(detector);
     }
 
     /// Send one wire message reliably to `dst`.
@@ -54,9 +68,15 @@ impl Reliability {
 
     /// Strip the transport frame off one raw envelope. Returns the
     /// inner encoded [`WireMsg`] (`None` for control frames,
-    /// duplicates, and corrupt envelopes).
+    /// duplicates, and corrupt envelopes). Intact frames double as
+    /// liveness evidence for the detector.
     pub fn ingest(&mut self, env: Envelope) -> Option<bytes::Bytes> {
-        self.transport.ingest(env)
+        let inner = self.transport.ingest(env);
+        if let Some(det) = &mut self.detector {
+            let now = Instant::now();
+            self.transport.take_heard(|rank| det.heard(rank, now));
+        }
+        inner
     }
 
     /// Record proof that `peer` has consumed our messages up to

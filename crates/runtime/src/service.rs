@@ -8,8 +8,16 @@
 //! reliability layer: its replies are sequenced, CRC-framed, and
 //! retransmitted, so a chaos fabric cannot silently eat a `LOG_ACK`
 //! and wedge a pessimistic sender.
+//!
+//! When failures are *detected* rather than announced, the same stable
+//! slot doubles as the **membership arbiter**: it turns `Suspect`
+//! reports into at-most-once death declarations (see
+//! [`crate::detector::MembershipTable`]) and broadcasts the certified
+//! `(epoch, floor[])` view to every rank, which fences the declared
+//! incarnation at their transports.
 
 use crate::backoff::Backoff;
+use crate::detector::MembershipTable;
 use crate::events::{EventKind, EventSink};
 use crate::message::WireMsg;
 use crate::transport::{Transport, TransportConfig};
@@ -29,13 +37,19 @@ use std::time::Duration;
 ///   stable storage and reply [`WireMsg::LogAck`] with the highest
 ///   contiguously stored deliver index;
 /// * [`WireMsg::LogQuery`] — return every stored determinant of the
-///   queried (failed) rank as [`WireMsg::LogQueryResp`].
+///   queried (failed) rank as [`WireMsg::LogQueryResp`];
+/// * [`WireMsg::Suspect`] — when `membership` is present, declare the
+///   suspected incarnation dead (at most once) and broadcast the new
+///   certified view; a stale suspicion is answered with the current
+///   view so the suspecter can catch up instead of killing a
+///   successor incarnation.
 pub fn spawn_event_logger(
     net: SimNet,
     endpoint: Endpoint,
     storage: Arc<dyn StableStorage>,
     shutdown: Arc<AtomicBool>,
     sink: EventSink,
+    membership: Option<Arc<MembershipTable>>,
 ) -> JoinHandle<()> {
     std::thread::Builder::new()
         .name("lclog-event-logger".into())
@@ -117,6 +131,38 @@ pub fn spawn_event_logger(
                         );
                         let resp = WireMsg::LogQueryResp(found);
                         transport.send_msg(src, &resp);
+                    }
+                    WireMsg::Suspect(s) => {
+                        let Some(table) = &membership else {
+                            continue; // announced-failures run: ignore
+                        };
+                        let suspect = s.rank as Rank;
+                        match table.declare(suspect, s.incarnation) {
+                            Some(view) => {
+                                sink.emit(
+                                    me,
+                                    EventKind::MembershipBumped {
+                                        epoch: view.epoch,
+                                        dead: suspect,
+                                        incarnation: s.incarnation,
+                                    },
+                                );
+                                // Certified view to every application
+                                // rank — including the victim, whose
+                                // transport will self-fence if it is
+                                // in fact still alive.
+                                let msg = WireMsg::Membership(view);
+                                for k in 0..me {
+                                    transport.send_msg(k, &msg);
+                                }
+                            }
+                            None => {
+                                // Stale: that incarnation is already
+                                // below the floor. Re-send the current
+                                // view so the suspecter fences it too.
+                                transport.send_msg(src, &WireMsg::Membership(table.view()));
+                            }
+                        }
                     }
                     _ => {}
                 }

@@ -120,6 +120,21 @@ pub(crate) struct AckFrame {
 
 impl_wire_struct!(AckFrame { epoch, floor });
 
+/// Fencing notice: the sender of this frame applied a membership view
+/// under which the recipient's incarnation is declared dead. The
+/// recipient compares `floor` against its own incarnation: if its
+/// incarnation is below the floor, it has been fenced and must drop
+/// volatile state and rejoin through the rollback path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct FencedFrame {
+    /// Membership epoch of the view that fenced the incarnation.
+    pub epoch: u64,
+    /// The recipient rank's lowest live incarnation per that view.
+    pub floor: u64,
+}
+
+impl_wire_struct!(FencedFrame { epoch, floor });
+
 /// Transport frame: what actually rides inside a fabric envelope,
 /// prefixed by a 4-byte little-endian CRC-32 of the encoded frame.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -130,12 +145,19 @@ pub(crate) enum Frame {
     Ack(AckFrame),
     /// Corruption report: "resend everything above `floor`".
     Nack(AckFrame),
+    /// Idle liveness beacon carrying the sender's incarnation — feeds
+    /// the accrual failure detector when no data is flowing.
+    Heartbeat(u64),
+    /// Fencing notice to a stale incarnation.
+    Fenced(FencedFrame),
 }
 
 impl_wire_enum!(Frame {
     0 => Data(f),
     1 => Ack(f),
-    2 => Nack(f)
+    2 => Nack(f),
+    3 => Heartbeat(epoch),
+    4 => Fenced(f)
 });
 
 /// Wire tag of [`Frame::Data`]; the single-pass header writer must
@@ -230,6 +252,10 @@ struct TxChannel {
     /// Set when the retransmit budget was exhausted; cleared the
     /// moment any valid frame arrives from the peer.
     unreachable: bool,
+    /// Suspicion mode: the budget was exhausted and the peer was
+    /// queued for the failure detector; avoids re-reporting every
+    /// tick. Cleared on any sign of life.
+    suspect_flagged: bool,
 }
 
 impl TxChannel {
@@ -284,6 +310,31 @@ pub(crate) struct Transport {
     dp: DataPlaneStats,
     /// Timeline collector (disabled by default).
     events: EventSink,
+    /// Per-rank lowest live incarnation per the newest applied
+    /// membership view. Starts at 1 everywhere — the first incarnation
+    /// alive, nothing fenced — matching `MembershipView::initial`, so
+    /// only a genuine death declaration counts as a floor advance.
+    fence_floor: Vec<u64>,
+    /// Epoch of the newest applied membership view.
+    fence_epoch: u64,
+    /// Set when a membership view (or a `Fenced` notice) declared
+    /// *this* incarnation dead.
+    self_fenced: bool,
+    /// Frames rejected because they came from a fenced incarnation.
+    fenced_rejected: u64,
+    /// Ranks heard from (intact, non-fenced frame) since the last
+    /// [`Transport::take_heard`] — the detector's liveness feed.
+    heard: Vec<bool>,
+    /// Fast check for `heard` being all-false.
+    any_heard: bool,
+    /// When true, budget exhaustion queues the peer as a suspicion
+    /// input instead of issuing a unilateral `unreachable` verdict.
+    suspicion_mode: bool,
+    /// Peers whose budget ran out in suspicion mode, awaiting pickup
+    /// by the failure detector.
+    pending_suspects: Vec<Rank>,
+    /// Highest incarnation heard per rank (data frames + heartbeats).
+    peer_inc: Vec<u64>,
 }
 
 impl Transport {
@@ -302,6 +353,7 @@ impl Transport {
                     backoff: cfg.timeout,
                     next_retry: now,
                     unreachable: false,
+                    suspect_flagged: false,
                 })
                 .collect(),
             rx: (0..slots)
@@ -315,6 +367,15 @@ impl Transport {
             corrupt_detected: 0,
             dp: DataPlaneStats::default(),
             events: EventSink::disabled(),
+            fence_floor: vec![1; slots],
+            fence_epoch: 0,
+            self_fenced: false,
+            fenced_rejected: 0,
+            heard: vec![false; slots],
+            any_heard: false,
+            suspicion_mode: false,
+            pending_suspects: Vec::new(),
+            peer_inc: vec![0; slots],
         }
     }
 
@@ -336,6 +397,106 @@ impl Transport {
     /// been heard from since.
     pub(crate) fn peer_unreachable(&self, dst: Rank) -> bool {
         self.tx[dst].unreachable
+    }
+
+    /// Enable suspicion mode: budget exhaustion is reported through
+    /// [`Transport::take_pending_suspects`] for the failure detector
+    /// instead of producing a unilateral `unreachable` verdict.
+    pub(crate) fn set_suspicion_mode(&mut self, on: bool) {
+        self.suspicion_mode = on;
+    }
+
+    /// True when a membership view or `Fenced` notice declared this
+    /// incarnation dead.
+    pub(crate) fn is_self_fenced(&self) -> bool {
+        self.self_fenced
+    }
+
+    /// Frames rejected for coming from a fenced incarnation.
+    pub(crate) fn fenced_rejected(&self) -> u64 {
+        self.fenced_rejected
+    }
+
+    /// Membership epoch of the newest view this endpoint applied.
+    pub(crate) fn fence_epoch(&self) -> u64 {
+        self.fence_epoch
+    }
+
+    /// Apply a certified membership view: raise per-rank fence floors
+    /// and detect self-fencing. Returns the ranks whose floor advanced
+    /// when the view was newer than the one already applied, `None`
+    /// for a stale view.
+    pub(crate) fn apply_fence_floors(&mut self, epoch: u64, floor: &[u64]) -> Option<Vec<Rank>> {
+        if epoch <= self.fence_epoch {
+            return None;
+        }
+        self.fence_epoch = epoch;
+        let mut advanced = Vec::new();
+        for (rank, &f) in floor.iter().enumerate() {
+            if rank < self.fence_floor.len() && f > self.fence_floor[rank] {
+                self.fence_floor[rank] = f;
+                advanced.push(rank);
+            }
+        }
+        if self.fence_floor.get(self.me).copied().unwrap_or(0) > self.epoch {
+            if !self.self_fenced {
+                self.events.emit(self.me, EventKind::SelfFenced { epoch });
+            }
+            self.self_fenced = true;
+        }
+        Some(advanced)
+    }
+
+    /// The lowest live incarnation of `rank` per the newest applied
+    /// view (0 when no view fenced anything yet).
+    pub(crate) fn fence_floor(&self, rank: Rank) -> u64 {
+        self.fence_floor[rank]
+    }
+
+    /// The highest incarnation of `rank` this endpoint has heard from
+    /// (via data frames or heartbeats); 0 when never heard.
+    pub(crate) fn peer_incarnation(&self, rank: Rank) -> u64 {
+        self.peer_inc[rank]
+    }
+
+    /// Drain the set of ranks heard from (intact, non-fenced frames)
+    /// since the last call — the accrual detector's liveness feed.
+    pub(crate) fn take_heard(&mut self, mut f: impl FnMut(Rank)) {
+        if !self.any_heard {
+            return;
+        }
+        self.any_heard = false;
+        for rank in 0..self.heard.len() {
+            if self.heard[rank] {
+                self.heard[rank] = false;
+                f(rank);
+            }
+        }
+    }
+
+    /// Drain the peers whose retransmit budget ran out while suspicion
+    /// mode was on.
+    pub(crate) fn take_pending_suspects(&mut self) -> Vec<Rank> {
+        std::mem::take(&mut self.pending_suspects)
+    }
+
+    /// Send an explicit liveness beacon to `dst` (used when no data
+    /// traffic has flowed recently). A fenced incarnation stays silent:
+    /// its beacons would only be rejected, and it is about to die.
+    pub(crate) fn send_heartbeat(&mut self, dst: Rank) {
+        if self.self_fenced {
+            return;
+        }
+        self.transmit_control(dst, &Frame::Heartbeat(self.epoch));
+    }
+
+    /// Record evidence of life from `src`: an intact frame that is not
+    /// from a fenced incarnation.
+    fn note_heard(&mut self, src: Rank) {
+        self.tx[src].unreachable = false;
+        self.tx[src].suspect_flagged = false;
+        self.heard[src] = true;
+        self.any_heard = true;
     }
 
     /// Duplicate frames discarded below the application layer.
@@ -527,20 +688,62 @@ impl Transport {
                 return None;
             }
         };
-        // Any intact frame proves the peer (in some incarnation) is
-        // alive again.
-        self.tx[src].unreachable = false;
         match frame {
-            Frame::Data(d) => self.ingest_data(src, d),
+            Frame::Data(d) => {
+                if self.fence_floor[src] > d.epoch {
+                    // A declared-dead incarnation is still talking: a
+                    // false suspicion. Reject the frame and tell the
+                    // zombie so it can drop volatile state and rejoin
+                    // through the rollback path — accepting it would
+                    // mix two incarnations' sends into one epoch.
+                    self.fenced_rejected += 1;
+                    self.events.emit(
+                        self.me,
+                        EventKind::StaleFenced {
+                            peer: src,
+                            incarnation: d.epoch,
+                        },
+                    );
+                    self.send_fenced(src, self.fence_floor[src]);
+                    return None;
+                }
+                // An intact, non-fenced frame proves the peer is alive.
+                self.note_heard(src);
+                self.peer_inc[src] = self.peer_inc[src].max(d.epoch);
+                self.ingest_data(src, d)
+            }
             Frame::Ack(a) => {
+                self.note_heard(src);
                 if a.epoch == self.epoch {
                     self.on_ack(src, a.floor);
                 }
                 None
             }
             Frame::Nack(a) => {
+                self.note_heard(src);
                 if a.epoch == self.epoch {
                     self.retransmit_above(src, a.floor);
+                }
+                None
+            }
+            Frame::Heartbeat(epoch) => {
+                if self.fence_floor[src] > epoch {
+                    self.fenced_rejected += 1;
+                    self.send_fenced(src, self.fence_floor[src]);
+                } else {
+                    self.note_heard(src);
+                    self.peer_inc[src] = self.peer_inc[src].max(epoch);
+                }
+                None
+            }
+            Frame::Fenced(f) => {
+                // The peer's view declares some incarnation of us
+                // dead; only act if it is *this* one.
+                if f.floor > self.epoch {
+                    if !self.self_fenced {
+                        self.events.emit(self.me, EventKind::SelfFenced { epoch: f.epoch });
+                    }
+                    self.self_fenced = true;
                 }
                 None
             }
@@ -597,6 +800,14 @@ impl Transport {
         self.transmit_control(src, &Frame::Nack(nack));
     }
 
+    fn send_fenced(&mut self, src: Rank, floor: u64) {
+        let notice = FencedFrame {
+            epoch: self.fence_epoch,
+            floor,
+        };
+        self.transmit_control(src, &Frame::Fenced(notice));
+    }
+
     fn on_ack(&mut self, src: Rank, floor: u64) {
         let ch = &mut self.tx[src];
         let pending = ch.unacked.split_off(&(floor + 1));
@@ -647,24 +858,40 @@ impl Transport {
                 }
                 ch.attempts += 1;
                 if ch.attempts > self.cfg.budget {
-                    self.events.emit(
-                        self.me,
-                        EventKind::PeerWrittenOff {
-                            peer: dst,
-                            attempts: ch.attempts,
-                        },
-                    );
-                    // The peer has been silent across the whole budget:
-                    // stop retrying so callers can surface
-                    // `Fault::Unreachable` instead of hanging. Recovery
-                    // regenerates anything that still matters if the
-                    // peer ever comes back.
-                    ch.unreachable = true;
-                    ch.unacked.clear();
-                    continue;
+                    if self.suspicion_mode {
+                        // Budget exhaustion is *evidence*, not a
+                        // verdict: queue the peer for the failure
+                        // detector and keep retransmitting at the
+                        // capped backoff. If the peer is truly dead
+                        // the detector will declare it; if it is
+                        // merely slow the frames must still be there
+                        // when it catches up.
+                        if !ch.suspect_flagged {
+                            ch.suspect_flagged = true;
+                            self.pending_suspects.push(dst);
+                        }
+                        ch.next_retry = now + ch.backoff;
+                    } else {
+                        self.events.emit(
+                            self.me,
+                            EventKind::PeerWrittenOff {
+                                peer: dst,
+                                attempts: ch.attempts,
+                            },
+                        );
+                        // The peer has been silent across the whole
+                        // budget: stop retrying so callers can surface
+                        // `Fault::Unreachable` instead of hanging.
+                        // Recovery regenerates anything that still
+                        // matters if the peer ever comes back.
+                        ch.unreachable = true;
+                        ch.unacked.clear();
+                        continue;
+                    }
+                } else {
+                    ch.backoff = (ch.backoff * 2).min(self.cfg.cap);
+                    ch.next_retry = now + ch.backoff;
                 }
-                ch.backoff = (ch.backoff * 2).min(self.cfg.cap);
-                ch.next_retry = now + ch.backoff;
             }
             with_copy_budget!(0, "Transport::tick retransmit", {
                 let frames: Vec<FrameBuf> =
@@ -884,6 +1111,91 @@ mod tests {
     }
 
     #[test]
+    fn fenced_incarnation_frames_rejected_and_zombie_notified() {
+        let (_net, mut t0, mut t1, ep0, ep1) = pair(NetConfig::direct());
+        // A membership view fences incarnation 1 of rank 0.
+        assert_eq!(t1.apply_fence_floors(1, &[2, 1]), Some(vec![0]));
+        assert_eq!(t1.fence_epoch(), 1);
+        assert_eq!(t1.fence_floor(0), 2);
+        // Stale application of an older view is a no-op.
+        assert!(t1.apply_fence_floors(1, &[2, 1]).is_none());
+        send_blob(&mut t0, 1, b"zombie");
+        assert!(drain(&mut t1, &ep1).is_empty(), "fenced frame must not deliver");
+        assert_eq!(t1.fenced_rejected(), 1);
+        // The zombie ingests the Fenced notice and learns it is dead.
+        assert!(!t0.is_self_fenced());
+        let _ = drain(&mut t0, &ep0);
+        assert!(t0.is_self_fenced());
+        // A fenced frame is not evidence of life.
+        let mut heard = Vec::new();
+        t1.take_heard(|r| heard.push(r));
+        assert!(heard.is_empty());
+        // The next incarnation (epoch 2) is above the floor: accepted.
+        let net2 = t0.net.clone();
+        let mut t0b = Transport::new(0, 2, net2, cfg());
+        t0b.set_epoch(2);
+        send_blob(&mut t0b, 1, b"reborn");
+        let got = drain(&mut t1, &ep1);
+        assert_eq!(got.len(), 1);
+        t1.take_heard(|r| heard.push(r));
+        assert_eq!(heard, vec![0]);
+    }
+
+    #[test]
+    fn applying_view_that_fences_self_sets_flag() {
+        let (_net, mut t0, _t1, _ep0, _ep1) = pair(NetConfig::direct());
+        assert!(!t0.is_self_fenced());
+        t0.apply_fence_floors(3, &[2, 1]);
+        assert!(t0.is_self_fenced());
+    }
+
+    #[test]
+    fn heartbeats_feed_liveness_and_stale_heartbeats_fence() {
+        let (_net, mut t0, mut t1, ep0, ep1) = pair(NetConfig::direct());
+        t0.send_heartbeat(1);
+        let _ = drain(&mut t1, &ep1);
+        let mut heard = Vec::new();
+        t1.take_heard(|r| heard.push(r));
+        assert_eq!(heard, vec![0]);
+        // Fence rank 0's incarnation 1: its beacons now draw a notice.
+        t1.apply_fence_floors(1, &[2, 1]);
+        t0.send_heartbeat(1);
+        let _ = drain(&mut t1, &ep1);
+        heard.clear();
+        t1.take_heard(|r| heard.push(r));
+        assert!(heard.is_empty());
+        let _ = drain(&mut t0, &ep0);
+        assert!(t0.is_self_fenced());
+        // Once fenced, the zombie goes silent.
+        t0.send_heartbeat(1);
+        assert!(ep1.try_recv().is_err(), "fenced sender must not beacon");
+    }
+
+    #[test]
+    fn suspicion_mode_keeps_retransmitting_and_queues_suspect() {
+        let chaos = ChaosConfig::seeded(11).with_drop(1.0);
+        let (net, mut t0, _t1, _ep0, _ep1) = pair(NetConfig::direct().with_chaos(chaos));
+        t0.set_suspicion_mode(true);
+        send_blob(&mut t0, 1, b"lost");
+        for _ in 0..20 {
+            std::thread::sleep(Duration::from_millis(5));
+            t0.tick();
+        }
+        // The budget is long gone, but the verdict is a suspicion, not
+        // a write-off: the frame stays buffered and retransmissions
+        // continue.
+        assert!(!t0.peer_unreachable(1));
+        assert!(!t0.tx[1].unacked.is_empty());
+        assert_eq!(t0.take_pending_suspects(), vec![1]);
+        // Reported once, not every tick.
+        assert!(t0.take_pending_suspects().is_empty());
+        let before = net.stats().retransmits();
+        std::thread::sleep(Duration::from_millis(5));
+        t0.tick();
+        assert!(net.stats().retransmits() > before, "still retransmitting");
+    }
+
+    #[test]
     fn respawned_sender_epoch_resets_receiver_state() {
         let (net, mut t0, mut t1, _ep0, ep1) = pair(NetConfig::direct());
         send_blob(&mut t0, 1, b"old-1");
@@ -899,5 +1211,89 @@ mod tests {
         // And stale frames from epoch 1 are now ignored.
         send_blob(&mut t0, 1, b"stale");
         assert!(drain(&mut t1, &ep1).is_empty());
+    }
+
+    // The membership-epoch safety property. Model the real lifecycle:
+    // incarnation 1 talks for a while, the arbiter declares it dead
+    // (one membership epoch bump), and from that point incarnation 2's
+    // traffic races both the zombie's leftovers and the certified
+    // view's arrival at the receiver. For every such interleaving:
+    //
+    // * accepted incarnations never regress (once a receiver accepts
+    //   the successor, the zombie is never accepted again), and
+    // * within membership epoch 1 — after the view is applied — only
+    //   the above-floor incarnation is accepted, so no two
+    //   incarnations of rank 0 both land frames in that epoch, and
+    // * a zombie that keeps talking past the view is told it is dead.
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig {
+            cases: 64,
+            .. proptest::prelude::ProptestConfig::default()
+        })]
+
+        #[test]
+        fn prop_no_two_incarnations_accepted_within_one_membership_epoch(
+            pre in 0usize..10,
+            post_ops in proptest::collection::vec(proptest::prelude::any::<bool>(), 1..16),
+            view_frac in 0.0f64..1.0,
+        ) {
+            use proptest::prelude::prop_assert;
+            let (net, mut t0, mut t1, ep0, ep1) = pair(NetConfig::direct());
+            let mut t0b = Transport::new(0, 2, net.clone(), cfg());
+            t0b.set_epoch(2);
+            // (incarnation, membership epoch at acceptance time).
+            let mut accepted: Vec<(u8, u64)> = Vec::new();
+            let mut rejected_zombie = false;
+            // Phase 1: only incarnation 1 exists.
+            for _ in 0..pre {
+                send_blob(&mut t0, 1, b"\x01payload");
+            }
+            for inner in drain(&mut t1, &ep1) {
+                accepted.push((inner[0], t1.fence_epoch()));
+            }
+            // Phase 2: the arbiter has declared incarnation 1 dead.
+            // The successor's frames, the zombie's leftovers, and the
+            // view all race to the receiver.
+            let view_at = (view_frac * post_ops.len() as f64) as usize;
+            for (i, &second_inc) in post_ops.iter().enumerate() {
+                if i == view_at {
+                    t1.apply_fence_floors(1, &[2, 1]);
+                }
+                if second_inc {
+                    send_blob(&mut t0b, 1, b"\x02payload");
+                } else {
+                    send_blob(&mut t0, 1, b"\x01payload");
+                }
+                let before = t1.fenced_rejected();
+                for inner in drain(&mut t1, &ep1) {
+                    accepted.push((inner[0], t1.fence_epoch()));
+                }
+                if t1.fenced_rejected() > before {
+                    rejected_zombie = true;
+                }
+            }
+            // Monotone: once a newer incarnation is accepted, an older
+            // one never is again.
+            for w in accepted.windows(2) {
+                prop_assert!(w[0].0 <= w[1].0,
+                    "incarnation regressed: {accepted:?}");
+            }
+            // Membership epoch 1 accepts at most one incarnation, and
+            // never the fenced one.
+            let post_view: std::collections::BTreeSet<u8> = accepted
+                .iter()
+                .filter(|(_, e)| *e >= 1)
+                .map(|(inc, _)| *inc)
+                .collect();
+            prop_assert!(post_view.len() <= 1,
+                "membership epoch 1 accepted incarnations {post_view:?}: {accepted:?}");
+            prop_assert!(!post_view.contains(&1),
+                "fenced incarnation accepted after the view: {accepted:?}");
+            // A zombie that talked after the view was told it is dead.
+            let _ = drain(&mut t0, &ep0);
+            if rejected_zombie {
+                prop_assert!(t0.is_self_fenced());
+            }
+        }
     }
 }

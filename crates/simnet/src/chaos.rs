@@ -57,6 +57,16 @@ pub struct ChaosConfig {
     pub stall_p: f64,
     /// Extra in-flight delay applied to stalled envelopes.
     pub stall: Duration,
+    /// Probability an envelope draws an extra heavy-tailed delay.
+    pub delay_p: f64,
+    /// Median of the lognormal heavy-tail delay distribution.
+    pub delay_median: Duration,
+    /// Shape (σ of the underlying normal) of the heavy tail. Around
+    /// 1.0 the 99th percentile sits near `10 × median`.
+    pub delay_sigma: f64,
+    /// Hard cap on a single heavy-tail draw, so a pathological sample
+    /// cannot outlast a whole experiment.
+    pub delay_cap: Duration,
     /// Transient partitions in per-link sequence space.
     pub partitions: Vec<Partition>,
 }
@@ -71,6 +81,10 @@ impl ChaosConfig {
             corrupt_p: 0.0,
             stall_p: 0.0,
             stall: Duration::from_millis(2),
+            delay_p: 0.0,
+            delay_median: Duration::from_millis(2),
+            delay_sigma: 1.0,
+            delay_cap: Duration::from_millis(20),
             partitions: Vec::new(),
         }
     }
@@ -104,30 +118,64 @@ impl ChaosConfig {
         self
     }
 
+    /// Enables a seeded heavy-tailed (lognormal) per-envelope delay:
+    /// with probability `p` an envelope is held for
+    /// `median · exp(sigma · z)` (z standard normal), capped at `cap`.
+    /// Because the courier preserves per-pair FIFO, one tail draw
+    /// silences its whole link for the draw's duration — exactly the
+    /// jitter an accrual failure detector must ride out.
+    pub fn with_heavy_tail(mut self, p: f64, median: Duration, sigma: f64, cap: Duration) -> Self {
+        assert!((0.0..=1.0).contains(&p), "delay probability out of range");
+        assert!(sigma >= 0.0, "delay sigma must be non-negative");
+        self.delay_p = p;
+        self.delay_median = median;
+        self.delay_sigma = sigma;
+        self.delay_cap = cap;
+        self
+    }
+
     /// Adds a transient partition window.
     pub fn with_partition(mut self, partition: Partition) -> Self {
         self.partitions.push(partition);
         self
     }
 
-    /// True when stalls can occur (the fabric then needs a courier
-    /// even under the direct delivery model).
+    /// True when stalls or heavy-tail delays can occur (the fabric
+    /// then needs a courier even under the direct delivery model).
     pub fn wants_courier(&self) -> bool {
-        self.stall_p > 0.0
+        self.stall_p > 0.0 || self.delay_p > 0.0
     }
 
     /// Decides the fate of one envelope. Pure in `(seed, src, dst,
     /// seq)`; two calls with identical arguments always agree.
     pub(crate) fn fate(&self, src: Rank, dst: Rank, seq: u64) -> Fate {
         let severed = self.partitions.iter().any(|p| p.severs(src, dst, seq));
+        let mut stall = Duration::ZERO;
+        if self.stall_p > 0.0 && self.roll(src, dst, seq, SALT_STALL) < self.stall_p {
+            stall += self.stall;
+        }
+        if self.delay_p > 0.0 && self.roll(src, dst, seq, SALT_DELAY) < self.delay_p {
+            stall += self.heavy_tail_sample(src, dst, seq);
+        }
         Fate {
             severed,
             dropped: !severed && self.roll(src, dst, seq, SALT_DROP) < self.drop_p,
             duplicated: self.roll(src, dst, seq, SALT_DUP) < self.duplicate_p,
             corrupt_bit: (self.roll(src, dst, seq, SALT_CORRUPT) < self.corrupt_p)
                 .then(|| self.hash(src, dst, seq, SALT_BIT)),
-            stalled: self.stall_p > 0.0 && self.roll(src, dst, seq, SALT_STALL) < self.stall_p,
+            stall,
         }
+    }
+
+    /// One lognormal draw via Box–Muller over two salted uniforms.
+    /// Pure in `(seed, src, dst, seq)` like every other chaos roll.
+    fn heavy_tail_sample(&self, src: Rank, dst: Rank, seq: u64) -> Duration {
+        // Nudge u1 into (0, 1] so ln(u1) is finite.
+        let u1 = ((self.hash(src, dst, seq, SALT_TAIL_A) >> 11) + 1) as f64 / (1u64 << 53) as f64;
+        let u2 = self.roll(src, dst, seq, SALT_TAIL_B);
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        let scaled = self.delay_median.as_secs_f64() * (self.delay_sigma * z).exp();
+        Duration::from_secs_f64(scaled.min(self.delay_cap.as_secs_f64()))
     }
 
     fn hash(&self, src: Rank, dst: Rank, seq: u64, salt: u64) -> u64 {
@@ -151,6 +199,9 @@ const SALT_DUP: u64 = 0xD1;
 const SALT_CORRUPT: u64 = 0xC0;
 const SALT_BIT: u64 = 0xB1;
 const SALT_STALL: u64 = 0x57;
+const SALT_DELAY: u64 = 0xDE;
+const SALT_TAIL_A: u64 = 0x7A;
+const SALT_TAIL_B: u64 = 0x7B;
 
 fn splitmix(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -169,8 +220,9 @@ pub(crate) struct Fate {
     pub duplicated: bool,
     /// When `Some(h)`, flip payload bit `h % (len * 8)`.
     pub corrupt_bit: Option<u64>,
-    /// Held by the courier for an extra [`ChaosConfig::stall`].
-    pub stalled: bool,
+    /// Extra time the courier holds this envelope: the uniform stall
+    /// plus any heavy-tail draw. Zero means deliver on schedule.
+    pub stall: Duration,
 }
 
 #[cfg(test)]
@@ -203,6 +255,42 @@ mod tests {
         let c = ChaosConfig::seeded(42).with_drop(0.1);
         let dropped = (1..=10_000u64).filter(|&s| c.fate(2, 3, s).dropped).count();
         assert!((700..1300).contains(&dropped), "dropped={dropped}");
+    }
+
+    #[test]
+    fn heavy_tail_is_pure_capped_and_actually_heavy() {
+        let median = Duration::from_millis(2);
+        let cap = Duration::from_millis(20);
+        let c = ChaosConfig::seeded(11).with_heavy_tail(1.0, median, 1.0, cap);
+        assert!(c.wants_courier());
+        let draws: Vec<Duration> = (1..=10_000u64).map(|s| c.fate(0, 1, s).stall).collect();
+        for (i, d) in draws.iter().enumerate() {
+            assert_eq!(*d, c.fate(0, 1, (i + 1) as u64).stall, "draws must replay");
+            assert!(*d <= cap, "draw {d:?} exceeds cap");
+        }
+        // Median of a lognormal is its scale parameter: roughly half
+        // the draws land on each side.
+        let above = draws.iter().filter(|d| **d > median).count();
+        assert!((4000..6000).contains(&above), "above-median count {above}");
+        // Heavy tail: a visible fraction of draws exceed 5× median.
+        let tail = draws.iter().filter(|d| **d > 5 * median).count();
+        assert!(tail > 100, "tail draws {tail}");
+        // Probability gate honours delay_p.
+        let rare = ChaosConfig::seeded(11).with_heavy_tail(0.05, median, 1.0, cap);
+        let delayed = (1..=10_000u64)
+            .filter(|&s| rare.fate(0, 1, s).stall > Duration::ZERO)
+            .count();
+        assert!((300..800).contains(&delayed), "delayed={delayed}");
+    }
+
+    #[test]
+    fn stall_and_heavy_tail_compose() {
+        let c = ChaosConfig::seeded(3)
+            .with_stall(1.0, Duration::from_millis(4))
+            .with_heavy_tail(1.0, Duration::from_millis(2), 0.0, Duration::from_millis(20));
+        // sigma = 0 makes the tail draw exactly the median, so every
+        // envelope is held for stall + median.
+        assert_eq!(c.fate(0, 1, 1).stall, Duration::from_millis(6));
     }
 
     #[test]

@@ -314,9 +314,9 @@ impl SimNet {
                 self.fabric.stats.record_chaos_duplicated();
                 duplicated = true;
             }
-            if fate.stalled {
+            if fate.stall > Duration::ZERO {
                 self.fabric.stats.record_chaos_stalled();
-                stall = chaos.stall;
+                stall = fate.stall;
             }
         }
         let env = Envelope {

@@ -40,9 +40,9 @@ pub mod prelude {
         DeliveryVerdict, Determinant, LoggingProtocol, ProtocolKind, Rank, TrackingStats,
     };
     pub use lclog_runtime::{
-        collectives, CheckpointPolicy, Cluster, ClusterConfig, CommMode, FailurePlan, Fault,
-        Event, EventKind, RankApp, RankCtx, RecvSpec, RunConfig, RunReport, StepStatus,
-        StorageKind,
+        collectives, CheckpointPolicy, Cluster, ClusterConfig, CommMode, DetectorConfig,
+        DetectorReport, Event, EventKind, FailurePlan, Fault, MembershipView, RankApp, RankCtx,
+        RecvSpec, RunConfig, RunReport, StepStatus, StorageKind,
     };
     pub use lclog_simnet::{ChaosConfig, NetConfig, Partition, SimNet};
     pub use lclog_wire::{decode_from_slice, encode_to_vec, impl_wire_struct};

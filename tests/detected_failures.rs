@@ -1,0 +1,173 @@
+//! Detected failures end to end: the detector + membership + fencing
+//! stack replaces announced failures, and recovery must still be
+//! exactly-once.
+
+use std::time::Duration;
+
+use lclog::npb::{run_benchmark, Benchmark, Class};
+use lclog::prelude::*;
+
+#[test]
+fn smoke_detected_single_failure() {
+    let n = 4;
+    let base = ClusterConfig::new(
+        n,
+        RunConfig::new(ProtocolKind::Tdi).with_checkpoint(CheckpointPolicy::EverySteps(4)),
+    );
+    let clean = run_benchmark(Benchmark::Lu, Class::Test, &base).expect("clean run");
+    let detected = ClusterConfig::new(
+        n,
+        RunConfig::new(ProtocolKind::Tdi)
+            .with_checkpoint(CheckpointPolicy::EverySteps(4))
+            .with_detector(DetectorConfig::default()),
+    )
+    .with_failures(FailurePlan::kill_at(1, 9));
+    let faulty = run_benchmark(Benchmark::Lu, Class::Test, &detected).expect("detected run");
+    assert_eq!(clean.digests, faulty.digests);
+    let det = faulty.detector.expect("detector report");
+    eprintln!("detector report: {det:?}");
+    assert!(det.declarations >= 1);
+    assert_eq!(det.false_kills, 0);
+}
+
+// Detected failures under a hostile fabric: seeded random kills plus a
+// chaos schedule with loss, duplication, corruption, and a seeded
+// heavy-tailed (lognormal) delay distribution. The delay cap (20 ms)
+// sits below the default threshold's detection silence (~37 ms), so
+// the detector must ride out every stall without a false kill while
+// still certifying the real deaths — and recovery must stay
+// exactly-once.
+#[test]
+fn detected_seeded_chaos_with_heavy_tail() {
+    let n = 4;
+    let base = ClusterConfig::new(
+        n,
+        RunConfig::new(ProtocolKind::Tdi).with_checkpoint(CheckpointPolicy::EverySteps(4)),
+    );
+    let clean = run_benchmark(Benchmark::Lu, Class::Test, &base).expect("clean run");
+    for seed in [0xfeed_u64, 0xbeef, 0x5eed] {
+        let chaotic = ClusterConfig::new(
+            n,
+            RunConfig::new(ProtocolKind::Tdi)
+                .with_checkpoint(CheckpointPolicy::EverySteps(4))
+                .with_detector(DetectorConfig::default()),
+        )
+        .with_net(NetConfig::direct().with_chaos(
+            ChaosConfig::seeded(seed)
+                .with_drop(0.05)
+                .with_duplicate(0.05)
+                .with_corrupt(0.05)
+                .with_heavy_tail(
+                    0.02,
+                    Duration::from_millis(2),
+                    1.0,
+                    Duration::from_millis(20),
+                ),
+        ))
+        .with_failures(FailurePlan::seeded_random(seed, n, 2, 14));
+        let faulty =
+            run_benchmark(Benchmark::Lu, Class::Test, &chaotic).expect("detected chaotic run");
+        assert_eq!(clean.digests, faulty.digests, "seed {seed:#x}");
+        let det = faulty.detector.expect("detector report");
+        eprintln!("seed {seed:#x}: {det:?}");
+        assert_eq!(det.false_kills, 0, "seed {seed:#x}: {det:?}");
+        assert_eq!(det.gate_timeouts, 0, "seed {seed:#x}: {det:?}");
+    }
+}
+
+// Cascading failure: rank 2 dies while rank 1's recovery is in flight,
+// i.e. while rank 1 may still be owed a RESPONSE from rank 2. The
+// detector must certify the second death, and the supervised-recovery
+// re-drive must rebroadcast ROLLBACK so rank 1's `Replaying` cannot
+// wedge on the dead responder. Every recovering incarnation must reach
+// `synced`, and the digests must match the failure-free run.
+#[test]
+fn cascading_failure_survivor_dies_mid_recovery() {
+    let n = 4;
+    let base = ClusterConfig::new(
+        n,
+        RunConfig::new(ProtocolKind::Tdi).with_checkpoint(CheckpointPolicy::EverySteps(4)),
+    );
+    let clean = run_benchmark(Benchmark::Lu, Class::Test, &base).expect("clean run");
+    let cascading = ClusterConfig::new(
+        n,
+        RunConfig::new(ProtocolKind::Tdi)
+            .with_checkpoint(CheckpointPolicy::EverySteps(4))
+            .with_detector(DetectorConfig::default()),
+    )
+    .with_failures(FailurePlan::kill_at(1, 8).and_kill(2, 8))
+    .with_trace(true);
+    let faulty = run_benchmark(Benchmark::Lu, Class::Test, &cascading).expect("cascading run");
+    assert_eq!(clean.digests, faulty.digests);
+    let det = faulty.detector.as_ref().expect("detector report");
+    eprintln!("cascading report: {det:?}");
+    assert!(det.declarations >= 2, "{det:?}");
+    assert_eq!(det.false_kills, 0, "{det:?}");
+    assert_recovering_incarnations_synced(&faulty);
+}
+
+// Repeated failure of the same rank: its second incarnation is killed
+// mid-recovery too, so detection and the membership floor must advance
+// twice for one rank and the third incarnation must finish the job.
+#[test]
+fn repeated_incarnation_failure_detected() {
+    let n = 4;
+    let base = ClusterConfig::new(
+        n,
+        RunConfig::new(ProtocolKind::Tdi).with_checkpoint(CheckpointPolicy::EverySteps(4)),
+    );
+    let clean = run_benchmark(Benchmark::Lu, Class::Test, &base).expect("clean run");
+    let repeated = ClusterConfig::new(
+        n,
+        RunConfig::new(ProtocolKind::Tdi)
+            .with_checkpoint(CheckpointPolicy::EverySteps(4))
+            .with_detector(DetectorConfig::default()),
+    )
+    .with_failures(FailurePlan::kill_at(1, 8).and_kill_incarnation(1, 4, 2))
+    .with_trace(true);
+    let faulty = run_benchmark(Benchmark::Lu, Class::Test, &repeated).expect("repeated run");
+    assert_eq!(clean.digests, faulty.digests);
+    let det = faulty.detector.as_ref().expect("detector report");
+    eprintln!("repeated report: {det:?}");
+    assert!(det.declarations >= 2, "{det:?}");
+    assert_eq!(det.false_kills, 0, "{det:?}");
+    assert_recovering_incarnations_synced(&faulty);
+}
+
+// Every incarnation the timeline shows recovering (spawned with
+// incarnation > 1 and not itself killed later) must log a transition
+// into `synced` before its successor spawns or the run ends.
+fn assert_recovering_incarnations_synced(report: &RunReport) {
+    let n = report.digests.len();
+    for rank in 0..n {
+        let mut recovering: Option<u64> = None;
+        let mut last_done: Option<u64> = None;
+        for ev in report.timeline.iter().filter(|e| e.rank == rank) {
+            match &ev.kind {
+                EventKind::Spawned { incarnation } => {
+                    if let Some(inc) = recovering {
+                        panic!("rank {rank} incarnation {inc} never synced before respawn");
+                    }
+                    if *incarnation > 1 {
+                        recovering = Some(*incarnation);
+                    }
+                }
+                EventKind::Crashed { .. } => {
+                    // A recovering incarnation killed mid-recovery is
+                    // excused — its successor takes over the claim.
+                    recovering = None;
+                }
+                EventKind::RecoveryTransition { to, .. } if *to == "synced" => {
+                    recovering = None;
+                }
+                EventKind::Done { step } => last_done = Some(*step),
+                _ => {}
+            }
+        }
+        assert!(
+            recovering.is_none(),
+            "rank {rank} still recovering (incarnation {recovering:?}) at end of run"
+        );
+        assert!(last_done.is_some(), "rank {rank} never finished");
+    }
+}
