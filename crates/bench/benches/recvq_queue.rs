@@ -1,0 +1,156 @@
+//! Microbench for the receive queue (queue "B" of Fig. 4b) under a
+//! deep backlog — the shape recovery produces when logged messages
+//! arrive in bulk ahead of their FIFO predecessors (§III.E).
+//!
+//! Three operations dominate the ingest/deliver hot path:
+//!
+//! * `contains`   — duplicate suppression on every ingest;
+//! * `take_first_matching` — matched extraction on every delivery,
+//!   scanning past gate-blocked entries;
+//! * `drop_repetitive` — per-sender pruning after a delivery bumps
+//!   the counter.
+//!
+//! The queue is loaded with `SENDERS × PER_SENDER` entries that are
+//! all FIFO-blocked (send_index starts at 2 while the gate expects 1),
+//! plus one deliverable message pushed last — the worst case for a
+//! flat arrival-ordered scan.
+//!
+//! Mutated queues are parked in a sink and freed during the next
+//! (untimed) setup, so deallocation never lands in the timed region.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use lclog_runtime::{AppWire, Pending, RecvQueue, RecvSpec};
+use std::cell::RefCell;
+
+const SENDERS: usize = 32;
+const PER_SENDER: u64 = 32;
+
+fn pending(src: usize, tag: u32, send_index: u64) -> Pending {
+    Pending {
+        src,
+        wire: AppWire {
+            tag,
+            send_index,
+            piggyback: bytes::Bytes::new(),
+            needs_ack: false,
+            data: bytes::Bytes::new(),
+        },
+    }
+}
+
+/// SENDERS×PER_SENDER blocked entries (indices 2..), in round-robin
+/// arrival order, then one deliverable entry (src 0, index 1) last.
+fn deep_queue() -> RecvQueue {
+    let mut q = RecvQueue::default();
+    for i in 0..PER_SENDER {
+        for src in 0..SENDERS {
+            q.push(pending(src, 0, i + 2));
+        }
+    }
+    q.push(pending(0, 0, 1));
+    q
+}
+
+fn bench_recvq(c: &mut Criterion) {
+    let mut group = c.benchmark_group("recvq_deep_backlog");
+    group.sample_size(20_000);
+
+    // FIFO gate: only send_index 1 is contiguous with the (empty)
+    // delivery counter, so every backlog entry is gate-blocked.
+    let gate = |_src: usize, idx: u64, _pb: &[u8]| idx == 1;
+
+    {
+        let base = deep_queue();
+        let sink: RefCell<Vec<RecvQueue>> = RefCell::new(Vec::new());
+        group.bench_function("take_first_matching/any_source", |b| {
+            b.iter_batched(
+                || {
+                    sink.borrow_mut().clear();
+                    base.clone()
+                },
+                |mut q| {
+                    let taken = q.take_first_matching(RecvSpec::any(), gate);
+                    sink.borrow_mut().push(q);
+                    taken.is_some()
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+
+    {
+        let base = deep_queue();
+        let sink: RefCell<Vec<RecvQueue>> = RefCell::new(Vec::new());
+        group.bench_function("take_first_matching/from_source", |b| {
+            b.iter_batched(
+                || {
+                    sink.borrow_mut().clear();
+                    base.clone()
+                },
+                |mut q| {
+                    let taken = q.take_first_matching(RecvSpec::from(0, 0), gate);
+                    sink.borrow_mut().push(q);
+                    taken.is_some()
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+
+    {
+        let q = deep_queue();
+        group.bench_function("contains/dedup_miss", |b| {
+            // Worst-case dedup probe: identity not present anywhere.
+            b.iter(|| q.contains(SENDERS - 1, PER_SENDER + 10))
+        });
+    }
+
+    {
+        let base = deep_queue();
+        let sink: RefCell<Vec<RecvQueue>> = RefCell::new(Vec::new());
+        group.bench_function("push/after_dedup", |b| {
+            b.iter_batched(
+                || {
+                    sink.borrow_mut().clear();
+                    base.clone()
+                },
+                |mut q| {
+                    let src = SENDERS / 2;
+                    let idx = PER_SENDER + 2;
+                    if !q.contains(src, idx) {
+                        q.push(pending(src, 0, idx));
+                    }
+                    let len = q.len();
+                    sink.borrow_mut().push(q);
+                    len
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+
+    {
+        let base = deep_queue();
+        let sink: RefCell<Vec<RecvQueue>> = RefCell::new(Vec::new());
+        group.bench_function("drop_repetitive/one_sender", |b| {
+            b.iter_batched(
+                || {
+                    sink.borrow_mut().clear();
+                    base.clone()
+                },
+                |mut q| {
+                    q.drop_repetitive(SENDERS / 2, PER_SENDER / 2);
+                    let len = q.len();
+                    sink.borrow_mut().push(q);
+                    len
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_recvq);
+criterion_main!(benches);

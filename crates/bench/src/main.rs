@@ -3,15 +3,15 @@
 //! ```text
 //! reproduce [--quick] [fig6|fig7|fig8|ablation-rate|ablation-replay|
 //!                       ablation-ckpt|ablation-protocols|ablation-f|
-//!                       ablation-chaos|data-plane|detector|all]
+//!                       ablation-chaos|data-plane|detector|explore|all]
 //! ```
 //!
 //! Tables are printed to stdout and archived as CSV under `results/`.
 
 use lclog_bench::experiments::{
     ablation_chaos, ablation_ckpt, ablation_detector, ablation_f_bound, ablation_protocols,
-    ablation_rate, ablation_replay, data_plane_table, fig6_table, fig7_table, fig8_table,
-    overhead_matrix, ExpConfig,
+    ablation_rate, ablation_replay, data_plane_table, explore_table, fig6_table, fig7_table,
+    fig8_table, overhead_matrix, ExpConfig,
 };
 use lclog_bench::Table;
 use std::path::Path;
@@ -116,6 +116,12 @@ fn main() {
         let t = ablation_detector(if quick { 4 } else { 8 });
         print!("{}", t.render());
         save(&t, "detector_ablation");
+        println!();
+    }
+    if all || which.contains(&"explore") {
+        let t = explore_table(quick);
+        print!("{}", t.render());
+        save(&t, "explore_schedules");
         println!();
     }
 }

@@ -147,6 +147,15 @@ pub trait LoggingProtocol: Send {
     fn send_ready(&self) -> bool {
         true
     }
+
+    /// The protocol's dependency-interval vector, when it tracks one
+    /// (`depend_interval[n]` for TDI; `None` for protocols without a
+    /// per-process interval vector). §III.E's order-insensitivity
+    /// claim says every legal delivery schedule converges to the same
+    /// vector — the schedule explorer extracts this to check it.
+    fn interval_vector(&self) -> Option<Vec<u64>> {
+        None
+    }
 }
 
 /// Construct a protocol instance for process `me` of `n`.

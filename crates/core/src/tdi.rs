@@ -67,6 +67,10 @@ impl LoggingProtocol for Tdi {
         self.depend[self.me]
     }
 
+    fn interval_vector(&self) -> Option<Vec<u64>> {
+        Some(self.depend.as_slice().to_vec())
+    }
+
     fn on_send(&mut self, _dst: Rank, _send_index: u64) -> SendArtifacts {
         // Algorithm 1 line 11: piggyback the whole depend_interval
         // vector — n identifiers, independent of message history.

@@ -1,0 +1,104 @@
+//! Choice-point strategies.
+//!
+//! The runner consults a [`Decider`] whenever more than one legal next
+//! action exists. Everything else about a run is deterministic, so the
+//! decider *is* the schedule.
+
+use crate::trace::Trace;
+
+/// Supplies the branch taken at each choice point.
+///
+/// `choose(arity)` is called once per choice point with `arity >= 2`
+/// alternatives and must return an index in `0..arity`; the runner
+/// clamps out-of-range answers rather than panicking so that traces
+/// recorded under one alternative set stay replayable after the set
+/// shrinks.
+pub trait Decider {
+    /// Pick one of `arity` alternatives.
+    fn choose(&mut self, arity: usize) -> usize;
+}
+
+/// Always picks branch 0 — the runtime's own default behavior
+/// (earliest arrival, first eligible sender).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FirstDecider;
+
+impl Decider for FirstDecider {
+    fn choose(&mut self, _arity: usize) -> usize {
+        0
+    }
+}
+
+/// Replays a recorded [`Trace`]; choice points past the end of the
+/// trace take branch 0. This is both the replay mechanism and the DFS
+/// prefix-execution mechanism.
+#[derive(Debug, Clone)]
+pub struct TraceDecider {
+    trace: Trace,
+    pos: usize,
+}
+
+impl TraceDecider {
+    /// Replay `trace` from the beginning.
+    pub fn new(trace: Trace) -> Self {
+        TraceDecider { trace, pos: 0 }
+    }
+}
+
+impl Decider for TraceDecider {
+    fn choose(&mut self, arity: usize) -> usize {
+        let picked = self.trace.as_slice().get(self.pos).copied().unwrap_or(0);
+        self.pos += 1;
+        picked.min(arity.saturating_sub(1))
+    }
+}
+
+/// Seeded pseudo-random schedule sampling (xorshift64*) for trees too
+/// large to enumerate. The same seed always walks the same schedule.
+#[derive(Debug, Clone)]
+pub struct SeededDecider {
+    state: u64,
+}
+
+impl SeededDecider {
+    /// A decider with the given seed (zero is remapped — xorshift has
+    /// an all-zero fixed point).
+    pub fn new(seed: u64) -> Self {
+        SeededDecider {
+            state: if seed == 0 { 0x9e37_79b9_7f4a_7c15 } else { seed },
+        }
+    }
+}
+
+impl Decider for SeededDecider {
+    fn choose(&mut self, arity: usize) -> usize {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        (x.wrapping_mul(0x2545_f491_4f6c_dd1d) % arity.max(1) as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_decider_clamps_and_defaults() {
+        let mut d = TraceDecider::new(vec![5, 1].into());
+        assert_eq!(d.choose(3), 2); // clamped from 5
+        assert_eq!(d.choose(4), 1);
+        assert_eq!(d.choose(2), 0); // past the end
+    }
+
+    #[test]
+    fn seeded_decider_is_reproducible() {
+        let mut a = SeededDecider::new(42);
+        let mut b = SeededDecider::new(42);
+        for arity in [2usize, 3, 5, 7, 2, 9] {
+            assert_eq!(a.choose(arity), b.choose(arity));
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! Schedule enumeration, sampling, and counterexample shrinking.
+//!
+//! Exhaustive mode is the classic stateless-model-checking loop: run
+//! under a trace prefix (suffix defaults to branch 0), record the
+//! choice points actually hit, then backtrack — find the deepest
+//! choice with an untaken sibling, increment it, truncate, re-run.
+//! Every leaf of the decision tree is visited exactly once, in
+//! depth-first order, without ever snapshotting kernel state.
+
+use crate::decider::{SeededDecider, TraceDecider};
+use crate::runner::{run_schedule, RunOutcome};
+use crate::trace::Trace;
+use crate::workload::{splitmix64, Workload};
+
+/// Exploration limits and seeds.
+#[derive(Debug, Clone, Copy)]
+pub struct ExploreConfig {
+    /// Stop after this many schedules even if the tree is larger.
+    pub max_schedules: usize,
+    /// Number of random schedules for [`explore_sampled`].
+    pub samples: usize,
+    /// Base seed for sampling (each sample derives its own stream).
+    pub seed: u64,
+}
+
+impl Default for ExploreConfig {
+    fn default() -> Self {
+        ExploreConfig {
+            max_schedules: 10_000,
+            samples: 256,
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// A schedule whose outcome disagreed with the baseline.
+#[derive(Debug, Clone)]
+pub struct Divergence {
+    /// The full trace that first exposed the disagreement.
+    pub trace: Trace,
+    /// A greedily minimized trace that still reproduces it.
+    pub shrunk: Trace,
+    /// The divergent run's per-rank digests.
+    pub digests: Vec<u64>,
+    /// The divergent run deadlocked or desynced instead of completing.
+    pub deadlock: bool,
+}
+
+/// What an exploration saw.
+#[derive(Debug, Clone)]
+pub struct ExploreReport {
+    /// Distinct schedules executed (including the baseline).
+    pub schedules: usize,
+    /// The whole decision tree was enumerated (exhaustive mode only —
+    /// sampling never claims exhaustion).
+    pub exhausted: bool,
+    /// First disagreement found, if any. `None` means every explored
+    /// schedule agreed with the baseline on digests and
+    /// `depend_interval` vectors.
+    pub divergence: Option<Divergence>,
+    /// The baseline (all-defaults schedule) per-rank digests.
+    pub baseline_digests: Vec<u64>,
+    /// Largest branching factor seen at any choice point.
+    pub max_arity: usize,
+}
+
+fn run_with(workload: &Workload, trace: Trace) -> RunOutcome {
+    let mut d = TraceDecider::new(trace);
+    run_schedule(workload, &mut d)
+}
+
+fn max_arity(run: &RunOutcome) -> usize {
+    run.choices.iter().map(|c| c.arity).max().unwrap_or(1)
+}
+
+/// The lexicographically next DFS prefix after `run`, or `None` when
+/// every choice point in `run` already took its last branch.
+fn next_prefix(run: &RunOutcome) -> Option<Trace> {
+    let choices = &run.choices;
+    for i in (0..choices.len()).rev() {
+        if choices[i].picked + 1 < choices[i].arity {
+            let mut t: Vec<usize> = choices[..i].iter().map(|c| c.picked).collect();
+            t.push(choices[i].picked + 1);
+            return Some(t.into());
+        }
+    }
+    None
+}
+
+fn make_divergence(workload: &Workload, run: &RunOutcome, baseline: &RunOutcome) -> Divergence {
+    let trace = run.trace();
+    let shrunk = shrink(workload, &trace, baseline);
+    Divergence {
+        trace,
+        shrunk,
+        digests: run.digests.clone(),
+        deadlock: run.deadlock || run.desynced,
+    }
+}
+
+/// Enumerate the full decision tree of `workload` (up to
+/// `cfg.max_schedules` leaves), comparing every schedule's digests and
+/// `depend_interval` vectors against the all-defaults baseline. Stops
+/// at the first divergence, which is shrunk before reporting.
+pub fn explore_exhaustive(workload: &Workload, cfg: &ExploreConfig) -> ExploreReport {
+    let baseline = run_with(workload, Trace::new());
+    let mut report = ExploreReport {
+        schedules: 1,
+        exhausted: false,
+        divergence: None,
+        baseline_digests: baseline.digests.clone(),
+        max_arity: max_arity(&baseline),
+    };
+    if baseline.deadlock || baseline.desynced {
+        report.divergence = Some(make_divergence(workload, &baseline, &baseline));
+        return report;
+    }
+    let mut last = baseline.clone();
+    loop {
+        let Some(prefix) = next_prefix(&last) else {
+            report.exhausted = true;
+            return report;
+        };
+        if report.schedules >= cfg.max_schedules {
+            return report;
+        }
+        let run = run_with(workload, prefix);
+        report.schedules += 1;
+        report.max_arity = report.max_arity.max(max_arity(&run));
+        if !run.agrees_with(&baseline) {
+            report.divergence = Some(make_divergence(workload, &run, &baseline));
+            return report;
+        }
+        last = run;
+    }
+}
+
+/// Walk `cfg.samples` seeded random schedules of `workload`, comparing
+/// each against the all-defaults baseline. For decision trees too
+/// large to enumerate; never sets `exhausted`.
+pub fn explore_sampled(workload: &Workload, cfg: &ExploreConfig) -> ExploreReport {
+    let baseline = run_with(workload, Trace::new());
+    let mut report = ExploreReport {
+        schedules: 1,
+        exhausted: false,
+        divergence: None,
+        baseline_digests: baseline.digests.clone(),
+        max_arity: max_arity(&baseline),
+    };
+    if baseline.deadlock || baseline.desynced {
+        report.divergence = Some(make_divergence(workload, &baseline, &baseline));
+        return report;
+    }
+    for i in 0..cfg.samples {
+        if report.schedules >= cfg.max_schedules {
+            return report;
+        }
+        let mut d = SeededDecider::new(splitmix64(cfg.seed ^ (i as u64)));
+        let run = run_schedule(workload, &mut d);
+        report.schedules += 1;
+        report.max_arity = report.max_arity.max(max_arity(&run));
+        if !run.agrees_with(&baseline) {
+            report.divergence = Some(make_divergence(workload, &run, &baseline));
+            return report;
+        }
+    }
+    report
+}
+
+/// Greedily minimize `trace` while it still disagrees with `baseline`:
+/// chop decisions off the tail (positions past the end of a trace
+/// replay as branch 0), then zero each remaining nonzero decision, then
+/// drop trailing zeros (replay-identical). The result replays to the
+/// same class of failure with, typically, a fraction of the decisions.
+pub fn shrink(workload: &Workload, trace: &Trace, baseline: &RunOutcome) -> Trace {
+    let fails = |t: Trace| !run_with(workload, t).agrees_with(baseline);
+    let mut cur: Vec<usize> = trace.as_slice().to_vec();
+
+    while !cur.is_empty() {
+        let cand: Trace = cur[..cur.len() - 1].to_vec().into();
+        if fails(cand) {
+            cur.pop();
+        } else {
+            break;
+        }
+    }
+
+    for i in 0..cur.len() {
+        if cur[i] != 0 {
+            let mut cand = cur.clone();
+            cand[i] = 0;
+            if fails(cand.clone().into()) {
+                cur = cand;
+            }
+        }
+    }
+
+    while cur.last() == Some(&0) {
+        cur.pop();
+    }
+    cur.into()
+}

@@ -1,0 +1,273 @@
+//! Deterministic single-threaded execution of a [`Workload`] over real
+//! [`Kernel`]s.
+//!
+//! The runner owns everything that is normally concurrent: the fabric
+//! runs in [held mode](lclog_simnet::DeliveryModel::Held) so sends park
+//! in per-`(src, dst)` FIFOs instead of racing couriers, every
+//! kernel-path timestamp reads a shared [`SimClock`], and there are no
+//! engine threads — the runner drives `ingest`/`try_deliver` itself.
+//! With wall time frozen the transport never retransmits, so each
+//! application message crosses the fabric exactly once and the *only*
+//! degrees of freedom left are the ones the explorer wants to permute:
+//!
+//! 1. **arrival order** — which held data frame is released next
+//!    (subject to per-channel FIFO, the same guarantee real MPI gives);
+//! 2. **extraction order** — which eligible sender an `ANY_SOURCE`
+//!    receive takes (the `RecvQueue` choice the paper's
+//!    order-insensitivity argument is about).
+//!
+//! Everything else is *forced* and executed eagerly to a fixpoint
+//! between choice points: endpoint drains, control-frame flushes
+//! (acks cannot change application-visible behavior while the clock is
+//! frozen — branching on them would only pad the tree with
+//! semantically identical schedules), sends, and source-specific
+//! receives (their delivery order is already fixed by channel FIFO).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use lclog_core::{ProtocolKind, Rank};
+use lclog_runtime::{
+    payload_is_data_frame, AppMsg, CheckpointPolicy, Clock, Kernel, RecvSpec, RunConfig,
+};
+use lclog_simnet::{Endpoint, NetConfig, SimClock, SimNet};
+use lclog_stable::{CheckpointStore, MemStore};
+
+use crate::decider::Decider;
+use crate::trace::Trace;
+use crate::workload::{Op, Workload};
+
+/// One recorded choice point (only points with two or more legal
+/// alternatives are recorded; forced steps do not consume decisions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Choice {
+    /// Branch taken, in `0..arity`.
+    pub picked: usize,
+    /// Number of legal alternatives that existed.
+    pub arity: usize,
+}
+
+/// Everything observable about one schedule's execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunOutcome {
+    /// Final fold state per rank — the application-visible result.
+    pub digests: Vec<u64>,
+    /// Final TDI `depend_interval` vector per rank (`None` for
+    /// protocols that do not maintain one).
+    pub interval_vectors: Vec<Option<Vec<u64>>>,
+    /// The choice points this run hit, with the branch taken at each.
+    pub choices: Vec<Choice>,
+    /// Messages delivered to application receives across all ranks.
+    pub delivered: usize,
+    /// The run stalled: some rank had program steps left but no legal
+    /// action existed anywhere.
+    pub deadlock: bool,
+    /// Some kernel flagged a tracking desync (always a defect).
+    pub desynced: bool,
+}
+
+impl RunOutcome {
+    /// The trace that replays this exact schedule.
+    pub fn trace(&self) -> Trace {
+        self.choices.iter().map(|c| c.picked).collect()
+    }
+
+    /// Whether this outcome matches `baseline` in every property the
+    /// order-insensitivity claim covers: it completed, and both the
+    /// per-rank digests and the per-rank `depend_interval` vectors are
+    /// identical.
+    pub fn agrees_with(&self, baseline: &RunOutcome) -> bool {
+        !self.deadlock
+            && !self.desynced
+            && self.digests == baseline.digests
+            && self.interval_vectors == baseline.interval_vectors
+    }
+}
+
+/// A legal next action at a choice point.
+#[derive(Debug, Clone, Copy)]
+enum Alt {
+    /// Extract the queued deliverable message from `src` for the
+    /// `ANY_SOURCE` receive `rank` is blocked on.
+    Deliver { rank: Rank, src: Rank, tag: u32 },
+    /// Release the held data frame at the head of channel `src → dst`.
+    Release { src: Rank, dst: Rank },
+}
+
+/// Execute `workload` under the schedule `decider` dictates and return
+/// the outcome. A run is a pure function of `(workload, decisions)`:
+/// replaying the returned [`RunOutcome::trace`] through a
+/// [`crate::TraceDecider`] reproduces it exactly.
+pub fn run_schedule(workload: &Workload, decider: &mut dyn Decider) -> RunOutcome {
+    let n = workload.n;
+    let clock = SimClock::new();
+    // Slot n is reserved for the TEL event logger by convention; TDI
+    // never talks to it, but sizing the fabric identically to the real
+    // cluster keeps rank arithmetic the same.
+    let net = SimNet::new(n + 1, NetConfig::held());
+    let store = CheckpointStore::new(Arc::new(MemStore::new()));
+    let kernels: Vec<Kernel> = (0..n)
+        .map(|r| {
+            let cfg = RunConfig::new(ProtocolKind::Tdi)
+                .with_checkpoint(CheckpointPolicy::Never)
+                .with_clock(Clock::Sim(clock.clone()));
+            Kernel::new(r, n, cfg, net.clone(), store.clone())
+        })
+        .collect();
+    let endpoints: Vec<Endpoint> = (0..n).map(|r| net.attach(r)).collect();
+
+    let mut state = vec![0u64; n];
+    let mut pc = vec![0usize; n];
+    let mut choices = Vec::new();
+    let mut delivered = 0usize;
+    let mut deadlock = false;
+
+    loop {
+        // Phase 1: run every forced action to a fixpoint.
+        loop {
+            let mut progress = false;
+
+            // Surface released envelopes into the kernels.
+            for r in 0..n {
+                while let Ok(env) = endpoints[r].try_recv() {
+                    kernels[r].ingest(env);
+                    progress = true;
+                }
+            }
+
+            // Flush control frames (acks) at channel heads. Data
+            // frames stay parked — releasing them is a choice.
+            for (src, dst, _) in net.held_channels() {
+                if src >= n || dst >= n {
+                    continue;
+                }
+                while let Some(head) = net.held_head(src, dst) {
+                    if payload_is_data_frame(&head) {
+                        break;
+                    }
+                    net.held_deliver(src, dst);
+                    progress = true;
+                }
+            }
+
+            // Run forced program steps: sends always, source-specific
+            // receives when deliverable. ANY_SOURCE receives stop the
+            // rank — they are the extraction choice point.
+            for r in 0..n {
+                while pc[r] < workload.programs[r].len() {
+                    match workload.programs[r][pc[r]] {
+                        Op::Send { dst, tag } => {
+                            let value = workload.payload.value(r, pc[r], state[r]);
+                            kernels[r].app_send(
+                                dst,
+                                tag,
+                                Bytes::copy_from_slice(&value.to_le_bytes()),
+                                false,
+                            );
+                            pc[r] += 1;
+                            progress = true;
+                        }
+                        Op::Recv { src: Some(s), tag } => {
+                            match kernels[r].try_deliver(RecvSpec::from(s, tag)) {
+                                Some(msg) => {
+                                    state[r] = workload.fold.apply(state[r], decode(&msg));
+                                    delivered += 1;
+                                    pc[r] += 1;
+                                    progress = true;
+                                }
+                                None => break,
+                            }
+                        }
+                        Op::Recv { src: None, .. } => break,
+                    }
+                }
+            }
+
+            if !progress {
+                break;
+            }
+        }
+
+        if pc
+            .iter()
+            .zip(&workload.programs)
+            .all(|(p, prog)| *p >= prog.len())
+        {
+            break;
+        }
+
+        // Phase 2: enumerate the legal alternatives, deterministically
+        // ordered (extractions by (rank, src), then releases in the
+        // fabric's sorted channel order) so branch indices are stable
+        // across runs.
+        let mut alts: Vec<Alt> = Vec::new();
+        for r in 0..n {
+            if let Some(Op::Recv { src: None, tag }) = workload.programs[r].get(pc[r]).copied() {
+                for s in kernels[r].deliverable_sources(RecvSpec::any_source(tag)) {
+                    alts.push(Alt::Deliver { rank: r, src: s, tag });
+                }
+            }
+        }
+        for (src, dst, len) in net.held_channels() {
+            if src >= n || dst >= n || len == 0 {
+                continue;
+            }
+            if let Some(head) = net.held_head(src, dst) {
+                if payload_is_data_frame(&head) {
+                    alts.push(Alt::Release { src, dst });
+                }
+            }
+        }
+
+        if alts.is_empty() {
+            deadlock = true;
+            break;
+        }
+
+        let idx = if alts.len() == 1 {
+            0
+        } else {
+            let picked = decider.choose(alts.len()).min(alts.len() - 1);
+            choices.push(Choice {
+                picked,
+                arity: alts.len(),
+            });
+            picked
+        };
+
+        match alts[idx] {
+            Alt::Deliver { rank, src, tag } => {
+                if let Some(msg) = kernels[rank].try_deliver(RecvSpec::from(src, tag)) {
+                    state[rank] = workload.fold.apply(state[rank], decode(&msg));
+                    delivered += 1;
+                    pc[rank] += 1;
+                }
+            }
+            Alt::Release { src, dst } => {
+                net.held_deliver(src, dst);
+            }
+        }
+
+        // Nudge virtual time so successive events carry distinct
+        // timestamps; far below any transport timeout, and the runner
+        // never calls tick(), so no retransmission can fire.
+        clock.advance(Duration::from_micros(1));
+    }
+
+    RunOutcome {
+        digests: state,
+        interval_vectors: kernels.iter().map(|k| k.interval_vector()).collect(),
+        choices,
+        delivered,
+        deadlock,
+        desynced: kernels.iter().any(|k| k.is_desynced()),
+    }
+}
+
+fn decode(msg: &AppMsg) -> u64 {
+    let mut b = [0u8; 8];
+    let len = msg.data.len().min(8);
+    b[..len].copy_from_slice(&msg.data[..len]);
+    u64::from_le_bytes(b)
+}

@@ -1,0 +1,90 @@
+//! Decision traces: the serialized identity of a schedule.
+
+use std::fmt;
+
+/// The sequence of branch indices taken at each choice point of a run.
+///
+/// A trace plus a [`crate::Workload`] fully determines an execution:
+/// replaying with [`crate::TraceDecider`] reproduces the schedule
+/// bit-for-bit. Positions past the end of the trace default to branch
+/// `0`, so a prefix is itself a valid (partially constrained) trace —
+/// this is what makes DFS-by-prefix and greedy shrinking work.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct Trace(Vec<usize>);
+
+impl Trace {
+    /// The empty trace (every choice defaults to branch 0).
+    pub fn new() -> Self {
+        Trace(Vec::new())
+    }
+
+    /// The recorded branch indices.
+    pub fn as_slice(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Number of recorded choices.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True when no choices are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Append a branch index.
+    pub fn push(&mut self, picked: usize) {
+        self.0.push(picked);
+    }
+
+    /// Parse the [`fmt::Display`] form back into a trace
+    /// (dot-separated branch indices, e.g. `"3.1.0.2"`).
+    pub fn parse(s: &str) -> Option<Self> {
+        if s.is_empty() {
+            return Some(Trace::new());
+        }
+        s.split('.')
+            .map(|part| part.parse::<usize>().ok())
+            .collect::<Option<Vec<_>>>()
+            .map(Trace)
+    }
+}
+
+impl From<Vec<usize>> for Trace {
+    fn from(v: Vec<usize>) -> Self {
+        Trace(v)
+    }
+}
+
+impl FromIterator<usize> for Trace {
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        Trace(iter.into_iter().collect())
+    }
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, c) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ".")?;
+            }
+            write!(f, "{c}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_round_trips_through_parse() {
+        let t: Trace = vec![3, 1, 0, 2].into();
+        assert_eq!(t.to_string(), "3.1.0.2");
+        assert_eq!(Trace::parse("3.1.0.2"), Some(t));
+        assert_eq!(Trace::parse(""), Some(Trace::new()));
+        assert_eq!(Trace::parse("1.x.2"), None);
+    }
+}

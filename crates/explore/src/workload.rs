@@ -1,0 +1,150 @@
+//! Tiny deterministic workload DSL.
+//!
+//! A [`Workload`] is a per-rank straight-line program of sends and
+//! receives, plus a fold that each delivered payload is combined into
+//! the receiver's state with. The fold doubles as the explorer's
+//! mutation hook: [`Fold::Commutative`] is what a correct
+//! order-insensitive protocol must preserve across schedules, while
+//! [`Fold::OrderSensitive`] deliberately breaks commutativity so tests
+//! can confirm the explorer *detects* order dependence when it exists.
+
+use lclog_core::Rank;
+
+/// One program step for a rank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Send a deterministic payload to `dst` under `tag`.
+    Send {
+        /// Destination rank.
+        dst: Rank,
+        /// Application tag.
+        tag: u32,
+    },
+    /// Receive one message matching `tag`; `src: None` is the
+    /// `MPI_ANY_SOURCE` form and becomes an explorer choice point.
+    Recv {
+        /// Required sender, or `None` for any source.
+        src: Option<Rank>,
+        /// Application tag.
+        tag: u32,
+    },
+}
+
+/// How a delivered payload folds into the receiver's state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Fold {
+    /// `state + value` (wrapping) — insensitive to delivery order, as
+    /// the TDI order-insensitivity property requires of applications
+    /// that accept any legal schedule.
+    #[default]
+    Commutative,
+    /// `rotate_left(state, 9) ^ value` — the result depends on the
+    /// order values arrive in. Used as an injected defect: a correct
+    /// explorer must flag workloads whose digests depend on schedule.
+    OrderSensitive,
+}
+
+impl Fold {
+    /// Fold `value` into `state`.
+    pub fn apply(self, state: u64, value: u64) -> u64 {
+        match self {
+            Fold::Commutative => state.wrapping_add(value),
+            Fold::OrderSensitive => state.rotate_left(9) ^ value,
+        }
+    }
+}
+
+/// What a [`Op::Send`] step puts on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Payload {
+    /// A pure function of `(rank, op_index)` — the same bytes in every
+    /// schedule, so digests isolate *delivery order* effects.
+    #[default]
+    Deterministic,
+    /// The sender's current fold state — couples payloads to the
+    /// sender's own delivery history, amplifying order sensitivity.
+    StateDependent,
+}
+
+impl Payload {
+    /// The 64-bit value rank `rank` sends at program position
+    /// `op_index` with fold state `state`.
+    pub fn value(self, rank: Rank, op_index: usize, state: u64) -> u64 {
+        match self {
+            Payload::Deterministic => splitmix64(((rank as u64) << 32) | op_index as u64),
+            Payload::StateDependent => {
+                splitmix64(((rank as u64) << 32) | op_index as u64) ^ state
+            }
+        }
+    }
+}
+
+/// A deterministic multi-rank program.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Number of application ranks.
+    pub n: usize,
+    /// `programs[r]` is rank `r`'s straight-line op list.
+    pub programs: Vec<Vec<Op>>,
+    /// Receiver-side fold.
+    pub fold: Fold,
+    /// Sender-side payload rule.
+    pub payload: Payload,
+}
+
+impl Workload {
+    /// An empty workload for `n` ranks with the given fold.
+    pub fn new(n: usize, fold: Fold) -> Self {
+        Workload {
+            n,
+            programs: vec![Vec::new(); n],
+            fold,
+            payload: Payload::Deterministic,
+        }
+    }
+
+    /// Replace the payload rule.
+    pub fn with_payload(mut self, payload: Payload) -> Self {
+        self.payload = payload;
+        self
+    }
+
+    /// Append `op` to rank `rank`'s program.
+    pub fn push(&mut self, rank: Rank, op: Op) {
+        self.programs[rank].push(op);
+    }
+
+    /// The canonical `ANY_SOURCE` stress workload: `rounds` rounds
+    /// where root `r % n` posts `n - 1` any-source receives on tag `r`
+    /// while every other rank sends it one message. Because each rank
+    /// advances to the next round as soon as its own part is done, the
+    /// schedule tree interleaves sends and receives across rounds, and
+    /// every receive's extraction order is a genuine choice point.
+    pub fn rotating_gather(n: usize, rounds: usize) -> Self {
+        assert!(n >= 2, "rotating gather needs at least two ranks");
+        let mut w = Workload::new(n, Fold::Commutative);
+        for round in 0..rounds {
+            let root = round % n;
+            let tag = round as u32;
+            for r in 0..n {
+                if r == root {
+                    for _ in 0..n - 1 {
+                        w.push(r, Op::Recv { src: None, tag });
+                    }
+                } else {
+                    w.push(r, Op::Send { dst: root, tag });
+                }
+            }
+        }
+        w
+    }
+}
+
+/// SplitMix64 — the usual seed-scrambling finalizer; good enough to
+/// make every (rank, op) payload distinct and uncorrelated.
+pub(crate) fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}

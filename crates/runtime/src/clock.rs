@@ -1,0 +1,42 @@
+//! Injectable time source for the kernel stack.
+//!
+//! Every timestamp the kernel, transport, detector, recovery machine,
+//! and tracking stats take flows through a [`Clock`] so that the
+//! deterministic-simulation harness can substitute a
+//! [`lclog_simnet::SimClock`]: under [`Clock::Sim`] no kernel-path
+//! code reads the wall clock, making retransmission backoff, detector
+//! accrual, rebroadcast intervals, and elapsed-time checkpoint
+//! policies pure functions of the simulated schedule.
+//!
+//! Harness-side code (the cluster thread loop, the blocking engine's
+//! rendezvous spin, the event-sink timeline) intentionally keeps real
+//! time: it never runs on the deterministic sim path.
+
+use lclog_simnet::SimClock;
+use std::time::Instant;
+
+/// Where the kernel stack reads "now" from.
+#[derive(Debug, Clone, Default)]
+pub enum Clock {
+    /// The wall clock (`Instant::now`) — production and threaded runs.
+    #[default]
+    Real,
+    /// A shared virtual clock advanced only by the simulation
+    /// scheduler — deterministic runs.
+    Sim(SimClock),
+}
+
+impl Clock {
+    /// The current time, from whichever source this clock wraps.
+    pub fn now(&self) -> Instant {
+        match self {
+            Clock::Real => Instant::now(),
+            Clock::Sim(sim) => sim.now(),
+        }
+    }
+
+    /// True when time is virtual (scheduler-owned).
+    pub fn is_virtual(&self) -> bool {
+        matches!(self, Clock::Sim(_))
+    }
+}

@@ -702,6 +702,24 @@ fn rank_main<A: RankApp>(
                 });
                 return;
             }
+            Err(Fault::Desync) | Err(Fault::Collective(_)) => {
+                // The tracking merge rejected a gate-approved message
+                // (protocol state untrusted), or a collective's
+                // contribution pattern broke under it. Either way the
+                // incarnation cannot make trustworthy progress:
+                // unwind like a crash and rebuild through the normal
+                // rollback path.
+                sink.emit(rank, EventKind::Crashed { step });
+                engine.crash();
+                let snap = engine.snapshot();
+                let _ = tx.send(Outcome::Killed {
+                    rank,
+                    stats: snap.stats,
+                    data_plane: snap.data_plane,
+                    fenced: false,
+                });
+                return;
+            }
             Err(Fault::Shutdown) => return,
         }
     }

@@ -48,7 +48,12 @@ pub fn broadcast<T: Encode + Decode + Clone>(
     value: Option<T>,
 ) -> Result<T, Fault> {
     if ctx.rank() == root {
-        let v = value.expect("root must supply the broadcast value");
+        // A missing root value is an application-level contract
+        // violation, but aborting the process would take every healthy
+        // rank down with it — surface a fault on this rank only.
+        let Some(v) = value else {
+            return Err(Fault::Collective("root supplied no broadcast value"));
+        };
         for dst in 0..ctx.n() {
             if dst != root {
                 ctx.send_value(dst, tag, &v)?;
@@ -83,15 +88,27 @@ where
     }
     let mut contributions: Vec<Option<T>> = (0..n).map(|_| None).collect();
     contributions[root] = Some(value);
-    for _ in 0..n - 1 {
+    let mut filled = 1;
+    while filled < n {
         // Non-deterministic delivery: take whichever rank's
-        // contribution becomes deliverable first.
+        // contribution becomes deliverable first. A dead contributor
+        // surfaces here as a `Fault` from `recv_value` (unreachable /
+        // detector-declared), which `?` propagates so the survivor
+        // takes the normal recovery path instead of panicking.
         let (src, v) = ctx.recv_value::<T>(RecvSpec::any_source(tag))?;
-        debug_assert!(contributions[src].is_none(), "duplicate contribution");
+        if contributions[src].is_some() {
+            // A duplicate slipped past suppression (e.g. a re-executed
+            // sender reusing this collective's tag). Folding it would
+            // silently corrupt the result; fault this rank instead.
+            return Err(Fault::Collective("duplicate contribution in reduce"));
+        }
         contributions[src] = Some(v);
+        filled += 1;
     }
-    let mut iter = contributions.into_iter().map(|c| c.expect("all ranks contributed"));
-    let first = iter.next().expect("n >= 1");
+    // `filled == n` and duplicates were rejected, so every slot is
+    // occupied; fold in rank order for bit-identical results.
+    let mut iter = contributions.into_iter().flatten();
+    let first = iter.next().ok_or(Fault::Collective("empty reduce"))?;
     Ok(Some(iter.fold(first, &mut fold)))
 }
 
@@ -127,11 +144,90 @@ pub fn gather<T: Encode + Decode + Clone>(
     }
     let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
     slots[root] = Some(value);
-    for _ in 0..n - 1 {
+    let mut filled = 1;
+    while filled < n {
         let (src, v) = ctx.recv_value::<T>(RecvSpec::any_source(tag))?;
+        if slots[src].is_some() {
+            return Err(Fault::Collective("duplicate contribution in gather"));
+        }
         slots[src] = Some(v);
+        filled += 1;
     }
-    Ok(Some(
-        slots.into_iter().map(|s| s.expect("all ranks sent")).collect(),
-    ))
+    // Every slot occupied (see `reduce`): collect in rank order.
+    Ok(Some(slots.into_iter().flatten().collect()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RunConfig;
+    use crate::engine::Engine;
+    use crate::kernel::Kernel;
+    use lclog_core::ProtocolKind;
+    use lclog_simnet::{NetConfig, SimNet};
+    use lclog_stable::{CheckpointStore, MemStore};
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+
+    /// A real non-blocking engine per rank over a direct fabric — the
+    /// smallest harness that can drive collectives outside a cluster.
+    fn engines(n: usize) -> Vec<Engine> {
+        let net = SimNet::new(n + 1, NetConfig::direct());
+        let store = CheckpointStore::new(Arc::new(MemStore::new()));
+        let shutdown = Arc::new(AtomicBool::new(false));
+        (0..n)
+            .map(|r| {
+                let kernel = Kernel::new(
+                    r,
+                    n,
+                    RunConfig::new(ProtocolKind::Tdi),
+                    net.clone(),
+                    store.clone(),
+                );
+                Engine::new(kernel, net.attach(r), Arc::clone(&shutdown))
+            })
+            .collect()
+    }
+
+    // Regression: `broadcast` with a root that supplies no value used
+    // to hit `expect("root must supply...")` and abort the process.
+    #[test]
+    fn broadcast_root_without_value_faults_instead_of_panicking() {
+        let engines = engines(1);
+        let mut ctx = RankCtx::new(&engines[0], 0);
+        let err = broadcast::<u64>(&mut ctx, 0, 7, None).unwrap_err();
+        assert!(matches!(err, Fault::Collective(_)), "got {err}");
+    }
+
+    // Regression: a double contribution (same tag, same sender, fresh
+    // send_index — so receiver dedup rightly passes both) used to leave
+    // a `None` slot behind and abort in `expect("contribution recorded")`.
+    // It must now surface as a single-rank `Fault::Collective`.
+    #[test]
+    fn duplicate_contribution_faults_reduce_root() {
+        let engines = engines(3);
+        let mut c1 = RankCtx::new(&engines[1], 0);
+        c1.send_value(0, 9, &1.0f64).unwrap();
+        c1.send_value(0, 9, &2.0f64).unwrap(); // illegal second contribution
+        let mut c0 = RankCtx::new(&engines[0], 0);
+        let err = reduce(&mut c0, 0, 9, 0.5f64, |a, b| a + b).unwrap_err();
+        assert!(
+            matches!(err, Fault::Collective(msg) if msg.contains("reduce")),
+            "got {err}"
+        );
+    }
+
+    #[test]
+    fn duplicate_contribution_faults_gather_root() {
+        let engines = engines(3);
+        let mut c2 = RankCtx::new(&engines[2], 0);
+        c2.send_value(0, 11, &7u64).unwrap();
+        c2.send_value(0, 11, &8u64).unwrap();
+        let mut c0 = RankCtx::new(&engines[0], 0);
+        let err = gather(&mut c0, 0, 11, 1u64).unwrap_err();
+        assert!(
+            matches!(err, Fault::Collective(msg) if msg.contains("gather")),
+            "got {err}"
+        );
+    }
 }

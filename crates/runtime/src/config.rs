@@ -1,3 +1,4 @@
+use crate::clock::Clock;
 use crate::detector::DetectorConfig;
 use lclog_core::ProtocolKind;
 use std::time::Duration;
@@ -74,6 +75,11 @@ pub struct RunConfig {
     /// budget exhaustion becomes a suspicion input rather than a
     /// unilateral [`crate::Fault::Unreachable`] verdict.
     pub detector: Option<DetectorConfig>,
+    /// Time source for the kernel stack. [`Clock::Real`] (the default)
+    /// reads the wall clock; [`Clock::Sim`] pins every kernel-path
+    /// timestamp to a scheduler-advanced virtual clock, making runs
+    /// reproducible from `(topology, workload, schedule)`.
+    pub clock: Clock,
 }
 
 impl RunConfig {
@@ -90,6 +96,7 @@ impl RunConfig {
             retransmit_cap: Duration::from_millis(50),
             retransmit_budget: 40,
             detector: None,
+            clock: Clock::Real,
         }
     }
 
@@ -109,6 +116,13 @@ impl RunConfig {
     /// detected failures.
     pub fn with_detector(mut self, detector: DetectorConfig) -> Self {
         self.detector = Some(detector);
+        self
+    }
+
+    /// Builder-style clock override (virtual time for deterministic
+    /// simulation).
+    pub fn with_clock(mut self, clock: Clock) -> Self {
+        self.clock = clock;
         self
     }
 }

@@ -34,7 +34,7 @@ pub(crate) struct Delivery {
 impl Delivery {
     pub fn new(n: usize) -> Self {
         Delivery {
-            queue: RecvQueue::new(),
+            queue: RecvQueue::with_ranks(n),
             last_deliver_index: CounterVector::zeroed(n),
         }
     }

@@ -132,8 +132,7 @@ impl Detector {
     /// A detector for rank `me` of an `n`-rank application. The
     /// service slot (`n`) is never monitored: it is the paper's
     /// assumed-stable logger host.
-    pub(crate) fn new(me: Rank, n: usize, cfg: DetectorConfig) -> Self {
-        let now = Instant::now();
+    pub(crate) fn new(me: Rank, n: usize, cfg: DetectorConfig, now: Instant) -> Self {
         Detector {
             cfg,
             me,
@@ -349,7 +348,7 @@ mod tests {
 
     #[test]
     fn phi_grows_with_silence_and_resets_on_contact() {
-        let mut d = Detector::new(0, 2, DetectorConfig::default());
+        let mut d = Detector::new(0, 2, DetectorConfig::default(), Instant::now());
         let t0 = Instant::now();
         // Regular 2ms traffic from rank 1.
         for i in 0..20 {
@@ -369,7 +368,7 @@ mod tests {
     #[test]
     fn poll_latches_one_report_per_silence_episode() {
         let cfg = DetectorConfig::default().with_grace(Duration::ZERO);
-        let mut d = Detector::new(0, 3, cfg);
+        let mut d = Detector::new(0, 3, cfg, Instant::now());
         let t0 = Instant::now();
         for i in 0..10 {
             d.heard(1, t0 + ms(2 * i));
@@ -403,7 +402,7 @@ mod tests {
     #[test]
     fn detector_never_suspects_itself_or_the_service_slot() {
         let cfg = DetectorConfig::default().with_grace(Duration::ZERO);
-        let mut d = Detector::new(1, 2, cfg);
+        let mut d = Detector::new(1, 2, cfg, Instant::now());
         // Total silence from everyone, forever.
         let reports = d.poll(Instant::now() + Duration::from_secs(5));
         assert_eq!(reports.len(), 1, "only rank 0 is suspect");
@@ -417,13 +416,13 @@ mod tests {
     #[test]
     fn grace_shields_never_heard_peers() {
         let cfg = DetectorConfig::default().with_grace(Duration::from_secs(60));
-        let mut d = Detector::new(0, 2, cfg);
+        let mut d = Detector::new(0, 2, cfg, Instant::now());
         assert!(d.poll(Instant::now() + ms(500)).is_empty());
     }
 
     #[test]
     fn force_suspect_latches_and_reset_unlatches() {
-        let mut d = Detector::new(0, 2, DetectorConfig::default());
+        let mut d = Detector::new(0, 2, DetectorConfig::default(), Instant::now());
         assert!(d.force_suspect(1));
         assert!(!d.force_suspect(1), "already latched");
         let now = Instant::now();
@@ -433,7 +432,7 @@ mod tests {
 
     #[test]
     fn heartbeat_cadence() {
-        let mut d = Detector::new(0, 2, DetectorConfig::default());
+        let mut d = Detector::new(0, 2, DetectorConfig::default(), Instant::now());
         let t0 = Instant::now();
         assert!(!d.heartbeat_due(t0));
         assert!(d.heartbeat_due(t0 + ms(3)));

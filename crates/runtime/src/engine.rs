@@ -160,6 +160,9 @@ impl Engine {
         if self.shared.kernel.is_fenced() {
             return Err(Fault::Fenced);
         }
+        if self.shared.kernel.is_desynced() {
+            return Err(Fault::Desync);
+        }
         if self.shared.shutdown.load(Ordering::Relaxed) {
             return Err(Fault::Shutdown);
         }

@@ -131,6 +131,16 @@ pub enum EventKind {
         /// The stale incarnation.
         incarnation: u64,
     },
+    /// The tracking layer's piggyback merge rejected a message the
+    /// delivery gate had approved. The message was discarded, the
+    /// delivery counter left untouched, and the rank marked
+    /// desynchronized so its engine surfaces [`crate::Fault::Desync`].
+    TrackingDesync {
+        /// Sender of the poisoned message.
+        src: Rank,
+        /// Its per-channel send index.
+        send_index: u64,
+    },
 }
 
 impl fmt::Display for EventKind {
@@ -187,6 +197,12 @@ impl fmt::Display for EventKind {
             }
             EventKind::StaleFenced { peer, incarnation } => {
                 write!(f, "rejected frame from fenced incarnation {incarnation} of rank {peer}")
+            }
+            EventKind::TrackingDesync { src, send_index } => {
+                write!(
+                    f,
+                    "DESYNC: tracking merge rejected gate-approved message {send_index} from rank {src}"
+                )
             }
         }
     }

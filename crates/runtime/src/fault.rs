@@ -24,6 +24,20 @@ pub enum Fault {
     /// state and rejoin through the normal rollback path — continuing
     /// would mix two incarnations' sends into one membership epoch.
     Fenced,
+    /// The tracking layer's piggyback merge rejected a message the
+    /// delivery gate had approved (e.g. a poisoned or stale piggyback
+    /// admitted across an incarnation boundary). The protocol state on
+    /// this rank can no longer be trusted, so the incarnation must
+    /// drop volatile state and rebuild through the normal rollback
+    /// path — it is a single-rank fault, not a process abort.
+    Desync,
+    /// A collective operation could not complete because its
+    /// contribution pattern was violated — a participant died
+    /// mid-collective, double-contributed, or a root supplied no
+    /// value. Carries a short reason for diagnostics. Survivors treat
+    /// it like an unreachable peer: unwind and retry the operation
+    /// through the normal recovery path.
+    Collective(&'static str),
 }
 
 impl fmt::Display for Fault {
@@ -36,6 +50,12 @@ impl fmt::Display for Fault {
             }
             Fault::Fenced => {
                 write!(f, "this incarnation was declared dead (fenced); must rejoin")
+            }
+            Fault::Desync => {
+                write!(f, "tracking merge rejected a gate-approved message; rank desynchronized")
+            }
+            Fault::Collective(reason) => {
+                write!(f, "collective operation failed: {reason}")
             }
         }
     }

@@ -61,7 +61,6 @@ use lclog_stable::CheckpointStore;
 use lclog_wire::{encode_to_vec, impl_wire_struct};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::time::Instant;
 
 /// Everything a checkpoint durably captures (Algorithm 1 line 33:
 /// image, log, and the counter vectors).
@@ -143,6 +142,12 @@ pub struct Kernel {
     /// incarnation dead. Engines poll it in `check_live` and surface
     /// [`crate::Fault::Fenced`].
     fenced: AtomicBool,
+    /// Set when the tracking merge rejected a gate-approved message:
+    /// the protocol state can no longer be trusted. Engines poll it in
+    /// `check_live` and surface [`crate::Fault::Desync`] so the rank
+    /// rebuilds through the rollback path instead of aborting the
+    /// process.
+    desynced: AtomicBool,
     recovery: Mutex<RecoveryLayer>,
     tracking: Mutex<Tracking>,
     delivery: Mutex<Delivery>,
@@ -165,11 +170,14 @@ impl Kernel {
                 timeout: cfg.retransmit_timeout,
                 cap: cfg.retransmit_cap,
                 budget: cfg.retransmit_budget,
+                clock: cfg.clock.clone(),
             },
         );
+        let clock = cfg.clock.clone();
+        let now = clock.now();
         let mut reliability = Reliability::new(transport, n);
         if let Some(dcfg) = cfg.detector {
-            reliability.set_detector(Detector::new(me, n, dcfg));
+            reliability.set_detector(Detector::new(me, n, dcfg, now));
         }
         Kernel {
             me,
@@ -180,8 +188,9 @@ impl Kernel {
             holds_delivery_in_recovery,
             recovering: AtomicBool::new(false),
             fenced: AtomicBool::new(false),
-            recovery: Mutex::new(RecoveryLayer::new(n, ckpt_store)),
-            tracking: Mutex::new(Tracking::new(protocol)),
+            desynced: AtomicBool::new(false),
+            recovery: Mutex::new(RecoveryLayer::new(n, ckpt_store, now)),
+            tracking: Mutex::new(Tracking::new(protocol, clock)),
             delivery: Mutex::new(Delivery::new(n)),
             reliability: Mutex::new(reliability),
             events: EventSink::disabled(),
@@ -277,6 +286,23 @@ impl Kernel {
     /// state is forfeit, the successor rejoins via `ROLLBACK`.
     pub fn is_fenced(&self) -> bool {
         self.fenced.load(Ordering::Acquire)
+    }
+
+    /// True once the tracking merge rejected a gate-approved message
+    /// (lock-free). Engines must stop the application with
+    /// [`crate::Fault::Desync`]: the protocol state is untrusted, the
+    /// successor rebuilds via `ROLLBACK`.
+    pub fn is_desynced(&self) -> bool {
+        self.desynced.load(Ordering::Acquire)
+    }
+
+    /// The protocol's dependency-interval vector (`depend_interval[n]`
+    /// for TDI), when the protocol tracks one. This is the invariant
+    /// half of the schedule explorer's order-insensitivity check
+    /// (§III.E): every legal delivery schedule must converge to the
+    /// same vector.
+    pub fn interval_vector(&self) -> Option<Vec<u64>> {
+        self.tracking.lock().protocol.interval_vector()
     }
 
     /// Protocol send gate (pessimistic logging holds sends while
@@ -507,7 +533,25 @@ impl Kernel {
         };
         let src = taken.src;
         let wire = taken.wire;
-        trk.on_deliver(src, wire.send_index, &wire.piggyback);
+        if trk.on_deliver(src, wire.send_index, &wire.piggyback).is_err() {
+            // Gate and merge disagreed (poisoned/stale piggyback): the
+            // message is discarded *without* bumping the delivery
+            // counter, and the rank is marked desynchronized so its
+            // engine faults it (single-rank recovery, not a process
+            // abort). No ack either — as far as the sender can tell,
+            // the message was never consumed.
+            drop(del);
+            drop(trk);
+            self.events.emit(
+                self.me,
+                EventKind::TrackingDesync {
+                    src,
+                    send_index: wire.send_index,
+                },
+            );
+            self.desynced.store(true, Ordering::Release);
+            return None;
+        }
         del.note_delivered(src);
         let dets = if self.logger.is_some() {
             trk.protocol.drain_determinants_for_logger()
@@ -533,13 +577,38 @@ impl Kernel {
         })
     }
 
+    /// Senders with a queued message that `spec` + the FIFO counter +
+    /// the protocol gate would allow delivering *right now*, ordered
+    /// by arrival (index 0 is what [`Kernel::try_deliver`] would
+    /// take). Each element is a legal alternative next delivery — the
+    /// schedule explorer's choice-point set (§III.E: any such order is
+    /// supposed to converge). Read-only; same locks as `try_deliver`.
+    pub fn deliverable_sources(&self, spec: RecvSpec) -> Vec<Rank> {
+        if self.holds_delivery_in_recovery && self.recovering.load(Ordering::Acquire) {
+            return Vec::new();
+        }
+        let trk = self.tracking.lock();
+        let del = self.delivery.lock();
+        let protocol = &trk.protocol;
+        let last_deliver_index = &del.last_deliver_index;
+        del.queue.eligible_sources(spec, |src, idx, piggyback| {
+            idx == last_deliver_index.get(src) + 1
+                && matches!(
+                    protocol.deliverable(src, idx, piggyback),
+                    DeliveryVerdict::Deliver
+                )
+        })
+    }
+
     // ---------------------------------------------------------------
     // Checkpointing (lines 32–39)
     // ---------------------------------------------------------------
 
     /// Should a checkpoint be taken now (between steps)?
     pub fn checkpoint_due(&self, step: u64) -> bool {
-        self.recovery.lock().checkpoint_due(self.cfg.checkpoint, step)
+        self.recovery
+            .lock()
+            .checkpoint_due(self.cfg.checkpoint, step, self.cfg.clock.now())
     }
 
     /// Take a checkpoint of `app_state` after `step`.
@@ -587,7 +656,7 @@ impl Kernel {
             ));
             rec.last_ckpt_deliver_index.set(k, delivered);
         }
-        rec.last_ckpt_at = Instant::now();
+        rec.last_ckpt_at = self.cfg.clock.now();
         rec.steps_at_ckpt = step;
         drop(del);
         drop(trk);
@@ -627,7 +696,7 @@ impl Kernel {
             .latest_version(self.me)
             .unwrap_or(rec.ckpt_version);
         rec.steps_at_ckpt = image.step;
-        rec.last_ckpt_at = Instant::now();
+        rec.last_ckpt_at = self.cfg.clock.now();
         (image.step, image.app_state)
     }
 
@@ -647,12 +716,14 @@ impl Kernel {
     /// `begin` outside `Running`).
     pub fn begin_recovery(&self) {
         let mut rec = self.recovery.lock();
-        let tr = rec.machine.begin(self.me, self.logger.is_some());
+        let tr = rec
+            .machine
+            .begin(self.me, self.logger.is_some(), self.cfg.clock.now());
         self.recovering.store(true, Ordering::Release);
         self.emit_transition(Some(tr));
         self.broadcast_rollback(&mut rec);
         // Degenerate single-rank system: nothing to collect.
-        if let Some(done) = rec.machine.try_complete() {
+        if let Some(done) = rec.machine.try_complete(self.cfg.clock.now()) {
             let mut trk = self.tracking.lock();
             self.finish_sync(&mut trk, done);
         }
@@ -689,7 +760,7 @@ impl Kernel {
                 }
             }
         }
-        rec.machine.note_broadcast();
+        rec.machine.note_broadcast(self.cfg.clock.now());
     }
 
     /// Survivor side of `ROLLBACK` (lines 47–51): answer with our
@@ -785,7 +856,7 @@ impl Kernel {
             self.events
                 .emit(self.me, EventKind::ResponseReceived { from: src });
         }
-        let done = rec.machine.try_complete();
+        let done = rec.machine.try_complete(self.cfg.clock.now());
         {
             let mut trk = self.tracking.lock();
             if !w.dets.is_empty() {
@@ -818,7 +889,7 @@ impl Kernel {
         let mut rec = self.recovery.lock();
         let (_, tr) = rec.machine.note_logger_synced();
         self.emit_transition(tr);
-        let done = rec.machine.try_complete();
+        let done = rec.machine.try_complete(self.cfg.clock.now());
         let mut trk = self.tracking.lock();
         trk.protocol.install_recovery_info(dets);
         if let Some(done) = done {
@@ -851,7 +922,7 @@ impl Kernel {
                 self.fenced.store(true, Ordering::Release);
             }
             if let (Some(adv), Some(det)) = (&advanced, &mut rel.detector) {
-                let now = Instant::now();
+                let now = self.cfg.clock.now();
                 for &r in adv {
                     det.reset_peer(r, now);
                 }
@@ -890,7 +961,7 @@ impl Kernel {
                 transport, detector, ..
             } = &mut *rel;
             if let Some(det) = detector {
-                let now = Instant::now();
+                let now = self.cfg.clock.now();
                 transport.take_heard(|r| det.heard(r, now));
                 // Budget exhaustion = forced threshold crossing.
                 let mut crossed: Vec<(Rank, u64)> = Vec::new();
@@ -944,7 +1015,10 @@ impl Kernel {
         }
         if self.recovering.load(Ordering::Acquire) {
             let mut rec = self.recovery.lock();
-            if rec.machine.rebroadcast_due(self.cfg.retry_interval) {
+            if rec
+                .machine
+                .rebroadcast_due(self.cfg.retry_interval, self.cfg.clock.now())
+            {
                 self.broadcast_rollback(&mut rec);
             }
         }
@@ -1262,6 +1336,87 @@ mod tests {
         assert_eq!(k0b.recovery_phase(), RecoveryPhase::Synced);
         assert_eq!(k1b.recovery_phase(), RecoveryPhase::Synced);
         drop(eps);
+    }
+
+    // Regression: `on_deliver` rejecting a message the delivery gate
+    // approved used to hit `expect("delivery gate approved this
+    // message")` and abort the whole process. TAG's gate never decodes
+    // the piggyback (PWD records order, it does not constrain it), so
+    // a poisoned piggyback sails through the gate and fails only in
+    // the merge — which must now fault this one rank, not abort.
+    #[test]
+    fn poisoned_piggyback_faults_rank_instead_of_aborting() {
+        let (mut ks, _net, _eps) = harness(2, ProtocolKind::Tag);
+        let mut k1 = ks.pop().unwrap();
+        let sink = EventSink::recording();
+        k1.set_event_sink(sink.clone());
+        assert!(!k1.is_desynced());
+        k1.ingest_app(
+            0,
+            AppWire {
+                tag: 3,
+                send_index: 1,
+                piggyback: Bytes::from_static(&[0xde, 0xad, 0xbe, 0xef]),
+                needs_ack: false,
+                data: Bytes::from_static(b"poison"),
+            },
+        );
+        // The gate approves (FIFO next + PWD records any order), the
+        // merge rejects: the message is discarded, not delivered.
+        assert!(k1.try_deliver(RecvSpec::any()).is_none());
+        assert!(k1.is_desynced(), "rank must be marked desynchronized");
+        let snap = k1.snapshot();
+        assert_eq!(snap.stats.delivers, 0, "merge failure must not count");
+        assert!(
+            sink.take().iter().any(|e| matches!(
+                e.kind,
+                EventKind::TrackingDesync { src: 0, send_index: 1 }
+            )),
+            "timeline must record the desync"
+        );
+    }
+
+    // Duplicate-suppression audit: a respawned incarnation re-executes
+    // its sends with *reused* send_indexes. If the receiver still holds
+    // the pre-crash copy in its queue, the resend must be recognized as
+    // the same message — delivered exactly once, neither wrongly
+    // dropped (it was never delivered) nor double-delivered.
+    #[test]
+    fn reused_send_index_across_incarnations_delivers_exactly_once() {
+        let (mut ks, net, eps) = harness(2, ProtocolKind::Tdi);
+        let k1 = ks.pop().unwrap();
+        let k0 = ks.pop().unwrap();
+        // Incarnation 1 of rank 0 sends; rank 1 queues but does NOT
+        // deliver before rank 0 dies without a checkpoint.
+        k0.app_send(1, 0, Bytes::from_static(b"once"), false);
+        pump(&k1, &eps[1]);
+        net.kill(0);
+        let ep0b = net.respawn(0);
+        let store = CheckpointStore::new(k0.ckpt_storage());
+        let mut k0b = Kernel::new(0, 2, RunConfig::new(ProtocolKind::Tdi), net.clone(), store);
+        k0b.set_incarnation(2);
+        k0b.begin_recovery();
+        pump(&k1, &eps[1]); // ROLLBACK in → RESPONSE (delivered 0 from you) out
+        while let Ok(env) = ep0b.try_recv() {
+            k0b.ingest(env);
+        }
+        assert!(!k0b.is_recovering());
+        // Roll-forward regenerates send_index 1. Rank 1 never delivered
+        // it, so suppression must NOT swallow it.
+        let (idx, sent) = k0b.app_send(1, 0, Bytes::from_static(b"once"), false);
+        assert_eq!(idx, 1, "re-execution reuses the send_index");
+        assert!(sent, "undelivered send must be retransmitted");
+        // Rank 1 now holds two copies of (src 0, send_index 1): the
+        // queued pre-crash one and the incarnation-2 resend.
+        pump(&k1, &eps[1]);
+        let m = k1.try_deliver(RecvSpec::any()).expect("delivered exactly once");
+        assert_eq!(m.src, 0);
+        assert_eq!(&m.data[..], b"once");
+        assert!(
+            k1.try_deliver(RecvSpec::any()).is_none(),
+            "the duplicate copy must not deliver a second time"
+        );
+        assert_eq!(k1.snapshot().stats.delivers, 1);
     }
 
     #[test]

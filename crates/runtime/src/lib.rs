@@ -42,6 +42,7 @@
 #![warn(missing_docs)]
 
 mod backoff;
+mod clock;
 mod cluster;
 pub mod collectives;
 mod config;
@@ -64,6 +65,7 @@ mod transport;
 pub use cluster::{
     Cluster, ClusterConfig, DetectorReport, FailurePlan, Kill, RunReport, StorageKind,
 };
+pub use clock::Clock;
 pub use events::{Event, EventKind, EventSink};
 pub use config::{CheckpointPolicy, CommMode, RunConfig};
 pub use detector::DetectorConfig;
@@ -76,7 +78,8 @@ pub use message::{
     ANY_SOURCE, ANY_TAG,
 };
 pub use process::{RankApp, RankCtx};
-pub use transport::DataPlaneStats;
+pub use recvq::{Pending, RecvQueue};
+pub use transport::{payload_is_data_frame, DataPlaneStats};
 
 /// Rank identifier (re-exported from the protocol layer).
 pub use lclog_core::Rank;

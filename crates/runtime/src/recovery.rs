@@ -113,14 +113,15 @@ pub struct RecoveryMachine {
 pub type Transition = (&'static str, &'static str);
 
 impl RecoveryMachine {
-    /// A machine in `Running` for an `n`-rank system.
-    pub fn new(n: usize) -> Self {
+    /// A machine in `Running` for an `n`-rank system, created at `now`
+    /// (the kernel clock — virtual under deterministic simulation).
+    pub fn new(n: usize, now: Instant) -> Self {
         RecoveryMachine {
             phase: RecoveryPhase::Running,
             responded: vec![false; n],
             logger_synced: true,
-            last_broadcast: Instant::now(),
-            started: Instant::now(),
+            last_broadcast: now,
+            started: now,
         }
     }
 
@@ -141,7 +142,7 @@ impl RecoveryMachine {
     ///
     /// From any phase but `Running` — one incarnation recovers at most
     /// once; a second failure spawns a fresh incarnation (and machine).
-    pub fn begin(&mut self, me: Rank, needs_logger: bool) -> Transition {
+    pub fn begin(&mut self, me: Rank, needs_logger: bool, now: Instant) -> Transition {
         assert!(
             matches!(self.phase, RecoveryPhase::Running),
             "recovery state machine: begin() in phase {}, only legal in running",
@@ -150,8 +151,8 @@ impl RecoveryMachine {
         self.responded.iter_mut().for_each(|r| *r = false);
         self.responded[me] = true;
         self.logger_synced = !needs_logger;
-        self.started = Instant::now();
-        self.last_broadcast = self.started;
+        self.started = now;
+        self.last_broadcast = now;
         self.phase = RecoveryPhase::Logging;
         ("running", "logging")
     }
@@ -207,14 +208,15 @@ impl RecoveryMachine {
     /// Transition to `Synced` if every survivor and the logger have
     /// answered. Returns `(sync_ns, transition)` on the edge — the
     /// nanoseconds spent collecting recovery information.
-    pub fn try_complete(&mut self) -> Option<(u64, Transition)> {
+    pub fn try_complete(&mut self, now: Instant) -> Option<(u64, Transition)> {
         if !self.phase.is_recovering() {
             return None;
         }
         if self.logger_synced && self.responded.iter().all(|&r| r) {
             let from = self.phase.name();
             self.phase = RecoveryPhase::Synced;
-            Some((self.started.elapsed().as_nanos() as u64, (from, "synced")))
+            let sync_ns = now.saturating_duration_since(self.started).as_nanos() as u64;
+            Some((sync_ns, (from, "synced")))
         } else {
             None
         }
@@ -237,13 +239,13 @@ impl RecoveryMachine {
 
     /// Should `ROLLBACK` be rebroadcast (unresponsive peers may have
     /// been dead for the first broadcast)?
-    pub fn rebroadcast_due(&self, interval: Duration) -> bool {
-        self.is_recovering() && self.last_broadcast.elapsed() >= interval
+    pub fn rebroadcast_due(&self, interval: Duration, now: Instant) -> bool {
+        self.is_recovering() && now.saturating_duration_since(self.last_broadcast) >= interval
     }
 
     /// A (re)broadcast just went out.
-    pub fn note_broadcast(&mut self) {
-        self.last_broadcast = Instant::now();
+    pub fn note_broadcast(&mut self, now: Instant) {
+        self.last_broadcast = now;
     }
 }
 
@@ -277,9 +279,9 @@ pub(crate) struct RecoveryLayer {
 }
 
 impl RecoveryLayer {
-    pub fn new(n: usize, ckpt_store: CheckpointStore) -> Self {
+    pub fn new(n: usize, ckpt_store: CheckpointStore, now: Instant) -> Self {
         RecoveryLayer {
-            machine: RecoveryMachine::new(n),
+            machine: RecoveryMachine::new(n, now),
             last_send_index: CounterVector::zeroed(n),
             rollback_last_send_index: CounterVector::zeroed(n),
             restored_send_index: CounterVector::zeroed(n),
@@ -287,17 +289,19 @@ impl RecoveryLayer {
             log: SenderLog::new(n),
             ckpt_store,
             ckpt_version: 0,
-            last_ckpt_at: Instant::now(),
+            last_ckpt_at: now,
             steps_at_ckpt: 0,
             rollback_epoch: 0,
         }
     }
 
     /// Is a checkpoint due after `step` under `policy`?
-    pub fn checkpoint_due(&self, policy: CheckpointPolicy, step: u64) -> bool {
+    pub fn checkpoint_due(&self, policy: CheckpointPolicy, step: u64, now: Instant) -> bool {
         match policy {
             CheckpointPolicy::EverySteps(k) => k > 0 && step >= self.steps_at_ckpt + k,
-            CheckpointPolicy::EveryElapsed(d) => self.last_ckpt_at.elapsed() >= d,
+            CheckpointPolicy::EveryElapsed(d) => {
+                now.saturating_duration_since(self.last_ckpt_at) >= d
+            }
             CheckpointPolicy::Never => false,
         }
     }
@@ -309,16 +313,16 @@ mod tests {
 
     #[test]
     fn full_lifecycle_with_logger() {
-        let mut m = RecoveryMachine::new(3);
+        let mut m = RecoveryMachine::new(3, Instant::now());
         assert_eq!(m.phase(), &RecoveryPhase::Running);
         assert!(!m.is_recovering());
 
-        assert_eq!(m.begin(0, true), ("running", "logging"));
+        assert_eq!(m.begin(0, true, Instant::now()), ("running", "logging"));
         assert_eq!(m.phase(), &RecoveryPhase::Logging);
         assert!(m.is_recovering());
         assert!(m.needs_logger_sync());
         assert_eq!(m.pending_targets(), vec![1, 2]);
-        assert!(m.try_complete().is_none(), "nothing answered yet");
+        assert!(m.try_complete(Instant::now()).is_none(), "nothing answered yet");
 
         // First response: Logging -> Replaying{1}.
         let (newly, tr) = m.note_response(1);
@@ -335,11 +339,11 @@ mod tests {
         // Second response and logger: progress without phase change.
         assert_eq!(m.note_response(2), (true, None));
         assert_eq!(m.phase(), &RecoveryPhase::Replaying { progress: 2 });
-        assert!(m.try_complete().is_none(), "logger still outstanding");
+        assert!(m.try_complete(Instant::now()).is_none(), "logger still outstanding");
         assert_eq!(m.note_logger_synced(), (true, None));
         assert_eq!(m.phase(), &RecoveryPhase::Replaying { progress: 3 });
 
-        let (sync_ns, tr) = m.try_complete().expect("complete");
+        let (sync_ns, tr) = m.try_complete(Instant::now()).expect("complete");
         assert_eq!(tr, ("replaying", "synced"));
         let _ = sync_ns;
         assert_eq!(m.phase(), &RecoveryPhase::Synced);
@@ -349,54 +353,54 @@ mod tests {
         assert_eq!(m.note_response(2), (false, None));
         assert_eq!(m.note_logger_synced(), (false, None));
         assert_eq!(m.phase(), &RecoveryPhase::Synced);
-        assert!(m.try_complete().is_none());
+        assert!(m.try_complete(Instant::now()).is_none());
     }
 
     #[test]
     fn degenerate_single_rank_goes_logging_to_synced() {
-        let mut m = RecoveryMachine::new(1);
-        m.begin(0, false);
+        let mut m = RecoveryMachine::new(1, Instant::now());
+        m.begin(0, false, Instant::now());
         assert_eq!(m.phase(), &RecoveryPhase::Logging);
-        let (_, tr) = m.try_complete().expect("nothing to collect");
+        let (_, tr) = m.try_complete(Instant::now()).expect("nothing to collect");
         assert_eq!(tr, ("logging", "synced"));
         assert_eq!(m.phase(), &RecoveryPhase::Synced);
     }
 
     #[test]
     fn rebroadcast_clock() {
-        let mut m = RecoveryMachine::new(2);
+        let mut m = RecoveryMachine::new(2, Instant::now());
         assert!(
-            !m.rebroadcast_due(Duration::ZERO),
+            !m.rebroadcast_due(Duration::ZERO, Instant::now()),
             "running never rebroadcasts"
         );
-        m.begin(0, false);
+        m.begin(0, false, Instant::now());
         std::thread::sleep(Duration::from_millis(1));
-        assert!(m.rebroadcast_due(Duration::from_micros(1)));
-        m.note_broadcast();
-        assert!(!m.rebroadcast_due(Duration::from_secs(60)));
+        assert!(m.rebroadcast_due(Duration::from_micros(1), Instant::now()));
+        m.note_broadcast(Instant::now());
+        assert!(!m.rebroadcast_due(Duration::from_secs(60), Instant::now()));
     }
 
     #[test]
     #[should_panic(expected = "only legal in running")]
     fn begin_twice_is_illegal() {
-        let mut m = RecoveryMachine::new(2);
-        m.begin(0, false);
-        m.begin(0, false);
+        let mut m = RecoveryMachine::new(2, Instant::now());
+        m.begin(0, false, Instant::now());
+        m.begin(0, false, Instant::now());
     }
 
     #[test]
     #[should_panic(expected = "only legal in running")]
     fn begin_after_synced_is_illegal() {
-        let mut m = RecoveryMachine::new(1);
-        m.begin(0, false);
-        m.try_complete().expect("degenerate sync");
-        m.begin(0, false);
+        let mut m = RecoveryMachine::new(1, Instant::now());
+        m.begin(0, false, Instant::now());
+        m.try_complete(Instant::now()).expect("degenerate sync");
+        m.begin(0, false, Instant::now());
     }
 
     #[test]
     #[should_panic(expected = "while running")]
     fn response_while_running_is_a_bug() {
-        let mut m = RecoveryMachine::new(2);
+        let mut m = RecoveryMachine::new(2, Instant::now());
         let out = m.note_response(1);
         // Debug builds never reach this point — the debug_assert in
         // note_response fires first. Release builds tolerate the

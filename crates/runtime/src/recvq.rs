@@ -8,10 +8,23 @@
 //! arrive in any order (§III.E) and this queue is where they sit until
 //! deliverable.
 //!
+//! Layout: one FIFO lane per sender, each entry carrying a globally
+//! monotone arrival stamp. Dedup (`contains`) and pruning
+//! (`drop_repetitive`) touch only the one lane they concern instead of
+//! rescanning every queued message, and matched extraction compares at
+//! most one candidate per lane instead of gate-probing the whole
+//! arrival sequence. The stamp total-orders candidates across lanes,
+//! so extraction still returns the globally first match in arrival
+//! order — the lane split changes cost, not semantics. The per-lane
+//! candidate view is also what the schedule explorer permutes: every
+//! lane whose head candidate passes the gate is a legal next delivery
+//! ([`RecvQueue::eligible_sources`]).
+//!
 //! [`DeliveryVerdict::Wait`]: lclog_core::DeliveryVerdict
 
 use crate::message::{AppWire, RecvSpec};
 use lclog_core::Rank;
+use std::collections::VecDeque;
 
 /// A queued, not-yet-delivered application message.
 #[derive(Debug, Clone)]
@@ -22,10 +35,23 @@ pub struct Pending {
     pub wire: AppWire,
 }
 
-/// FIFO-arrival buffer with matched extraction.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone)]
+struct Stamped {
+    /// Global arrival order across all lanes (monotone, never reused).
+    arrival: u64,
+    wire: AppWire,
+}
+
+/// FIFO-arrival buffer with matched extraction, laned per sender.
+#[derive(Debug, Default, Clone)]
 pub struct RecvQueue {
-    items: Vec<Pending>,
+    /// `lanes[src]` holds that sender's arrivals in order. Lanes are
+    /// grown on demand so the queue needs no up-front rank count.
+    lanes: Vec<VecDeque<Stamped>>,
+    /// Next arrival stamp to hand out.
+    next_arrival: u64,
+    /// Total queued messages across all lanes.
+    len: usize,
 }
 
 impl RecvQueue {
@@ -34,60 +60,151 @@ impl RecvQueue {
         Self::default()
     }
 
+    /// Empty queue with lanes pre-allocated for `ranks` senders.
+    pub fn with_ranks(ranks: usize) -> Self {
+        Self {
+            lanes: (0..ranks).map(|_| VecDeque::new()).collect(),
+            next_arrival: 0,
+            len: 0,
+        }
+    }
+
     /// Number of queued messages.
     pub fn len(&self) -> usize {
-        self.items.len()
+        self.len
     }
 
     /// True when empty.
     #[allow(dead_code)] // keeps the len/is_empty pair complete
     pub fn is_empty(&self) -> bool {
-        self.items.is_empty()
+        self.len == 0
     }
 
     /// Is a message with this identity already queued? (Duplicate
-    /// resends during recovery are dropped at ingestion.)
+    /// resends during recovery are dropped at ingestion.) Scans only
+    /// the sender's own lane.
     pub fn contains(&self, src: Rank, send_index: u64) -> bool {
-        self.items
-            .iter()
-            .any(|p| p.src == src && p.wire.send_index == send_index)
+        self.lanes
+            .get(src)
+            .is_some_and(|lane| lane.iter().any(|s| s.wire.send_index == send_index))
     }
 
     /// Append an arrival.
     pub fn push(&mut self, pending: Pending) {
-        self.items.push(pending);
+        if pending.src >= self.lanes.len() {
+            self.lanes.resize_with(pending.src + 1, VecDeque::new);
+        }
+        let arrival = self.next_arrival;
+        self.next_arrival += 1;
+        self.lanes[pending.src].push_back(Stamped {
+            arrival,
+            wire: pending.wire,
+        });
+        self.len += 1;
     }
 
-    /// Remove and return the first message (in arrival order) that
-    /// matches `spec` *and* satisfies `gate`. `gate` receives
+    /// Position of the first entry in `src`'s lane that matches `spec`
+    /// and passes `gate`, if any.
+    fn lane_candidate(
+        &self,
+        src: Rank,
+        spec: RecvSpec,
+        gate: &mut impl FnMut(Rank, u64, &[u8]) -> bool,
+    ) -> Option<usize> {
+        self.lanes[src].iter().position(|s| {
+            spec.matches(src, s.wire.tag) && gate(src, s.wire.send_index, &s.wire.piggyback)
+        })
+    }
+
+    /// Lanes this spec can draw from: all of them for an `ANY_SOURCE`
+    /// receive, exactly one otherwise.
+    fn lane_range(&self, spec: RecvSpec) -> std::ops::Range<Rank> {
+        match spec.source {
+            Some(src) if src < self.lanes.len() => src..src + 1,
+            Some(_) => 0..0,
+            None => 0..self.lanes.len(),
+        }
+    }
+
+    /// Remove and return the first message (in global arrival order)
+    /// that matches `spec` *and* satisfies `gate`. `gate` receives
     /// `(src, send_index, piggyback)` and implements the FIFO +
-    /// protocol delivery conditions.
+    /// protocol delivery conditions; it must be a pure predicate of
+    /// the current queue state (it may be probed in any lane order).
     pub fn take_first_matching(
         &mut self,
         spec: RecvSpec,
         mut gate: impl FnMut(Rank, u64, &[u8]) -> bool,
     ) -> Option<Pending> {
-        let pos = self.items.iter().position(|p| {
-            spec.matches(p.src, p.wire.tag) && gate(p.src, p.wire.send_index, &p.wire.piggyback)
-        })?;
-        Some(self.items.remove(pos))
+        let mut best: Option<(u64, Rank, usize)> = None;
+        for src in self.lane_range(spec) {
+            if let Some(pos) = self.lane_candidate(src, spec, &mut gate) {
+                let arrival = self.lanes[src][pos].arrival;
+                if best.is_none_or(|(a, _, _)| arrival < a) {
+                    best = Some((arrival, src, pos));
+                }
+            }
+        }
+        let (_, src, pos) = best?;
+        let stamped = self.lanes[src].remove(pos).expect("candidate position");
+        self.len -= 1;
+        Some(Pending {
+            src,
+            wire: stamped.wire,
+        })
+    }
+
+    /// Senders that could legally satisfy `spec` right now, ordered by
+    /// the arrival stamp of each lane's first passing candidate (so
+    /// index 0 is what [`take_first_matching`] would pick). Every
+    /// element is a *legal* alternative next delivery — this is the
+    /// schedule explorer's choice-point set.
+    ///
+    /// [`take_first_matching`]: RecvQueue::take_first_matching
+    pub fn eligible_sources(
+        &self,
+        spec: RecvSpec,
+        mut gate: impl FnMut(Rank, u64, &[u8]) -> bool,
+    ) -> Vec<Rank> {
+        let mut found: Vec<(u64, Rank)> = Vec::new();
+        for src in self.lane_range(spec) {
+            if let Some(pos) = self.lane_candidate(src, spec, &mut gate) {
+                found.push((self.lanes[src][pos].arrival, src));
+            }
+        }
+        found.sort_unstable();
+        found.into_iter().map(|(_, src)| src).collect()
     }
 
     /// Compact view for diagnostics: `(src, send_index, tag)` per
-    /// queued message, in arrival order.
+    /// queued message, in global arrival order.
     pub fn summary(&self) -> Vec<(Rank, u64, u32)> {
-        self.items
+        let mut rows: Vec<(u64, Rank, u64, u32)> = self
+            .lanes
             .iter()
-            .map(|p| (p.src, p.wire.send_index, p.wire.tag))
+            .enumerate()
+            .flat_map(|(src, lane)| {
+                lane.iter()
+                    .map(move |s| (s.arrival, src, s.wire.send_index, s.wire.tag))
+            })
+            .collect();
+        rows.sort_unstable();
+        rows.into_iter()
+            .map(|(_, src, idx, tag)| (src, idx, tag))
             .collect()
     }
 
     /// Drop queued messages from `src` whose `send_index` is already
     /// covered by the receiver's delivery counter (repetitive messages
-    /// that slipped in before the counter advanced).
+    /// that slipped in before the counter advanced). Touches only that
+    /// sender's lane.
     pub fn drop_repetitive(&mut self, src: Rank, upto: u64) {
-        self.items
-            .retain(|p| !(p.src == src && p.wire.send_index <= upto));
+        let Some(lane) = self.lanes.get_mut(src) else {
+            return;
+        };
+        let before = lane.len();
+        lane.retain(|s| s.wire.send_index > upto);
+        self.len -= before - lane.len();
     }
 }
 
@@ -168,5 +285,53 @@ mod tests {
             .take_first_matching(RecvSpec::any_source(9), |_, _, _| true)
             .is_none());
         assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn eligible_sources_lists_lanes_in_arrival_order() {
+        let mut q = RecvQueue::with_ranks(4);
+        q.push(pending(2, 1, 1));
+        q.push(pending(0, 1, 2)); // FIFO-blocked
+        q.push(pending(1, 1, 1));
+        q.push(pending(2, 1, 2)); // behind 2's candidate
+        let gate = |_src: Rank, idx: u64, _pb: &[u8]| idx == 1;
+        assert_eq!(q.eligible_sources(RecvSpec::any(), gate), vec![2, 1]);
+        // A sourced spec narrows to one lane.
+        assert_eq!(q.eligible_sources(RecvSpec::from(1, 1), gate), vec![1]);
+        assert!(q
+            .eligible_sources(RecvSpec::from(0, 1), gate)
+            .is_empty());
+        // Whatever eligible_sources ranks first is what extraction takes.
+        let taken = q.take_first_matching(RecvSpec::any(), gate).unwrap();
+        assert_eq!(taken.src, 2);
+    }
+
+    #[test]
+    fn tag_mismatch_ahead_of_candidate_does_not_hide_it() {
+        let mut q = RecvQueue::new();
+        // Lane 0: a tag-5 message first, then a tag-1 message. A
+        // receive for tag 1 must see past the non-matching head.
+        q.push(pending(0, 5, 1));
+        q.push(pending(0, 1, 2));
+        let gate = |_src: Rank, _idx: u64, _pb: &[u8]| true;
+        assert_eq!(q.eligible_sources(RecvSpec::any_source(1), gate), vec![0]);
+        let taken = q.take_first_matching(RecvSpec::any_source(1), gate).unwrap();
+        assert_eq!(taken.wire.tag, 1);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn global_arrival_order_breaks_cross_lane_ties() {
+        let mut q = RecvQueue::new();
+        // Interleave arrivals across three lanes; extraction must
+        // follow push order exactly, not lane index order.
+        for (src, idx) in [(2, 1), (0, 1), (1, 1), (2, 2), (0, 2)] {
+            q.push(pending(src, 1, idx));
+        }
+        let mut order = Vec::new();
+        while let Some(p) = q.take_first_matching(RecvSpec::any(), |_, _, _| true) {
+            order.push((p.src, p.wire.send_index));
+        }
+        assert_eq!(order, vec![(2, 1), (0, 1), (1, 1), (2, 2), (0, 2)]);
     }
 }

@@ -14,7 +14,6 @@ use crate::transport::Transport;
 use bytes::Bytes;
 use lclog_core::{CounterVector, Rank};
 use lclog_simnet::Envelope;
-use std::time::Instant;
 
 /// Transport + rendezvous-ack state.
 pub(crate) struct Reliability {
@@ -73,7 +72,7 @@ impl Reliability {
     pub fn ingest(&mut self, env: Envelope) -> Option<bytes::Bytes> {
         let inner = self.transport.ingest(env);
         if let Some(det) = &mut self.detector {
-            let now = Instant::now();
+            let now = self.transport.clock().now();
             self.transport.take_heard(|rank| det.heard(rank, now));
         }
         inner

@@ -17,6 +17,7 @@
 //! incarnation at their transports.
 
 use crate::backoff::Backoff;
+use crate::clock::Clock;
 use crate::detector::MembershipTable;
 use crate::events::{EventKind, EventSink};
 use crate::message::WireMsg;
@@ -63,6 +64,7 @@ pub fn spawn_event_logger(
                     timeout: Duration::from_millis(2),
                     cap: Duration::from_millis(50),
                     budget: 40,
+                    clock: Clock::Real,
                 },
             );
             transport.set_event_sink(sink.clone());

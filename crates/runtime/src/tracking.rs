@@ -10,30 +10,35 @@
 //! [`TrackingStats`] lives here too because every counter it holds is
 //! incremented next to a protocol call.
 
-use lclog_core::{LoggingProtocol, SendArtifacts, TrackingStats};
+use crate::clock::Clock;
 use lclog_core::Rank;
-use std::time::Instant;
+use lclog_core::{LoggingProtocol, ProtocolError, SendArtifacts, TrackingStats};
 
 /// Protocol box + the statistics measured around its calls.
 pub(crate) struct Tracking {
     pub protocol: Box<dyn LoggingProtocol>,
     pub stats: TrackingStats,
+    /// Time source for the tracking-cost accounting. Under a virtual
+    /// clock the measured cost is zero — deterministically so, which
+    /// is what the schedule explorer needs from the stats.
+    clock: Clock,
 }
 
 impl Tracking {
-    pub fn new(protocol: Box<dyn LoggingProtocol>) -> Self {
+    pub fn new(protocol: Box<dyn LoggingProtocol>, clock: Clock) -> Self {
         Tracking {
             protocol,
             stats: TrackingStats::default(),
+            clock,
         }
     }
 
     /// Timed `on_send` (Algorithm 1 lines 8–11): builds the piggyback
     /// and accounts the tracking cost.
     pub fn on_send(&mut self, dst: Rank, send_index: u64) -> SendArtifacts {
-        let t0 = Instant::now();
+        let t0 = self.clock.now();
         let artifacts = self.protocol.on_send(dst, send_index);
-        self.stats.track_send_ns += t0.elapsed().as_nanos() as u64;
+        self.stats.track_send_ns += self.clock.now().saturating_duration_since(t0).as_nanos() as u64;
         self.stats.sends += 1;
         self.stats.piggyback_ids += artifacts.id_count;
         self.stats.piggyback_bytes += artifacts.piggyback.len() as u64;
@@ -42,13 +47,23 @@ impl Tracking {
 
     /// Timed `on_deliver` (lines 15–31): merges the piggyback and
     /// accounts the tracking cost. The delivery gate must already have
-    /// approved this message.
-    pub fn on_deliver(&mut self, src: Rank, send_index: u64, piggyback: &[u8]) {
-        let t0 = Instant::now();
-        self.protocol
-            .on_deliver(src, send_index, piggyback)
-            .expect("delivery gate approved this message");
-        self.stats.track_deliver_ns += t0.elapsed().as_nanos() as u64;
+    /// approved this message — but gate and merge can still disagree
+    /// (a poisoned piggyback a gate that does not decode it waved
+    /// through, or stale state admitted across an incarnation
+    /// boundary). That is a recoverable single-rank fault, not a
+    /// process abort: the error is returned so the kernel can fault
+    /// this rank and let it rebuild through the rollback path.
+    pub fn on_deliver(
+        &mut self,
+        src: Rank,
+        send_index: u64,
+        piggyback: &[u8],
+    ) -> Result<(), ProtocolError> {
+        let t0 = self.clock.now();
+        self.protocol.on_deliver(src, send_index, piggyback)?;
+        self.stats.track_deliver_ns +=
+            self.clock.now().saturating_duration_since(t0).as_nanos() as u64;
         self.stats.delivers += 1;
+        Ok(())
     }
 }

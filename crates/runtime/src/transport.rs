@@ -59,6 +59,7 @@
 //! so an accidental deep copy panics in CI instead of silently
 //! regressing the hot path.
 
+use crate::clock::Clock;
 use crate::events::{EventKind, EventSink};
 use bytes::{Bytes, BytesMut};
 use lclog_core::Rank;
@@ -166,6 +167,18 @@ const DATA_TAG: u8 = 0;
 /// Length of the CRC-32 prefix.
 const CRC_LEN: usize = 4;
 
+/// Whether a raw fabric payload is a sequenced *data* frame (it
+/// carries an encoded [`WireMsg`](crate::message::WireMsg)) rather
+/// than pure transport control traffic (ack / nack / heartbeat /
+/// fencing notice).
+///
+/// The deterministic schedule explorer uses this to branch only on
+/// releases that can change application-visible behavior: control
+/// frames are flushed eagerly, data frames become choice points.
+pub fn payload_is_data_frame(payload: &[u8]) -> bool {
+    payload.len() > CRC_LEN && payload[CRC_LEN] == DATA_TAG
+}
+
 /// Bytes the data-frame header occupies after the CRC prefix for an
 /// inner payload of `inner_len` bytes.
 fn data_header_len(inner_len: usize) -> usize {
@@ -228,7 +241,7 @@ impl DataPlaneStats {
 }
 
 /// Retransmission tuning (from `RunConfig`).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub(crate) struct TransportConfig {
     /// Initial retransmission timeout.
     pub timeout: Duration,
@@ -237,6 +250,10 @@ pub(crate) struct TransportConfig {
     /// Consecutive no-progress retransmission rounds before the peer
     /// is declared unreachable.
     pub budget: u32,
+    /// Time source for retry deadlines (virtual under deterministic
+    /// simulation — backoff then advances only when the scheduler
+    /// advances the clock).
+    pub clock: Clock,
 }
 
 /// Sender side of one channel.
@@ -263,7 +280,7 @@ impl TxChannel {
     /// when the outstanding window was empty. Returns `(seq, hint)`
     /// where `hint` is the lowest outstanding seq *including* the new
     /// frame.
-    fn begin_send(&mut self, timeout: Duration) -> (u64, u64) {
+    fn begin_send(&mut self, timeout: Duration, now: Instant) -> (u64, u64) {
         self.next_seq += 1;
         let seq = self.next_seq;
         if self.unacked.is_empty() {
@@ -271,7 +288,7 @@ impl TxChannel {
             // give a previously written-off peer another budget).
             self.attempts = 0;
             self.backoff = timeout;
-            self.next_retry = Instant::now() + self.backoff;
+            self.next_retry = now + self.backoff;
         }
         let hint = self.unacked.keys().next().copied().unwrap_or(seq);
         (seq, hint)
@@ -339,7 +356,8 @@ pub(crate) struct Transport {
 
 impl Transport {
     pub(crate) fn new(me: Rank, slots: usize, net: SimNet, cfg: TransportConfig) -> Self {
-        let now = Instant::now();
+        let now = cfg.clock.now();
+        let backoff = cfg.timeout;
         Transport {
             me,
             epoch: 1,
@@ -350,7 +368,7 @@ impl Transport {
                     next_seq: 0,
                     unacked: BTreeMap::new(),
                     attempts: 0,
-                    backoff: cfg.timeout,
+                    backoff,
                     next_retry: now,
                     unreachable: false,
                     suspect_flagged: false,
@@ -377,6 +395,12 @@ impl Transport {
             pending_suspects: Vec::new(),
             peer_inc: vec![0; slots],
         }
+    }
+
+    /// The transport's time source (shared with everything downstream
+    /// of the kernel that needs "now" — e.g. the detector feed).
+    pub(crate) fn clock(&self) -> &Clock {
+        &self.cfg.clock
     }
 
     /// Attach a timeline collector (peer write-offs are timeline
@@ -571,7 +595,7 @@ impl Transport {
     /// window. Copy budget: one encoding pass, zero `Bytes` copies.
     pub(crate) fn send_msg<M: Encode>(&mut self, dst: Rank, msg: &M) -> Bytes {
         with_copy_budget!(0, "Transport::send_msg", {
-            let (seq, hint) = self.tx[dst].begin_send(self.cfg.timeout);
+            let (seq, hint) = self.tx[dst].begin_send(self.cfg.timeout, self.cfg.clock.now());
             let inner_len = msg.encoded_len();
             let header_len = CRC_LEN + data_header_len(inner_len);
             let mut buf = BytesMut::with_capacity(header_len + inner_len);
@@ -605,7 +629,7 @@ impl Transport {
     /// concatenation is byte-identical to a contiguous frame.
     pub(crate) fn send_encoded(&mut self, dst: Rank, inner: Bytes) {
         with_copy_budget!(0, "Transport::send_encoded", {
-            let (seq, hint) = self.tx[dst].begin_send(self.cfg.timeout);
+            let (seq, hint) = self.tx[dst].begin_send(self.cfg.timeout, self.cfg.clock.now());
             let header_len = CRC_LEN + data_header_len(inner.len());
             let mut buf = BytesMut::with_capacity(header_len);
             let v = buf.as_mut_vec();
@@ -809,6 +833,7 @@ impl Transport {
     }
 
     fn on_ack(&mut self, src: Rank, floor: u64) {
+        let now = self.cfg.clock.now();
         let ch = &mut self.tx[src];
         let pending = ch.unacked.split_off(&(floor + 1));
         let advanced = ch.unacked.len();
@@ -817,7 +842,7 @@ impl Transport {
             // Progress: reset the give-up countdown.
             ch.attempts = 0;
             ch.backoff = self.cfg.timeout;
-            ch.next_retry = Instant::now() + ch.backoff;
+            ch.next_retry = now + ch.backoff;
         }
     }
 
@@ -849,7 +874,7 @@ impl Transport {
     /// all, and an overdue channel materializes refcount bumps of its
     /// stored frames rather than rebuilding (or deep-copying) them.
     pub(crate) fn tick(&mut self) {
-        let now = Instant::now();
+        let now = self.cfg.clock.now();
         for dst in 0..self.tx.len() {
             {
                 let ch = &mut self.tx[dst];
@@ -917,6 +942,7 @@ mod tests {
             timeout: Duration::from_millis(1),
             cap: Duration::from_millis(4),
             budget: 5,
+            clock: Clock::Real,
         }
     }
 

@@ -134,6 +134,78 @@ fn tour_recovers_from_failures_at_each_stage_kind() {
     }
 }
 
+/// Multi-round allreduce used by the mid-collective kill tests.
+#[derive(Clone)]
+struct IterativeAllReduce {
+    rounds: u64,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct ArSt {
+    round: u64,
+    acc: f64,
+}
+impl_wire_struct!(ArSt { round, acc });
+
+impl RankApp for IterativeAllReduce {
+    type State = ArSt;
+    fn init(&self, rank: usize, _n: usize) -> ArSt {
+        ArSt {
+            round: 0,
+            acc: 1.0 + rank as f64 * 0.5,
+        }
+    }
+    fn step(&self, ctx: &mut RankCtx<'_>, st: &mut ArSt) -> Result<StepStatus, Fault> {
+        if st.round >= self.rounds {
+            return Ok(StepStatus::Done);
+        }
+        let total = allreduce_sum_f64(ctx, 200 + st.round as u32 * 2, st.acc)?;
+        st.acc = st.acc * 0.5 + total * 0.125;
+        st.round += 1;
+        Ok(StepStatus::Continue)
+    }
+    fn digest(&self, st: &ArSt) -> u64 {
+        st.acc.to_bits() ^ st.round
+    }
+}
+
+// Regression for the collect-then-combine panic sweep: when a rank
+// dies *inside* an allreduce, the survivors — the root blocked in the
+// ANY_SOURCE gather, the others waiting on the broadcast — must see a
+// `Fault` from the runtime and take the recovery path. The pre-fix
+// code could instead abort the process on an `expect` once the
+// contribution count and the slot occupancy disagreed.
+#[test]
+fn allreduce_recovers_when_contributor_dies_mid_collective() {
+    let app = IterativeAllReduce { rounds: 8 };
+    let clean = Cluster::run(&cfg(4), app.clone()).unwrap().digests;
+    for at_step in [2u64, 5] {
+        let report = Cluster::run(
+            &cfg(4).with_failures(FailurePlan::kill_at(3, at_step)),
+            app.clone(),
+        )
+        .expect("recovered allreduce run");
+        assert_eq!(report.kills, 1);
+        assert_eq!(report.digests, clean, "kill at step {at_step}");
+    }
+}
+
+#[test]
+fn allreduce_recovers_when_root_dies_mid_collective() {
+    // Rank 0 is both the reduce root and the broadcast source: killing
+    // it strands every survivor inside the collective until recovery
+    // resupplies the lost messages.
+    let app = IterativeAllReduce { rounds: 8 };
+    let clean = Cluster::run(&cfg(4), app.clone()).unwrap().digests;
+    let report = Cluster::run(
+        &cfg(4).with_failures(FailurePlan::kill_at(0, 3)),
+        app,
+    )
+    .expect("recovered allreduce run with dead root");
+    assert_eq!(report.kills, 1);
+    assert_eq!(report.digests, clean);
+}
+
 #[test]
 fn allreduce_matches_sequential_sum() {
     #[derive(Clone)]

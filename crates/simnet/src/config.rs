@@ -36,6 +36,17 @@ pub enum DeliveryModel {
         /// Bus bandwidth.
         bytes_per_sec: u64,
     },
+    /// Deterministic-simulation mode: `send` parks the envelope in a
+    /// per-`(src, dst)` FIFO inside the fabric and *nothing* moves it
+    /// until an external scheduler calls [`SimNet::held_deliver`] (or
+    /// [`SimNet::held_deliver_all`]). No courier thread, no wall-clock
+    /// timing — arrival order is exactly the scheduler's decision
+    /// sequence, so a run is a pure function of `(topology, workload,
+    /// schedule)`. Chaos fates (seeded) still apply at send time.
+    ///
+    /// [`SimNet::held_deliver`]: crate::SimNet::held_deliver
+    /// [`SimNet::held_deliver_all`]: crate::SimNet::held_deliver_all
+    Held,
 }
 
 /// Fabric configuration.
@@ -65,6 +76,17 @@ impl NetConfig {
                 jitter,
                 seed,
             },
+            chaos: None,
+        }
+    }
+
+    /// Scheduler-held delivery for deterministic simulation: envelopes
+    /// park per-channel until [`SimNet::held_deliver`] releases them.
+    ///
+    /// [`SimNet::held_deliver`]: crate::SimNet::held_deliver
+    pub fn held() -> Self {
+        NetConfig {
+            delivery: DeliveryModel::Held,
             chaos: None,
         }
     }

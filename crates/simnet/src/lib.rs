@@ -47,6 +47,7 @@
 #![warn(missing_docs)]
 
 mod chaos;
+mod clock;
 mod config;
 mod courier;
 mod envelope;
@@ -54,6 +55,7 @@ mod net;
 mod stats;
 
 pub use chaos::{ChaosConfig, Partition};
+pub use clock::SimClock;
 pub use config::{DeliveryModel, NetConfig};
 pub use envelope::Envelope;
 pub use net::{Endpoint, RecvError, SendError, SimNet};

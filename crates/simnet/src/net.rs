@@ -73,6 +73,10 @@ pub(crate) struct Fabric {
     pair_seq: Vec<AtomicU64>,
     stats: NetStats,
     chaos: Option<ChaosConfig>,
+    /// Scheduler-held in-flight envelopes ([`DeliveryModel::Held`]):
+    /// one FIFO per `(src, dst)` channel, released only by explicit
+    /// `held_deliver*` calls. `None` for every other delivery model.
+    held: Option<Mutex<Vec<std::collections::VecDeque<Envelope>>>>,
 }
 
 impl Fabric {
@@ -127,6 +131,13 @@ impl SimNet {
             pair_seq: (0..n * n).map(|_| AtomicU64::new(0)).collect(),
             stats: NetStats::default(),
             chaos: config.chaos.clone(),
+            held: matches!(config.delivery, DeliveryModel::Held).then(|| {
+                Mutex::new(
+                    (0..n * n)
+                        .map(|_| std::collections::VecDeque::new())
+                        .collect(),
+                )
+            }),
         });
         // Chaos stalls are imposed in flight, so they need a courier
         // even under the otherwise-synchronous direct model.
@@ -172,6 +183,10 @@ impl SimNet {
                     bytes_per_sec,
                 },
             ))),
+            // Held mode spawns nothing: the scheduler *is* the
+            // courier, and chaos stalls are meaningless when delivery
+            // timing is already an explicit decision.
+            DeliveryModel::Held => None,
         };
         SimNet { fabric, courier }
     }
@@ -331,12 +346,95 @@ impl SimNet {
         // fabric must collapse to one delivery.
         let copies = if duplicated { 2 } else { 1 };
         for _ in 0..copies {
+            if let Some(held) = &self.fabric.held {
+                held.lock()[src * self.fabric.n + dst].push_back(env.clone());
+                continue;
+            }
             match &self.courier {
                 None => self.fabric.deliver(env.clone()),
                 Some(courier) => courier.submit(env.clone(), stall),
             }
         }
         Ok(())
+    }
+
+    // ---------------------------------------------------------------
+    // Scheduler hooks for [`DeliveryModel::Held`]
+    // ---------------------------------------------------------------
+
+    /// Non-empty held channels as `(src, dst, queued)`, sorted by
+    /// `(src, dst)` — a deterministic view of everything in flight.
+    /// Empty on fabrics not in held mode.
+    pub fn held_channels(&self) -> Vec<(Rank, Rank, usize)> {
+        let Some(held) = &self.fabric.held else {
+            return Vec::new();
+        };
+        let n = self.fabric.n;
+        let held = held.lock();
+        (0..n * n)
+            .filter(|&i| !held[i].is_empty())
+            .map(|i| (i / n, i % n, held[i].len()))
+            .collect()
+    }
+
+    /// Total held envelopes across all channels (0 unless held mode).
+    pub fn held_in_flight(&self) -> usize {
+        match &self.fabric.held {
+            Some(held) => held.lock().iter().map(|q| q.len()).sum(),
+            None => 0,
+        }
+    }
+
+    /// Payload of the next parked envelope on `src → dst`, if any — a
+    /// cheap refcounted peek that lets a deterministic scheduler
+    /// classify the frame before deciding whether releasing it is a
+    /// branch point. `None` when the channel is empty or the fabric is
+    /// not in held mode.
+    pub fn held_head(&self, src: Rank, dst: Rank) -> Option<bytes::Bytes> {
+        let held = self.fabric.held.as_ref()?;
+        held.lock()[src * self.fabric.n + dst]
+            .front()
+            .map(|env| env.payload.clone())
+    }
+
+    /// Release the head envelope of the `(src, dst)` channel into the
+    /// destination inbox (FIFO within the channel is preserved by
+    /// construction). Returns `false` when the channel is empty or the
+    /// fabric is not in held mode.
+    pub fn held_deliver(&self, src: Rank, dst: Rank) -> bool {
+        let Some(held) = &self.fabric.held else {
+            return false;
+        };
+        let env = held.lock()[src * self.fabric.n + dst].pop_front();
+        match env {
+            Some(env) => {
+                self.fabric.deliver(env);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Release every held envelope, channel by channel in `(src, dst)`
+    /// order, repeating until nothing is in flight (deliveries can
+    /// trigger no new sends at the fabric level, but the loop keeps
+    /// the method correct if a future caller races sends with it).
+    /// Returns the number of envelopes released.
+    pub fn held_deliver_all(&self) -> usize {
+        let mut released = 0;
+        loop {
+            let channels = self.held_channels();
+            if channels.is_empty() {
+                return released;
+            }
+            for (src, dst, queued) in channels {
+                for _ in 0..queued {
+                    if self.held_deliver(src, dst) {
+                        released += 1;
+                    }
+                }
+            }
+        }
     }
 }
 

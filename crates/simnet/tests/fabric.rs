@@ -257,3 +257,81 @@ fn shared_bus_preserves_per_pair_fifo() {
         last = env.seq;
     }
 }
+
+// ---------------------------------------------------------------
+// Held (deterministic-simulation) delivery model
+// ---------------------------------------------------------------
+
+#[test]
+fn held_mode_parks_until_scheduler_releases() {
+    let net = SimNet::new(2, NetConfig::held());
+    let _ep0 = net.attach(0);
+    let ep1 = net.attach(1);
+    net.send(0, 1, payload(1)).unwrap();
+    net.send(0, 1, payload(2)).unwrap();
+    // Nothing moves on its own.
+    assert!(matches!(ep1.try_recv(), Err(RecvError::Empty)));
+    assert_eq!(net.held_in_flight(), 2);
+    assert_eq!(net.held_channels(), vec![(0, 1, 2)]);
+    // Releases are explicit and per-channel FIFO.
+    assert!(net.held_deliver(0, 1));
+    let env = ep1.try_recv().unwrap();
+    assert_eq!(&env.payload[..], &[1]);
+    assert!(net.held_deliver(0, 1));
+    assert_eq!(&ep1.try_recv().unwrap().payload[..], &[2]);
+    assert!(!net.held_deliver(0, 1), "channel drained");
+    assert_eq!(net.held_in_flight(), 0);
+}
+
+#[test]
+fn held_deliver_all_flushes_every_channel() {
+    let net = SimNet::new(3, NetConfig::held());
+    let _ep0 = net.attach(0);
+    let ep1 = net.attach(1);
+    let ep2 = net.attach(2);
+    net.send(0, 1, payload(1)).unwrap();
+    net.send(2, 1, payload(2)).unwrap();
+    net.send(0, 2, payload(3)).unwrap();
+    assert_eq!(net.held_deliver_all(), 3);
+    assert!(ep1.try_recv().is_ok());
+    assert!(ep1.try_recv().is_ok());
+    assert!(ep2.try_recv().is_ok());
+    assert_eq!(net.held_in_flight(), 0);
+}
+
+#[test]
+fn held_scheduler_controls_cross_channel_order() {
+    // The same two sends, released in opposite orders, arrive in
+    // opposite orders — arrival order is the scheduler's decision.
+    for flip in [false, true] {
+        let net = SimNet::new(3, NetConfig::held());
+        let _ep0 = net.attach(0);
+        let _ep1 = net.attach(1);
+        let ep2 = net.attach(2);
+        net.send(0, 2, payload(10)).unwrap();
+        net.send(1, 2, payload(20)).unwrap();
+        let order: [(usize, u8); 2] = if flip {
+            [(1, 20), (0, 10)]
+        } else {
+            [(0, 10), (1, 20)]
+        };
+        for (src, tag) in order {
+            assert!(net.held_deliver(src, 2));
+            let env = ep2.try_recv().unwrap();
+            assert_eq!(env.src, src);
+            assert_eq!(&env.payload[..], &[tag]);
+        }
+    }
+}
+
+#[test]
+fn non_held_fabric_reports_empty_held_state() {
+    let net = SimNet::new(2, NetConfig::direct());
+    let _ep0 = net.attach(0);
+    let _ep1 = net.attach(1);
+    net.send(0, 1, payload(1)).unwrap();
+    assert_eq!(net.held_in_flight(), 0);
+    assert!(net.held_channels().is_empty());
+    assert!(!net.held_deliver(0, 1));
+    assert_eq!(net.held_deliver_all(), 0);
+}
