@@ -5,9 +5,10 @@ use crate::table::Table;
 use lclog_core::ProtocolKind;
 use lclog_npb::{run_benchmark, Benchmark, Class};
 use lclog_runtime::{
-    CheckpointPolicy, Cluster, ClusterConfig, CommMode, DetectorConfig, FailurePlan, RunConfig,
+    CheckpointPolicy, Cluster, ClusterConfig, CommMode, DetectorConfig, FailurePlan, RemoteConfig,
+    ReplicatorConfig, RunConfig,
 };
-use lclog_simnet::{ChaosConfig, NetConfig};
+use lclog_simnet::{ChaosConfig, NetConfig, StorageChaos};
 use std::time::Duration;
 
 /// Shape of an experiment sweep.
@@ -701,6 +702,101 @@ pub fn explore_table(quick: bool) -> Table {
     t
 }
 
+/// LS1 (durable log shipping): recovery latency and data integrity
+/// across a backend-outage duration sweep × restore-path sweep.
+///
+/// Paths: `kill` keeps the local store (ordinary ROLLBACK recovery,
+/// the remote is passive); `wipe` loses the node's store and restores
+/// the newest certified generation from the remote; `wipe+corrupt`
+/// additionally tears the newest remote upload, forcing the restore to
+/// fall back one generation. Outages are windows in storage-operation
+/// space ([`StorageChaos::with_outage`]); retries burn through them,
+/// so `short`/`long` translate to breaker-open windows of growing
+/// duration. `data_loss` must read `none` in every row: the digests of
+/// every faulted run equal the fault-free run's.
+pub fn log_ship_table(quick: bool) -> Table {
+    let mut t = Table::new(
+        "LS1 — Durable log shipping: outage duration × restore path (ring, 4 ranks)",
+        &[
+            "outage",
+            "path",
+            "wall_ms",
+            "restore_ms",
+            "gens_skipped",
+            "shipped",
+            "spill_peak_B",
+            "shed",
+            "degraded_ms",
+            "resyncs",
+            "data_loss",
+        ],
+    );
+    let n = 4;
+    let rounds = if quick { 18 } else { 30 };
+    let kill_step = rounds / 2;
+    let app = RingApp {
+        rounds,
+        payload: 64,
+    };
+    let base = |seed: u64, outage: Option<(u64, u64)>| {
+        let mut chaos = StorageChaos::seeded(seed);
+        if let Some((from, to)) = outage {
+            chaos = chaos.with_outage(from, to);
+        }
+        let (remote, _) = RemoteConfig::faulty(chaos);
+        let repl = ReplicatorConfig {
+            retry_initial: Duration::from_micros(200),
+            retry_cap: Duration::from_millis(2),
+            breaker_cooldown: Duration::from_millis(2),
+            spill_limit_bytes: 32 * 1024,
+            ..ReplicatorConfig::default()
+        };
+        let mut c = ClusterConfig::new(
+            n,
+            RunConfig::new(ProtocolKind::Tdi).with_checkpoint(CheckpointPolicy::EverySteps(3)),
+        )
+        .with_remote(remote.with_replicator(repl));
+        c.max_wall = Duration::from_secs(120);
+        c
+    };
+    let clean = Cluster::run(&base(1, None), app).expect("clean run").digests;
+    let outages: [(&str, Option<(u64, u64)>); 3] = [
+        ("none", None),
+        ("short", Some((6, 40))),
+        ("long", Some((6, 160))),
+    ];
+    type PathPlan = fn(u64) -> FailurePlan;
+    let paths: [(&str, PathPlan); 3] = [
+        ("kill", |at| FailurePlan::kill_at(1, at)),
+        ("wipe", |at| FailurePlan::kill_wipe_at(1, at)),
+        ("wipe+corrupt", |at| {
+            FailurePlan::none().and_kill_wipe_corrupt(1, at)
+        }),
+    ];
+    for (outage_label, outage) in outages {
+        for (path_label, plan) in paths {
+            let seed = 0x0015_AB1E ^ (outage_label.len() as u64) << 8 ^ path_label.len() as u64;
+            let cfg = base(seed, outage).with_failures(plan(kill_step));
+            let r = Cluster::run(&cfg, app).expect("log-ship run recovers");
+            let stats = r.replicator.clone().unwrap_or_default();
+            t.row(vec![
+                outage_label.to_string(),
+                path_label.to_string(),
+                format!("{:.1}", r.wall.as_secs_f64() * 1e3),
+                format!("{:.2}", stats.restore_latency.as_secs_f64() * 1e3),
+                stats.generations_skipped.to_string(),
+                stats.objects_shipped.to_string(),
+                stats.spill_peak_bytes.to_string(),
+                stats.spill_shed.to_string(),
+                format!("{:.1}", stats.degraded.as_secs_f64() * 1e3),
+                stats.resyncs.to_string(),
+                if r.digests == clean { "none" } else { "LOST" }.to_string(),
+            ]);
+        }
+    }
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -762,6 +858,35 @@ mod tests {
                 assert!(zc + retx > 0, "{row:?}");
             }
         }
+    }
+
+    #[test]
+    fn log_ship_table_loses_no_data_on_any_path() {
+        let t = log_ship_table(true);
+        assert_eq!(t.len(), 9, "3 outages x 3 restore paths");
+        for row in t.rows() {
+            assert_eq!(row.last().map(String::as_str), Some("none"), "{row:?}");
+            match row[1].as_str() {
+                // Node-loss paths must actually exercise the restore.
+                "wipe" | "wipe+corrupt" => {
+                    let restore_ms: f64 = row[3].parse().unwrap();
+                    assert!(restore_ms > 0.0, "{row:?}");
+                }
+                _ => {}
+            }
+            if row[1] == "wipe+corrupt" {
+                let skipped: u32 = row[4].parse().unwrap();
+                assert!(skipped >= 1, "torn upload must be skipped: {row:?}");
+            }
+        }
+        // The outage rows saw a degraded window and re-synced after.
+        let outage_rows: Vec<_> = t.rows().iter().filter(|r| r[0] != "none").collect();
+        assert!(
+            outage_rows
+                .iter()
+                .any(|r| r[9].parse::<u32>().unwrap() >= 1),
+            "some outage row must record a resync"
+        );
     }
 
     #[test]

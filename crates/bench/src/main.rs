@@ -3,7 +3,8 @@
 //! ```text
 //! reproduce [--quick] [fig6|fig7|fig8|ablation-rate|ablation-replay|
 //!                       ablation-ckpt|ablation-protocols|ablation-f|
-//!                       ablation-chaos|data-plane|detector|explore|all]
+//!                       ablation-chaos|data-plane|detector|explore|
+//!                       log-ship|all]
 //! ```
 //!
 //! Tables are printed to stdout and archived as CSV under `results/`.
@@ -11,7 +12,7 @@
 use lclog_bench::experiments::{
     ablation_chaos, ablation_ckpt, ablation_detector, ablation_f_bound, ablation_protocols,
     ablation_rate, ablation_replay, data_plane_table, explore_table, fig6_table, fig7_table,
-    fig8_table, overhead_matrix, ExpConfig,
+    fig8_table, log_ship_table, overhead_matrix, ExpConfig,
 };
 use lclog_bench::Table;
 use std::path::Path;
@@ -22,6 +23,10 @@ fn save(table: &Table, name: &str) {
         let path = dir.join(format!("{name}.csv"));
         if std::fs::write(&path, table.to_csv()).is_ok() {
             println!("(saved {})", path.display());
+        }
+        let json = dir.join(format!("BENCH_{name}.json"));
+        if std::fs::write(&json, table.to_json()).is_ok() {
+            println!("(saved {})", json.display());
         }
     }
 }
@@ -122,6 +127,12 @@ fn main() {
         let t = explore_table(quick);
         print!("{}", t.render());
         save(&t, "explore_schedules");
+        println!();
+    }
+    if all || which.contains(&"log-ship") {
+        let t = log_ship_table(quick);
+        print!("{}", t.render());
+        save(&t, "log_ship");
         println!();
     }
 }

@@ -10,12 +10,15 @@ use crate::events::{Event, EventKind, EventSink};
 use crate::fault::{Fault, StepStatus};
 use crate::kernel::Kernel;
 use crate::process::{RankApp, RankCtx};
+use crate::replicator::{Replicator, ReplicatorConfig, ReplicatorStats};
 use crate::service::spawn_event_logger;
 use crate::transport::DataPlaneStats;
 use lclog_core::{Rank, TrackingStats};
 use std::collections::HashMap;
-use lclog_simnet::{NetConfig, SimNet};
-use lclog_stable::{CheckpointStore, DiskStore, MemStore, StableStorage};
+use lclog_simnet::{NetConfig, SimNet, StorageChaos};
+use lclog_stable::{
+    CheckpointStore, DiskStore, FaultyRemote, MemRemote, MemStore, RemoteStore, StableStorage,
+};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -33,6 +36,13 @@ pub struct Kill {
     /// Which incarnation to kill (1 = the original process; higher
     /// values test repeated failures).
     pub incarnation: u64,
+    /// Node loss: wipe the victim's local stable store along with the
+    /// process, forcing the respawn to restore from the remote.
+    pub wipe: bool,
+    /// Also damage the victim's newest remote generation (an upload
+    /// torn by the node's death), forcing the restore to fall back
+    /// one generation. Only meaningful together with `wipe`.
+    pub corrupt_remote: bool,
 }
 
 /// Deterministic failure-injection schedule.
@@ -58,6 +68,8 @@ impl FailurePlan {
             rank,
             at_step,
             incarnation: 1,
+            wipe: false,
+            corrupt_remote: false,
         });
         self
     }
@@ -68,8 +80,48 @@ impl FailurePlan {
             rank,
             at_step,
             incarnation,
+            wipe: false,
+            corrupt_remote: false,
         });
         self
+    }
+
+    /// Kill the original incarnation of `rank` at `at_step` AND wipe
+    /// its local stable store — node loss, not just process loss.
+    pub fn kill_wipe_at(rank: Rank, at_step: u64) -> Self {
+        Self::none().and_kill_wipe(rank, at_step)
+    }
+
+    /// Add a node-loss kill (process + local store).
+    pub fn and_kill_wipe(mut self, rank: Rank, at_step: u64) -> Self {
+        self.kills.push(Kill {
+            rank,
+            at_step,
+            incarnation: 1,
+            wipe: true,
+            corrupt_remote: false,
+        });
+        self
+    }
+
+    /// Add a node-loss kill that also tears the victim's newest
+    /// remote generation, exercising the restore fallback.
+    pub fn and_kill_wipe_corrupt(mut self, rank: Rank, at_step: u64) -> Self {
+        self.kills.push(Kill {
+            rank,
+            at_step,
+            incarnation: 1,
+            wipe: true,
+            corrupt_remote: true,
+        });
+        self
+    }
+
+    /// The planned kill for a given incarnation of `rank`, if any.
+    pub fn kill_for(&self, rank: Rank, incarnation: u64) -> Option<&Kill> {
+        self.kills
+            .iter()
+            .find(|k| k.rank == rank && k.incarnation == incarnation)
     }
 
     /// A seeded pseudo-random schedule of `count` kills over `n` ranks
@@ -138,6 +190,8 @@ impl FailurePlan {
                 rank,
                 at_step,
                 incarnation,
+                wipe: false,
+                corrupt_remote: false,
             });
         }
         FailurePlan { kills }
@@ -172,6 +226,56 @@ pub enum StorageKind {
     Disk(PathBuf),
 }
 
+/// Remote durability for a cluster run: the backend object store and
+/// the replication pipeline shipping into it.
+#[derive(Clone)]
+pub struct RemoteConfig {
+    /// The backend object store.
+    pub store: Arc<dyn RemoteStore>,
+    /// Replication pipeline knobs.
+    pub replicator: ReplicatorConfig,
+}
+
+impl std::fmt::Debug for RemoteConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RemoteConfig")
+            .field("replicator", &self.replicator)
+            .finish_non_exhaustive()
+    }
+}
+
+impl RemoteConfig {
+    /// Ship to the given backend with default replicator knobs.
+    pub fn new(store: Arc<dyn RemoteStore>) -> Self {
+        RemoteConfig {
+            store,
+            replicator: ReplicatorConfig::default(),
+        }
+    }
+
+    /// A healthy in-memory backend.
+    pub fn in_memory() -> Self {
+        Self::new(Arc::new(MemRemote::new()))
+    }
+
+    /// A fault-injected in-memory backend driven by the given chaos
+    /// schedule. Also returns the `FaultyRemote` handle so tests can
+    /// force wall-clock outages with `set_available`.
+    pub fn faulty(chaos: StorageChaos) -> (Self, Arc<FaultyRemote<MemRemote>>) {
+        let remote = Arc::new(FaultyRemote::new(MemRemote::new(), chaos));
+        (
+            Self::new(Arc::clone(&remote) as Arc<dyn RemoteStore>),
+            remote,
+        )
+    }
+
+    /// Builder-style replicator knob override.
+    pub fn with_replicator(mut self, cfg: ReplicatorConfig) -> Self {
+        self.replicator = cfg;
+        self
+    }
+}
+
 /// Full configuration of one cluster run.
 #[derive(Debug, Clone)]
 pub struct ClusterConfig {
@@ -191,6 +295,9 @@ pub struct ClusterConfig {
     /// Abort the run (with an error) after this much wall time — a
     /// watchdog against protocol deadlocks.
     pub max_wall: Duration,
+    /// Durable log shipping to a remote store (`None` = local-only
+    /// stable storage, the paper's baseline).
+    pub remote: Option<RemoteConfig>,
 }
 
 impl ClusterConfig {
@@ -204,6 +311,7 @@ impl ClusterConfig {
             storage: StorageKind::Memory,
             trace: false,
             max_wall: Duration::from_secs(60),
+            remote: None,
         }
     }
 
@@ -228,6 +336,12 @@ impl ClusterConfig {
     /// Builder-style timeline collection toggle.
     pub fn with_trace(mut self, trace: bool) -> Self {
         self.trace = trace;
+        self
+    }
+
+    /// Builder-style remote durability override.
+    pub fn with_remote(mut self, remote: RemoteConfig) -> Self {
+        self.remote = Some(remote);
         self
     }
 }
@@ -269,6 +383,9 @@ pub struct RunReport {
     /// Failure-detection bookkeeping (`None` unless the run had a
     /// detector configured).
     pub detector: Option<DetectorReport>,
+    /// Replication bookkeeping (`None` unless the run had a remote
+    /// configured).
+    pub replicator: Option<ReplicatorStats>,
 }
 
 /// What a detected-failures run learned about its own detector: how
@@ -313,9 +430,57 @@ enum Outcome {
         /// True when the death was a membership fencing of a live
         /// incarnation (false suspicion), not an injected kill.
         fenced: bool,
+        /// Node loss: wipe the local store before respawning.
+        wipe: bool,
+        /// Also tear the victim's newest remote generation.
+        corrupt_remote: bool,
     },
     /// A respawn gate fell through on its timeout (bookkeeping only).
     GateTimeout,
+}
+
+/// Stable-storage wrapper that mirrors durable writes into the
+/// replicator: checkpoint-generation puts and append-log records are
+/// offered (non-blocking) after landing locally. Deletes are local
+/// only — remote retention is the manifest's business, and keeping
+/// superseded generations remotely deepens the restore fallback.
+struct ShippingStorage {
+    inner: Arc<dyn StableStorage>,
+    repl: Arc<Replicator>,
+}
+
+impl StableStorage for ShippingStorage {
+    fn put(&self, key: &str, bytes: &[u8]) {
+        self.inner.put(key, bytes);
+        if key.starts_with("ckpt/") {
+            self.repl.offer_generation(key, bytes);
+        }
+    }
+
+    fn get(&self, key: &str) -> Option<Vec<u8>> {
+        self.inner.get(key)
+    }
+
+    fn delete(&self, key: &str) {
+        self.inner.delete(key);
+    }
+
+    fn keys_with_prefix(&self, prefix: &str) -> Vec<String> {
+        self.inner.keys_with_prefix(prefix)
+    }
+
+    fn append(&self, key: &str, record: &[u8]) {
+        self.inner.append(key, record);
+        self.repl.offer_record(key, record);
+    }
+
+    fn read_log(&self, key: &str) -> Vec<Vec<u8>> {
+        self.inner.read_log(key)
+    }
+
+    fn truncate_log(&self, key: &str) {
+        self.inner.truncate_log(key)
+    }
 }
 
 /// Entry point for running applications under rollback recovery.
@@ -329,18 +494,47 @@ impl Cluster {
         let n = cfg.n;
         assert!(n > 0, "cluster needs at least one rank");
         let net = SimNet::new(n + 1, cfg.net.clone());
-        let storage: Arc<dyn StableStorage> = match &cfg.storage {
+        let raw_storage: Arc<dyn StableStorage> = match &cfg.storage {
             StorageKind::Memory => Arc::new(MemStore::new()),
             StorageKind::Disk(dir) => Arc::new(
                 DiskStore::open(dir).map_err(|e| format!("open disk store: {e}"))?,
             ),
         };
-        let ckpts = CheckpointStore::new(Arc::clone(&storage));
         let shutdown = Arc::new(AtomicBool::new(false));
         let sink = if cfg.trace {
             EventSink::recording()
         } else {
             EventSink::disabled()
+        };
+        // With a remote configured, durable writes flow through the
+        // shipping wrapper; restores install straight into the raw
+        // store (avoiding a re-ship of what just came down).
+        let (replicator, storage) = match &cfg.remote {
+            Some(rc) => {
+                let repl = Replicator::spawn(
+                    Arc::clone(&rc.store),
+                    rc.replicator.clone(),
+                    sink.clone(),
+                    crate::logger_rank(n),
+                );
+                let wrapped: Arc<dyn StableStorage> = Arc::new(ShippingStorage {
+                    inner: Arc::clone(&raw_storage),
+                    repl: Arc::clone(&repl),
+                });
+                (Some(repl), wrapped)
+            }
+            None => (None, Arc::clone(&raw_storage)),
+        };
+        let ckpts = CheckpointStore::new(Arc::clone(&storage));
+        // Replicated checkpoints imply a node-loss restore may fall
+        // back one generation; survivors must then keep one extra
+        // generation of sender-log entries resendable.
+        let run_cfg = {
+            let mut rc = cfg.run.clone();
+            if cfg.remote.is_some() {
+                rc.log_gc_lag = true;
+            }
+            rc
         };
         let app = Arc::new(app);
         let plan = Arc::new(cfg.failures.clone());
@@ -373,7 +567,7 @@ impl Cluster {
                 Arc::clone(&app),
                 rank,
                 n,
-                cfg.run.clone(),
+                run_cfg.clone(),
                 net.clone(),
                 endpoint,
                 ckpts.clone(),
@@ -383,6 +577,8 @@ impl Cluster {
                 sink.clone(),
                 tx.clone(),
                 membership.clone(),
+                replicator.clone(),
+                Arc::clone(&raw_storage),
             ));
         }
 
@@ -416,6 +612,8 @@ impl Cluster {
                     stats,
                     data_plane,
                     fenced,
+                    wipe,
+                    corrupt_remote,
                 }) => {
                     kills += 1;
                     if fenced {
@@ -426,6 +624,34 @@ impl Cluster {
                     } else {
                         killed_at.insert((rank, incarnations[rank]), Instant::now());
                     }
+                    // Node loss: the local store dies with the node.
+                    // Let the replicator drain before the replacement
+                    // comes up: the respawn must not restore against a
+                    // manifest staler than what survivors can still
+                    // replay (a backend outage in progress is ridden
+                    // out here, bounded). For the torn-upload variant,
+                    // then damage the newest remote generation — which
+                    // after the drain is the one the victim just
+                    // checkpointed.
+                    if wipe {
+                        if let Some(repl) = &replicator {
+                            repl.wait_synced(Duration::from_secs(2));
+                            if corrupt_remote {
+                                repl.corrupt_newest_remote_generation(rank);
+                            }
+                        }
+                        let prefix = CheckpointStore::prefix(rank);
+                        let gens = raw_storage.keys_with_prefix(&prefix);
+                        for key in &gens {
+                            raw_storage.delete(key);
+                        }
+                        sink.emit(
+                            rank,
+                            EventKind::StoreWiped {
+                                generations: gens.len(),
+                            },
+                        );
+                    }
                     per_rank_stats[rank].merge(&stats);
                     per_rank_data_plane[rank].merge(&data_plane);
                     incarnations[rank] += 1;
@@ -434,7 +660,7 @@ impl Cluster {
                         Arc::clone(&app),
                         rank,
                         n,
-                        cfg.run.clone(),
+                        run_cfg.clone(),
                         net.clone(),
                         endpoint,
                         ckpts.clone(),
@@ -444,6 +670,8 @@ impl Cluster {
                         sink.clone(),
                         tx.clone(),
                         membership.clone(),
+                        replicator.clone(),
+                        Arc::clone(&raw_storage),
                     ));
                 }
                 Ok(Outcome::GateTimeout) => gate_timeouts += 1,
@@ -452,6 +680,9 @@ impl Cluster {
                         shutdown.store(true, Ordering::Relaxed);
                         for h in handles {
                             let _ = h.join();
+                        }
+                        if let Some(repl) = &replicator {
+                            repl.finish();
                         }
                         return Err(format!(
                             "cluster watchdog fired after {:?} (protocol {}, {} ranks)",
@@ -466,6 +697,10 @@ impl Cluster {
         for h in handles {
             let _ = h.join();
         }
+        let replicator_stats = replicator.map(|repl| {
+            repl.finish();
+            repl.stats()
+        });
         let mut stats = TrackingStats::default();
         for s in &per_rank_stats {
             stats.merge(s);
@@ -509,6 +744,7 @@ impl Cluster {
             data_plane,
             timeline: sink.take(),
             detector,
+            replicator: replicator_stats,
         })
     }
 }
@@ -528,6 +764,8 @@ fn spawn_rank<A: RankApp>(
     sink: EventSink,
     tx: crossbeam::channel::Sender<Outcome>,
     membership: Option<Arc<MembershipTable>>,
+    replicator: Option<Arc<Replicator>>,
+    raw_storage: Arc<dyn StableStorage>,
 ) -> JoinHandle<()> {
     std::thread::Builder::new()
         .name(format!("lclog-rank-{rank}.{incarnation}"))
@@ -546,6 +784,8 @@ fn spawn_rank<A: RankApp>(
                 sink,
                 tx,
                 membership,
+                replicator,
+                raw_storage,
             )
         })
         .expect("spawn rank thread")
@@ -566,6 +806,8 @@ fn rank_main<A: RankApp>(
     sink: EventSink,
     tx: crossbeam::channel::Sender<Outcome>,
     membership: Option<Arc<MembershipTable>>,
+    replicator: Option<Arc<Replicator>>,
+    raw_storage: Arc<dyn StableStorage>,
 ) {
     // Detected-failures mode: a replacement incarnation does not start
     // until the arbiter has *certified* its predecessor dead — the
@@ -591,7 +833,18 @@ fn rank_main<A: RankApp>(
         // Incarnation: restore the last checkpoint (or the initial
         // state if the process died before ever checkpointing), then
         // announce the rollback (Algorithm 1 lines 40–46).
-        let restored = match kernel.load_checkpoint() {
+        let mut image = kernel.load_checkpoint();
+        if image.is_none() {
+            // An empty local store after a death is the node-loss
+            // signature: pull the newest fully-certified generation
+            // from the remote, then read it back as usual.
+            if let Some(repl) = &replicator {
+                if repl.restore_rank(rank, raw_storage.as_ref()).is_some() {
+                    image = kernel.load_checkpoint();
+                }
+            }
+        }
+        let restored = match image {
             Some(image) => {
                 let (step, app_bytes) = kernel.restore(image);
                 let state = lclog_wire::decode_from_slice(&app_bytes)
@@ -610,11 +863,14 @@ fn rank_main<A: RankApp>(
             sink.emit(rank, EventKind::Crashed { step });
             engine.crash();
             let snap = engine.snapshot();
+            let kill = plan.kill_for(rank, incarnation);
             let _ = tx.send(Outcome::Killed {
                 rank,
                 stats: snap.stats,
                 data_plane: snap.data_plane,
                 fenced: false,
+                wipe: kill.map(|k| k.wipe).unwrap_or(false),
+                corrupt_remote: kill.map(|k| k.corrupt_remote).unwrap_or(false),
             });
             return;
         }
@@ -651,6 +907,8 @@ fn rank_main<A: RankApp>(
                         stats: TrackingStats::default(),
                         data_plane: DataPlaneStats::default(),
                         fenced: true,
+                        wipe: false,
+                        corrupt_remote: false,
                     });
                 }
                 return;
@@ -658,11 +916,14 @@ fn rank_main<A: RankApp>(
             Err(Fault::Killed) => {
                 engine.crash();
                 let snap = engine.snapshot();
+                let kill = plan.kill_for(rank, incarnation);
                 let _ = tx.send(Outcome::Killed {
                     rank,
                     stats: snap.stats,
                     data_plane: snap.data_plane,
                     fenced: false,
+                    wipe: kill.map(|k| k.wipe).unwrap_or(false),
+                    corrupt_remote: kill.map(|k| k.corrupt_remote).unwrap_or(false),
                 });
                 return;
             }
@@ -682,6 +943,8 @@ fn rank_main<A: RankApp>(
                     stats: snap.stats,
                     data_plane: snap.data_plane,
                     fenced: false,
+                    wipe: false,
+                    corrupt_remote: false,
                 });
                 return;
             }
@@ -699,6 +962,8 @@ fn rank_main<A: RankApp>(
                     stats: snap.stats,
                     data_plane: snap.data_plane,
                     fenced: true,
+                    wipe: false,
+                    corrupt_remote: false,
                 });
                 return;
             }
@@ -717,6 +982,8 @@ fn rank_main<A: RankApp>(
                     stats: snap.stats,
                     data_plane: snap.data_plane,
                     fenced: false,
+                    wipe: false,
+                    corrupt_remote: false,
                 });
                 return;
             }

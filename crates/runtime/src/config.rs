@@ -80,6 +80,16 @@ pub struct RunConfig {
     /// timestamp to a scheduler-advanced virtual clock, making runs
     /// reproducible from `(topology, workload, schedule)`.
     pub clock: Clock,
+    /// Lag sender-log garbage collection by one checkpoint generation:
+    /// a `CHECKPOINT_ADVANCE` releases only the entries the *previous*
+    /// advance from that peer covered. Costs one extra generation of
+    /// log memory; required when checkpoints are replicated to a
+    /// remote store, because a node-loss restore may fall back one
+    /// generation past a corrupted upload and then needs survivors to
+    /// replay messages the newest generation had already covered.
+    /// [`crate::Cluster`] switches this on automatically whenever a
+    /// [`crate::RemoteConfig`] is attached.
+    pub log_gc_lag: bool,
 }
 
 impl RunConfig {
@@ -97,6 +107,7 @@ impl RunConfig {
             retransmit_budget: 40,
             detector: None,
             clock: Clock::Real,
+            log_gc_lag: false,
         }
     }
 
@@ -123,6 +134,12 @@ impl RunConfig {
     /// simulation).
     pub fn with_clock(mut self, clock: Clock) -> Self {
         self.clock = clock;
+        self
+    }
+
+    /// Builder-style sender-log GC lag (see [`RunConfig::log_gc_lag`]).
+    pub fn with_log_gc_lag(mut self, lag: bool) -> Self {
+        self.log_gc_lag = lag;
         self
     }
 }

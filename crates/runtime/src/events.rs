@@ -141,6 +141,33 @@ pub enum EventKind {
         /// Its per-channel send index.
         send_index: u64,
     },
+    /// The failure injector wiped this rank's local stable store
+    /// along with the process (node loss).
+    StoreWiped {
+        /// Checkpoint generations deleted with the store.
+        generations: usize,
+    },
+    /// The replicator's circuit breaker opened: the remote backend is
+    /// down and shipping degraded to the bounded local spill buffer.
+    DegradedEntered {
+        /// Bytes queued in the spill buffer at the transition.
+        spill_bytes: usize,
+    },
+    /// The remote backend answered again: the breaker closed and the
+    /// manifest was re-synced.
+    DegradedExited {
+        /// Degraded-window duration in milliseconds.
+        ms: u64,
+    },
+    /// A respawned rank with a wiped local store restored a checkpoint
+    /// generation from the remote.
+    RemoteRestored {
+        /// The restored checkpoint version.
+        version: u64,
+        /// Newer generations skipped because their stored bytes failed
+        /// certification.
+        skipped: u32,
+    },
 }
 
 impl fmt::Display for EventKind {
@@ -202,6 +229,21 @@ impl fmt::Display for EventKind {
                 write!(
                     f,
                     "DESYNC: tracking merge rejected gate-approved message {send_index} from rank {src}"
+                )
+            }
+            EventKind::StoreWiped { generations } => {
+                write!(f, "local store WIPED ({generations} generations lost)")
+            }
+            EventKind::DegradedEntered { spill_bytes } => {
+                write!(f, "replication DEGRADED: spilling locally ({spill_bytes} bytes queued)")
+            }
+            EventKind::DegradedExited { ms } => {
+                write!(f, "replication recovered after {ms} ms degraded; manifest re-synced")
+            }
+            EventKind::RemoteRestored { version, skipped } => {
+                write!(
+                    f,
+                    "restored checkpoint v{version} from remote ({skipped} damaged generations skipped)"
                 )
             }
         }

@@ -469,7 +469,25 @@ impl Kernel {
             WireMsg::Rollback(w) => self.handle_rollback(src, w),
             WireMsg::Response(w) => self.handle_response(src, w),
             WireMsg::CkptAdvance(w) => {
-                self.recovery.lock().log.release(src, w.delivered_from_you);
+                {
+                    let mut rec = self.recovery.lock();
+                    let horizon = if self.cfg.log_gc_lag {
+                        // Release only what the *previous* advance
+                        // covered: one extra generation of entries
+                        // stays resendable, so a node-loss restore
+                        // that falls back a generation can still be
+                        // rolled forward. `min` guards against
+                        // reordered advances shrinking the horizon.
+                        let prev = rec.peer_ckpt_advance.get(src);
+                        prev.min(w.delivered_from_you)
+                    } else {
+                        w.delivered_from_you
+                    };
+                    if w.delivered_from_you > rec.peer_ckpt_advance.get(src) {
+                        rec.peer_ckpt_advance.set(src, w.delivered_from_you);
+                    }
+                    rec.log.release(src, horizon);
+                }
                 self.tracking
                     .lock()
                     .protocol

@@ -41,7 +41,7 @@
 
 #![warn(missing_docs)]
 
-mod backoff;
+pub mod backoff;
 mod clock;
 mod cluster;
 pub mod collectives;
@@ -58,12 +58,14 @@ mod process;
 mod recovery;
 mod recvq;
 mod reliability;
+pub mod replicator;
 mod service;
 mod tracking;
 mod transport;
 
 pub use cluster::{
-    Cluster, ClusterConfig, DetectorReport, FailurePlan, Kill, RunReport, StorageKind,
+    Cluster, ClusterConfig, DetectorReport, FailurePlan, Kill, RemoteConfig, RunReport,
+    StorageKind,
 };
 pub use clock::Clock;
 pub use events::{Event, EventKind, EventSink};
@@ -79,6 +81,7 @@ pub use message::{
 };
 pub use process::{RankApp, RankCtx};
 pub use recvq::{Pending, RecvQueue};
+pub use replicator::{Replicator, ReplicatorConfig, ReplicatorStats};
 pub use transport::{payload_is_data_frame, DataPlaneStats};
 
 /// Rank identifier (re-exported from the protocol layer).

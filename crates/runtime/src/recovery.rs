@@ -268,6 +268,11 @@ pub(crate) struct RecoveryLayer {
     pub restored_send_index: CounterVector,
     /// `last_deliver_index` at our last checkpoint (per peer).
     pub last_ckpt_deliver_index: CounterVector,
+    /// Highest `CHECKPOINT_ADVANCE` horizon received from each peer.
+    /// With [`crate::RunConfig::log_gc_lag`] set, log release trails
+    /// this by one advance, retaining one extra generation of entries
+    /// for node-loss restores that fall back a generation.
+    pub peer_ckpt_advance: CounterVector,
     /// The sender-based message log (line 12).
     pub log: SenderLog,
     pub ckpt_store: CheckpointStore,
@@ -286,6 +291,7 @@ impl RecoveryLayer {
             rollback_last_send_index: CounterVector::zeroed(n),
             restored_send_index: CounterVector::zeroed(n),
             last_ckpt_deliver_index: CounterVector::zeroed(n),
+            peer_ckpt_advance: CounterVector::zeroed(n),
             log: SenderLog::new(n),
             ckpt_store,
             ckpt_version: 0,

@@ -194,6 +194,153 @@ impl ChaosConfig {
     }
 }
 
+/// A remote-storage outage: while the store's global operation
+/// sequence number lies in `[from_op, to_op)`, every operation fails
+/// with an *unavailable* error.
+///
+/// Like [`Partition`], the window lives in sequence space rather than
+/// wall time so a storage chaos schedule replays identically under
+/// the same seed, independent of thread timing.
+#[derive(Debug, Clone)]
+pub struct OutageWindow {
+    /// First operation sequence number affected (inclusive).
+    pub from_op: u64,
+    /// First operation sequence number no longer affected (exclusive).
+    pub to_op: u64,
+}
+
+impl OutageWindow {
+    /// True when operation `op` falls inside the outage.
+    pub fn covers(&self, op: u64) -> bool {
+        op >= self.from_op && op < self.to_op
+    }
+}
+
+/// Seeded fault model for a simulated remote object store (the
+/// storage-side sibling of [`ChaosConfig`]). Every decision is a pure
+/// function of `(seed, op, salt)`, where `op` is the store's global
+/// operation sequence number — the same replayability discipline as
+/// the network chaos model. All probabilities are per operation and
+/// default to zero.
+#[derive(Debug, Clone)]
+pub struct StorageChaos {
+    /// Seed for all storage-fault decisions.
+    pub seed: u64,
+    /// Probability an operation fails with a retryable transient
+    /// error (the backend stays untouched).
+    pub transient_p: f64,
+    /// Probability a put stores a *truncated* object yet reports
+    /// success — a torn upload only a checksum can catch.
+    pub torn_p: f64,
+    /// Probability a put stores the object with one bit flipped yet
+    /// reports success — silent media corruption.
+    pub flip_p: f64,
+    /// Probability an operation is held for [`StorageChaos::spike`]
+    /// before executing (a latency spike, not a failure).
+    pub spike_p: f64,
+    /// Duration of a latency spike.
+    pub spike: Duration,
+    /// Unavailability windows in operation-sequence space.
+    pub outages: Vec<OutageWindow>,
+}
+
+impl StorageChaos {
+    /// A storage fault model with the given seed and no faults.
+    pub fn seeded(seed: u64) -> Self {
+        StorageChaos {
+            seed,
+            transient_p: 0.0,
+            torn_p: 0.0,
+            flip_p: 0.0,
+            spike_p: 0.0,
+            spike: Duration::from_millis(1),
+            outages: Vec::new(),
+        }
+    }
+
+    /// Sets the per-operation transient-error probability.
+    pub fn with_transient(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "transient probability out of range");
+        self.transient_p = p;
+        self
+    }
+
+    /// Sets the per-put torn-object probability.
+    pub fn with_torn_put(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "torn probability out of range");
+        self.torn_p = p;
+        self
+    }
+
+    /// Sets the per-put bit-flip probability.
+    pub fn with_corrupt_put(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "corrupt probability out of range");
+        self.flip_p = p;
+        self
+    }
+
+    /// Sets the per-operation latency-spike probability and duration.
+    pub fn with_latency_spike(mut self, p: f64, spike: Duration) -> Self {
+        assert!((0.0..=1.0).contains(&p), "spike probability out of range");
+        self.spike_p = p;
+        self.spike = spike;
+        self
+    }
+
+    /// Adds an unavailability window in operation-sequence space.
+    pub fn with_outage(mut self, from_op: u64, to_op: u64) -> Self {
+        self.outages.push(OutageWindow { from_op, to_op });
+        self
+    }
+
+    /// Decides the fate of one storage operation. Pure in
+    /// `(seed, op)`; two calls with identical arguments always agree.
+    pub fn fate(&self, op: u64) -> StorageFate {
+        StorageFate {
+            unavailable: self.outages.iter().any(|w| w.covers(op)),
+            transient: self.transient_p > 0.0
+                && self.roll(op, SALT_S_TRANSIENT) < self.transient_p,
+            torn: self.torn_p > 0.0 && self.roll(op, SALT_S_TORN) < self.torn_p,
+            flip_bit: (self.flip_p > 0.0 && self.roll(op, SALT_S_FLIP) < self.flip_p)
+                .then(|| self.hash(op, SALT_S_BIT)),
+            spike: if self.spike_p > 0.0 && self.roll(op, SALT_S_SPIKE) < self.spike_p {
+                self.spike
+            } else {
+                Duration::ZERO
+            },
+        }
+    }
+
+    fn hash(&self, op: u64, salt: u64) -> u64 {
+        let key = self
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(op.wrapping_mul(0xD6E8_FEB8_6659_FD93))
+            .wrapping_add(salt);
+        splitmix(key)
+    }
+
+    fn roll(&self, op: u64, salt: u64) -> f64 {
+        (self.hash(op, salt) >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// The outcome of the storage-chaos rolls for one operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StorageFate {
+    /// The operation lands in an outage window: fail unavailable.
+    pub unavailable: bool,
+    /// The operation fails with a retryable transient error.
+    pub transient: bool,
+    /// A put stores only a truncated prefix, yet reports success.
+    pub torn: bool,
+    /// When `Some(h)`, a put stores the object with bit `h % (len*8)`
+    /// flipped, yet reports success.
+    pub flip_bit: Option<u64>,
+    /// Extra latency before the operation executes.
+    pub spike: Duration,
+}
+
 const SALT_DROP: u64 = 0xD0;
 const SALT_DUP: u64 = 0xD1;
 const SALT_CORRUPT: u64 = 0xC0;
@@ -202,6 +349,11 @@ const SALT_STALL: u64 = 0x57;
 const SALT_DELAY: u64 = 0xDE;
 const SALT_TAIL_A: u64 = 0x7A;
 const SALT_TAIL_B: u64 = 0x7B;
+const SALT_S_TRANSIENT: u64 = 0x5A;
+const SALT_S_TORN: u64 = 0x5B;
+const SALT_S_FLIP: u64 = 0x5C;
+const SALT_S_BIT: u64 = 0x5D;
+const SALT_S_SPIKE: u64 = 0x5E;
 
 fn splitmix(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -291,6 +443,58 @@ mod tests {
         // sigma = 0 makes the tail draw exactly the median, so every
         // envelope is held for stall + median.
         assert_eq!(c.fate(0, 1, 1).stall, Duration::from_millis(6));
+    }
+
+    #[test]
+    fn storage_fates_are_pure_and_seed_sensitive() {
+        let c = StorageChaos::seeded(9)
+            .with_transient(0.2)
+            .with_torn_put(0.2)
+            .with_corrupt_put(0.2);
+        for op in 0..200u64 {
+            assert_eq!(c.fate(op), c.fate(op), "op {op} must replay");
+        }
+        let d = StorageChaos::seeded(10)
+            .with_transient(0.2)
+            .with_torn_put(0.2)
+            .with_corrupt_put(0.2);
+        assert!((0..200u64).any(|op| c.fate(op) != d.fate(op)));
+    }
+
+    #[test]
+    fn storage_rates_are_roughly_honored() {
+        let c = StorageChaos::seeded(21).with_transient(0.1);
+        let failed = (0..10_000u64).filter(|&op| c.fate(op).transient).count();
+        assert!((700..1300).contains(&failed), "transient={failed}");
+        // A fault-free model injects nothing.
+        let quiet = StorageChaos::seeded(21);
+        assert!((0..1000u64).all(|op| {
+            let f = quiet.fate(op);
+            !f.unavailable && !f.transient && !f.torn && f.flip_bit.is_none()
+                && f.spike == Duration::ZERO
+        }));
+    }
+
+    #[test]
+    fn outage_windows_cover_only_their_ops() {
+        let c = StorageChaos::seeded(1).with_outage(10, 20).with_outage(40, 41);
+        assert!(!c.fate(9).unavailable);
+        assert!(c.fate(10).unavailable);
+        assert!(c.fate(19).unavailable);
+        assert!(!c.fate(20).unavailable);
+        assert!(c.fate(40).unavailable);
+        assert!(!c.fate(41).unavailable);
+    }
+
+    #[test]
+    fn latency_spikes_apply_their_duration() {
+        let c = StorageChaos::seeded(4).with_latency_spike(1.0, Duration::from_millis(3));
+        assert_eq!(c.fate(0).spike, Duration::from_millis(3));
+        let rare = StorageChaos::seeded(4).with_latency_spike(0.05, Duration::from_millis(3));
+        let spiked = (0..10_000u64)
+            .filter(|&op| rare.fate(op).spike > Duration::ZERO)
+            .count();
+        assert!((300..800).contains(&spiked), "spiked={spiked}");
     }
 
     #[test]

@@ -54,7 +54,7 @@ mod envelope;
 mod net;
 mod stats;
 
-pub use chaos::{ChaosConfig, Partition};
+pub use chaos::{ChaosConfig, OutageWindow, Partition, StorageChaos, StorageFate};
 pub use clock::SimClock;
 pub use config::{DeliveryModel, NetConfig};
 pub use envelope::Envelope;

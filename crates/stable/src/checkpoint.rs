@@ -1,32 +1,6 @@
+use crate::seal::{seal, unseal};
 use crate::StableStorage;
-use lclog_wire::crc32;
 use std::sync::Arc;
-
-/// Sealed-image trailer: 4-byte CRC-32 of the image followed by a
-/// 4-byte magic. A truncated file loses the magic, a bit-flip breaks
-/// the CRC — either way the generation is rejected at load time.
-const TRAILER_MAGIC: &[u8; 4] = b"LCKP";
-const TRAILER_LEN: usize = 8;
-
-fn seal(image: &[u8]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(image.len() + TRAILER_LEN);
-    out.extend_from_slice(image);
-    out.extend_from_slice(&crc32(image).to_le_bytes());
-    out.extend_from_slice(TRAILER_MAGIC);
-    out
-}
-
-fn unseal(blob: &[u8]) -> Option<Vec<u8>> {
-    if blob.len() < TRAILER_LEN {
-        return None;
-    }
-    let (body, trailer) = blob.split_at(blob.len() - TRAILER_LEN);
-    if &trailer[4..] != TRAILER_MAGIC {
-        return None;
-    }
-    let want = u32::from_le_bytes(trailer[..4].try_into().expect("4 bytes"));
-    (crc32(body) == want).then(|| body.to_vec())
-}
 
 /// Typed helper mapping each rank to its recent checkpoint images.
 ///
@@ -61,16 +35,19 @@ impl CheckpointStore {
         self
     }
 
-    fn key(rank: usize, version: u64) -> String {
-        // Zero-padded so lexicographic order == numeric order.
+    /// Storage key of checkpoint `version` for `rank`. Zero-padded so
+    /// lexicographic order == numeric order.
+    pub fn key(rank: usize, version: u64) -> String {
         format!("ckpt/{rank}/v{version:020}")
     }
 
-    fn prefix(rank: usize) -> String {
+    /// Key prefix under which every generation of `rank` lives.
+    pub fn prefix(rank: usize) -> String {
         format!("ckpt/{rank}/v")
     }
 
-    fn parse_version(key: &str) -> Option<u64> {
+    /// Parse the version number back out of a generation key.
+    pub fn parse_version(key: &str) -> Option<u64> {
         key.rsplit('v').next()?.parse().ok()
     }
 

@@ -57,14 +57,62 @@ fn sanitize(key: &str) -> String {
         .collect()
 }
 
+/// Temp-file sibling of `path`. Appends `.tmp` to the full file name
+/// instead of using `Path::with_extension`, which would *replace*
+/// anything after the last dot and could collide two distinct keys on
+/// the same temp file.
+fn tmp_path(path: &Path) -> PathBuf {
+    let mut name = path.file_name().expect("blob file name").to_os_string();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+/// The steps of a crash-consistent blob replace, in execution order.
+/// Durability argument: until the rename, readers only ever see the
+/// previous blob (temp files are invisible to `keys_with_prefix`);
+/// the temp fsync orders the new bytes before the rename so the
+/// rename can never expose a torn file; the directory fsync makes the
+/// rename itself durable against power loss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WriteStep {
+    /// Temp file created and written, not yet fsynced.
+    TempWritten,
+    /// Temp file fsynced, rename not yet issued.
+    TempSynced,
+    /// Renamed over the target, directory entry not yet fsynced.
+    Renamed,
+}
+
 fn atomic_write(path: &Path, bytes: &[u8]) {
-    let tmp = path.with_extension("tmp");
-    {
-        let mut f = fs::File::create(&tmp).expect("create temp blob");
-        f.write_all(bytes).expect("write temp blob");
-        f.sync_all().ok();
+    atomic_write_inner(path, bytes, |_| false);
+}
+
+/// The write sequence with a failpoint: `crashed_after(step)` returns
+/// true to simulate the writer dying right after that step, leaving
+/// whatever the file system holds at that instant.
+fn atomic_write_inner(path: &Path, bytes: &[u8], crashed_after: impl Fn(WriteStep) -> bool) {
+    let tmp = tmp_path(path);
+    let mut f = fs::File::create(&tmp).expect("create temp blob");
+    f.write_all(bytes).expect("write temp blob");
+    if crashed_after(WriteStep::TempWritten) {
+        return;
+    }
+    f.sync_all().ok();
+    drop(f);
+    if crashed_after(WriteStep::TempSynced) {
+        return;
     }
     fs::rename(&tmp, path).expect("atomic blob replace");
+    if crashed_after(WriteStep::Renamed) {
+        return;
+    }
+    // Make the rename durable: fsync the containing directory (a
+    // no-op error on platforms where directories cannot be opened).
+    if let Some(dir) = path.parent() {
+        if let Ok(d) = fs::File::open(dir) {
+            d.sync_all().ok();
+        }
+    }
 }
 
 impl StableStorage for DiskStore {
@@ -219,5 +267,82 @@ mod tests {
     fn intact_checkpoint_files_load_newest() {
         let (ckpts, _) = two_generations("intact");
         assert_eq!(ckpts.load_latest(0), Some((2, b"generation two".to_vec())));
+    }
+
+    #[test]
+    fn tmp_path_appends_instead_of_replacing_extension() {
+        // `with_extension` would map both `a.1` and `a.2` to `a.tmp`;
+        // the manifest writer must never alias two keys like that.
+        assert_eq!(tmp_path(Path::new("/x/a.1")), Path::new("/x/a.1.tmp"));
+        assert_eq!(tmp_path(Path::new("/x/plain")), Path::new("/x/plain.tmp"));
+    }
+
+    /// Kill the writer after `step` while it replaces generation 1
+    /// with generation 2, then "reboot" (fresh `DiskStore` handle)
+    /// and report what a recovery would load.
+    fn crash_replacing_generation(tag: &str, step: WriteStep) -> (Option<(u64, Vec<u8>)>, Vec<u8>) {
+        let dir = std::env::temp_dir().join(format!(
+            "lclog-stable-failpoint-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        let disk = DiskStore::open(&dir).unwrap();
+        let gen1 = crate::seal::seal(b"generation one");
+        let gen2 = crate::seal::seal(b"generation two");
+        let key1 = "ckpt/0/v00000000000000000001";
+        let key2 = "ckpt/0/v00000000000000000002";
+        disk.put(key1, &gen1);
+        // The failpoint: die right after `step` of the second write.
+        atomic_write_inner(&disk.blob_path(key2), &gen2, |s| s == step);
+        drop(disk);
+        let rebooted = DiskStore::open(&dir).unwrap();
+        let prior_file = fs::read(rebooted.blob_path(key1)).unwrap();
+        let loaded =
+            crate::CheckpointStore::new(std::sync::Arc::new(rebooted)).load_latest(0);
+        (loaded, prior_file)
+    }
+
+    #[test]
+    fn crash_after_temp_write_keeps_prior_generation() {
+        let (loaded, prior) = crash_replacing_generation("w", WriteStep::TempWritten);
+        assert_eq!(loaded, Some((1, b"generation one".to_vec())));
+        assert_eq!(prior, crate::seal::seal(b"generation one"), "prior file untouched");
+    }
+
+    #[test]
+    fn crash_after_temp_sync_keeps_prior_generation() {
+        let (loaded, prior) = crash_replacing_generation("s", WriteStep::TempSynced);
+        assert_eq!(loaded, Some((1, b"generation one".to_vec())));
+        assert_eq!(prior, crate::seal::seal(b"generation one"));
+    }
+
+    #[test]
+    fn crash_after_rename_exposes_complete_new_generation() {
+        // Once the rename has landed, the new generation is visible in
+        // full (the temp fsync ordered its bytes first) and the prior
+        // one still exists for fallback.
+        let (loaded, prior) = crash_replacing_generation("r", WriteStep::Renamed);
+        assert_eq!(loaded, Some((2, b"generation two".to_vec())));
+        assert_eq!(prior, crate::seal::seal(b"generation one"));
+    }
+
+    #[test]
+    fn leftover_temp_files_stay_invisible_to_listing() {
+        let dir = std::env::temp_dir().join(format!(
+            "lclog-stable-failpoint-list-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        let disk = DiskStore::open(&dir).unwrap();
+        disk.put("ckpt/0/v00000000000000000001", b"ok");
+        atomic_write_inner(
+            &disk.blob_path("ckpt/0/v00000000000000000002"),
+            b"half",
+            |s| s == WriteStep::TempWritten,
+        );
+        assert_eq!(
+            disk.keys_with_prefix("ckpt/0/"),
+            vec!["ckpt/0/v00000000000000000001".to_string()]
+        );
     }
 }

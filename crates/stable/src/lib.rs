@@ -16,6 +16,13 @@
 //! * [`CheckpointStore`] — a typed helper mapping ranks to their
 //!   latest checkpoint image.
 //!
+//! For durability beyond the local disk — the node-loss case where
+//! the process dies *with* its storage — the [`remote`] module adds
+//! an object-store-style [`RemoteStore`] with CRC-checked manifests
+//! and a deterministically fault-injected backend; `lclog-runtime`'s
+//! replicator streams checkpoint generations and log segments into it
+//! and restores wiped ranks from it.
+//!
 //! ## Example
 //!
 //! ```
@@ -35,10 +42,16 @@
 mod checkpoint;
 mod disk;
 mod mem;
+pub mod remote;
+mod seal;
 
 pub use checkpoint::CheckpointStore;
 pub use disk::DiskStore;
 pub use mem::MemStore;
+pub use remote::{
+    FaultyRemote, Manifest, ManifestEntry, MemRemote, ObjectKind, RemoteError, RemoteResult,
+    RemoteStore, MANIFEST_KEY,
+};
 
 /// Abstract stable storage: a blob namespace plus append-only record
 /// logs. Implementations must be safe for concurrent use from many

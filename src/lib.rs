@@ -42,9 +42,13 @@ pub mod prelude {
     pub use lclog_runtime::{
         collectives, CheckpointPolicy, Cluster, ClusterConfig, CommMode, DetectorConfig,
         DetectorReport, Event, EventKind, FailurePlan, Fault, MembershipView, RankApp, RankCtx,
-        RecvSpec, RunConfig, RunReport, StepStatus, StorageKind,
+        RecvSpec, RemoteConfig, ReplicatorConfig, ReplicatorStats, RunConfig, RunReport,
+        StepStatus, StorageKind,
     };
-    pub use lclog_simnet::{ChaosConfig, NetConfig, Partition, SimNet};
+    pub use lclog_simnet::{ChaosConfig, NetConfig, Partition, SimNet, StorageChaos};
+    pub use lclog_stable::{
+        FaultyRemote, Manifest, ManifestEntry, MemRemote, RemoteStore, MANIFEST_KEY,
+    };
     pub use lclog_wire::{decode_from_slice, encode_to_vec, impl_wire_struct};
 }
 
