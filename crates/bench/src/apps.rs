@@ -1,8 +1,9 @@
 //! Synthetic applications for the ablation experiments: a token ring
-//! (pure point-to-point at a controllable message rate) and a hub
-//! (collective-like fan-in/fan-out).
+//! (pure point-to-point at a controllable message rate), a hub
+//! (collective-like fan-in/fan-out), and a neighbor-exchange ring
+//! written as a [`TaskApp`] for the large-n scaling runs.
 
-use lclog_runtime::{Fault, RankApp, RankCtx, RecvSpec, StepStatus};
+use lclog_runtime::{Fault, RankApp, RankCtx, RecvSpec, StepStatus, TaskApp, TaskCtx, TaskPoll};
 use lclog_wire::impl_wire_struct;
 
 fn mix(x: u64, salt: u64) -> u64 {
@@ -141,11 +142,86 @@ impl RankApp for HubApp {
     }
 }
 
+/// Neighbor-exchange ring for the SC1 scaling runs: each round every
+/// rank sends one payload to its right neighbor and folds one from its
+/// left, so all `n` messages of a round are in flight concurrently and
+/// a round costs O(1) delivery sweeps regardless of `n`. Written as a
+/// poll-style [`TaskApp`] so it runs at n = 1024 under the task
+/// scheduler — and, via [`lclog_runtime::BlockingTaskApp`], unchanged
+/// under the thread engine for small-n cross-checks.
+#[derive(Debug, Clone, Copy)]
+pub struct TaskRing {
+    /// Rounds to run (each round is one step / checkpoint boundary).
+    pub rounds: u64,
+    /// Payload size in bytes (the folded value rides the first 8).
+    pub payload: usize,
+}
+
+/// Neighbor-exchange state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskRingState {
+    /// Completed rounds.
+    pub round: u64,
+    /// This round's send already issued.
+    pub sent: bool,
+    /// Rolling fold of everything received.
+    pub acc: u64,
+}
+impl_wire_struct!(TaskRingState { round, sent, acc });
+
+const EXCHANGE_TAG: u32 = 9;
+
+impl TaskApp for TaskRing {
+    type State = TaskRingState;
+
+    fn init(&self, rank: usize, _n: usize) -> TaskRingState {
+        TaskRingState {
+            round: 0,
+            sent: false,
+            acc: mix(rank as u64, 0x9abc),
+        }
+    }
+
+    fn poll(&self, ctx: &mut TaskCtx<'_>, st: &mut TaskRingState) -> Result<TaskPoll, Fault> {
+        if st.round >= self.rounds {
+            return Ok(TaskPoll::Done);
+        }
+        let n = ctx.n();
+        let me = ctx.rank();
+        if !st.sent {
+            let out = mix(st.acc, st.round);
+            let mut v = vec![0u8; self.payload.max(8)];
+            v[..8].copy_from_slice(&out.to_le_bytes());
+            ctx.send((me + 1) % n, EXCHANGE_TAG, &v)?;
+            st.sent = true;
+        }
+        let left = (me + n - 1) % n;
+        match ctx.try_recv(RecvSpec::from(left, EXCHANGE_TAG))? {
+            Some(msg) => {
+                let v = u64::from_le_bytes(msg.data[..8].try_into().expect("8-byte fold value"));
+                st.acc = mix(st.acc.wrapping_add(v), st.round);
+                st.sent = false;
+                st.round += 1;
+                Ok(TaskPoll::Step)
+            }
+            None => Ok(TaskPoll::Pending),
+        }
+    }
+
+    fn digest(&self, st: &TaskRingState) -> u64 {
+        mix(st.acc, st.round)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use lclog_core::ProtocolKind;
-    use lclog_runtime::{CheckpointPolicy, Cluster, ClusterConfig, FailurePlan, RunConfig};
+    use lclog_runtime::{
+        run_tasks, BlockingTaskApp, CheckpointPolicy, Cluster, ClusterConfig, EngineMode,
+        FailurePlan, RunConfig,
+    };
+    use std::time::Duration;
 
     fn cfg(n: usize) -> ClusterConfig {
         ClusterConfig::new(
@@ -165,6 +241,31 @@ mod tests {
             .unwrap()
             .digests;
         assert_eq!(clean, faulty);
+    }
+
+    #[test]
+    fn task_ring_agrees_across_engines_and_recovers() {
+        let app = TaskRing {
+            rounds: 8,
+            payload: 64,
+        };
+        let threads = Cluster::run(&cfg(4), BlockingTaskApp(app)).unwrap().digests;
+        let tasks_cfg = ClusterConfig::new(
+            4,
+            RunConfig::new(ProtocolKind::Tdi)
+                .with_checkpoint(CheckpointPolicy::EverySteps(4))
+                .with_engine(EngineMode::Tasks { workers: 2 }),
+        )
+        .with_max_wall(Duration::from_secs(30));
+        let tasks = run_tasks(&tasks_cfg, app).unwrap().digests;
+        assert_eq!(threads, tasks);
+        let faulty = run_tasks(
+            &tasks_cfg.clone().with_failures(FailurePlan::kill_at(2, 4)),
+            app,
+        )
+        .unwrap();
+        assert!(faulty.kills >= 1);
+        assert_eq!(faulty.digests, tasks);
     }
 
     #[test]

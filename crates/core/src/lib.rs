@@ -61,6 +61,7 @@ mod protocol;
 mod replay;
 mod stats;
 mod pessim;
+mod sparse;
 mod tag;
 mod tagf;
 mod tdi;
@@ -70,8 +71,9 @@ mod vectors;
 
 pub use protocol::{make_protocol, DeliveryVerdict, LoggingProtocol, SendArtifacts};
 pub use replay::ReplayScript;
-pub use stats::TrackingStats;
+pub use stats::{FrameStats, TrackingStats};
 pub use pessim::Pessim;
+pub use sparse::SparseTdi;
 pub use tag::Tag;
 pub use tagf::TagF;
 pub use tdi::Tdi;

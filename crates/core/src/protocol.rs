@@ -1,4 +1,5 @@
-use crate::{Determinant, Pessim, ProtocolError, ProtocolKind, Rank, Tag, TagF, Tdi, Tel};
+use crate::stats::FrameStats;
+use crate::{Determinant, Pessim, ProtocolError, ProtocolKind, Rank, SparseTdi, Tag, TagF, Tdi, Tel};
 
 /// What `on_send` produces: the bytes to piggyback on the outgoing
 /// message plus their size in *identifiers* (the unit the paper's
@@ -156,6 +157,35 @@ pub trait LoggingProtocol: Send {
     fn interval_vector(&self) -> Option<Vec<u64>> {
         None
     }
+
+    // ----- sparse-codec resync (TDI-S only) ---------------------------------
+
+    /// Sources whose piggyback frames this process could not decode
+    /// since the last drain (stale epoch or sequence gap). The runtime
+    /// sends each one a `RESYNC_REQ` on its next tick. Empty for
+    /// protocols with self-contained piggybacks.
+    fn take_resync_requests(&mut self) -> Vec<Rank> {
+        Vec::new()
+    }
+
+    /// Produce a full-vector resync snapshot for `dst` in answer to
+    /// its `RESYNC_REQ`, re-anchoring the channel's delta chain.
+    /// `None` for protocols that never need resyncing.
+    fn resync_snapshot(&mut self, _dst: Rank) -> Option<Vec<u8>> {
+        None
+    }
+
+    /// Install a resync snapshot received from `src`. No-op default
+    /// for protocols that never request one.
+    fn install_resync(&mut self, _src: Rank, _bytes: &[u8]) -> Result<(), ProtocolError> {
+        Ok(())
+    }
+
+    /// Frame-level codec counters (delta vs. full frames, resync
+    /// requests), when the protocol's wire form distinguishes them.
+    fn frame_stats(&self) -> Option<FrameStats> {
+        None
+    }
 }
 
 /// Construct a protocol instance for process `me` of `n`.
@@ -166,6 +196,7 @@ pub fn make_protocol(kind: ProtocolKind, me: Rank, n: usize) -> Box<dyn LoggingP
         ProtocolKind::Tel => Box::new(Tel::new(me, n)),
         ProtocolKind::TagF(f) => Box::new(TagF::new(me, n, f)),
         ProtocolKind::Pessim => Box::new(Pessim::new(me, n)),
+        ProtocolKind::TdiSparse(k) => Box::new(SparseTdi::new(me, n, k)),
     }
 }
 

@@ -29,6 +29,26 @@ pub struct TrackingStats {
     /// window; TDI can — the paper's rolling-forward advantage,
     /// measured directly (ablation ABL2).
     pub recovery_sync_ns: u64,
+    /// Sparse-codec DELTA frames encoded (0 for dense protocols).
+    pub delta_frames: u64,
+    /// Sparse-codec FULL frames encoded (0 for dense protocols).
+    pub full_frames: u64,
+    /// Resync requests this process issued for undecodable frames.
+    pub resync_requests: u64,
+}
+
+/// Frame-level counters of the sparse piggyback codec, reported by
+/// [`LoggingProtocol::frame_stats`](crate::LoggingProtocol::frame_stats)
+/// and folded into [`TrackingStats`] by the runtime.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FrameStats {
+    /// DELTA frames encoded on sends.
+    pub delta_frames: u64,
+    /// FULL frames encoded on sends (first-on-channel, periodic
+    /// resync, or delta-not-smaller).
+    pub full_frames: u64,
+    /// Resync requests issued for frames that could not be decoded.
+    pub resync_requests: u64,
 }
 
 impl TrackingStats {
@@ -45,6 +65,9 @@ impl TrackingStats {
         // the same memory).
         self.log_bytes_peak = self.log_bytes_peak.max(other.log_bytes_peak);
         self.recovery_sync_ns += other.recovery_sync_ns;
+        self.delta_frames += other.delta_frames;
+        self.full_frames += other.full_frames;
+        self.resync_requests += other.resync_requests;
     }
 
     /// Fig. 6's metric: average identifiers piggybacked per sent
@@ -96,6 +119,9 @@ mod tests {
             track_deliver_ns: 6,
             log_bytes_peak: 7,
             recovery_sync_ns: 100,
+            delta_frames: 8,
+            full_frames: 9,
+            resync_requests: 10,
         };
         let mut b = a.clone();
         b.log_bytes_peak = 3;
@@ -108,6 +134,9 @@ mod tests {
         assert_eq!(a.track_deliver_ns, 12);
         assert_eq!(a.log_bytes_peak, 7, "peaks merge by max");
         assert_eq!(a.recovery_sync_ns, 200);
+        assert_eq!(a.delta_frames, 16);
+        assert_eq!(a.full_frames, 18);
+        assert_eq!(a.resync_requests, 20);
         assert_eq!(a.avg_ids_per_msg(), 3.0);
     }
 }

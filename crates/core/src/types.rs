@@ -20,6 +20,12 @@ pub enum ProtocolKind {
     /// Extension: pessimistic (synchronous) logging — zero piggyback,
     /// logger round-trip on every delivery's critical path.
     Pessim,
+    /// Extension: TDI over sparse per-channel delta frames (only the
+    /// vector entries changed since the last frame on the channel,
+    /// with a FULL resync frame forced every `k` deltas). Same
+    /// protocol state and gate as [`ProtocolKind::Tdi`]; O(changes)
+    /// wire bytes instead of O(n).
+    TdiSparse(u32),
 }
 
 impl ProtocolKind {
@@ -31,6 +37,7 @@ impl ProtocolKind {
             ProtocolKind::Tel => "TEL",
             ProtocolKind::TagF(_) => "TAG-f",
             ProtocolKind::Pessim => "PES",
+            ProtocolKind::TdiSparse(_) => "TDI-S",
         }
     }
 
@@ -45,13 +52,14 @@ impl ProtocolKind {
     }
 
     /// Every implemented protocol (figure trio + extensions with a
-    /// representative f).
-    pub const EXTENDED: [ProtocolKind; 5] = [
+    /// representative f and a small sparse resync interval).
+    pub const EXTENDED: [ProtocolKind; 6] = [
         ProtocolKind::Tdi,
         ProtocolKind::Tag,
         ProtocolKind::Tel,
         ProtocolKind::TagF(1),
         ProtocolKind::Pessim,
+        ProtocolKind::TdiSparse(4),
     ];
 }
 
@@ -59,6 +67,7 @@ impl fmt::Display for ProtocolKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ProtocolKind::TagF(bound) => write!(f, "TAG-f{bound}"),
+            ProtocolKind::TdiSparse(k) => write!(f, "TDI-S{k}"),
             other => f.write_str(other.name()),
         }
     }
@@ -230,7 +239,10 @@ mod tests {
         assert_eq!(ProtocolKind::TagF(2).to_string(), "TAG-f2");
         assert_eq!(ProtocolKind::TagF(2).name(), "TAG-f");
         assert_eq!(ProtocolKind::Pessim.to_string(), "PES");
+        assert_eq!(ProtocolKind::TdiSparse(32).to_string(), "TDI-S32");
+        assert_eq!(ProtocolKind::TdiSparse(32).name(), "TDI-S");
+        assert!(!ProtocolKind::TdiSparse(32).uses_event_logger());
         assert_eq!(ProtocolKind::ALL.len(), 3);
-        assert_eq!(ProtocolKind::EXTENDED.len(), 5);
+        assert_eq!(ProtocolKind::EXTENDED.len(), 6);
     }
 }

@@ -8,9 +8,10 @@
 //! depth-first order, without ever snapshotting kernel state.
 
 use crate::decider::{SeededDecider, TraceDecider};
-use crate::runner::{run_schedule, RunOutcome};
+use crate::runner::{run_schedule_with, RunOutcome};
 use crate::trace::Trace;
 use crate::workload::{splitmix64, Workload};
+use lclog_core::ProtocolKind;
 
 /// Exploration limits and seeds.
 #[derive(Debug, Clone, Copy)]
@@ -21,6 +22,10 @@ pub struct ExploreConfig {
     pub samples: usize,
     /// Base seed for sampling (each sample derives its own stream).
     pub seed: u64,
+    /// Tracking protocol under exploration. Outcomes compare by
+    /// canonicalized dense `depend_interval` vectors, so dense TDI and
+    /// sparse TDI-S explorations of the same workload cross-check.
+    pub protocol: ProtocolKind,
 }
 
 impl Default for ExploreConfig {
@@ -29,6 +34,7 @@ impl Default for ExploreConfig {
             max_schedules: 10_000,
             samples: 256,
             seed: 0x5EED,
+            protocol: ProtocolKind::Tdi,
         }
     }
 }
@@ -64,9 +70,9 @@ pub struct ExploreReport {
     pub max_arity: usize,
 }
 
-fn run_with(workload: &Workload, trace: Trace) -> RunOutcome {
+fn run_with(workload: &Workload, trace: Trace, kind: ProtocolKind) -> RunOutcome {
     let mut d = TraceDecider::new(trace);
-    run_schedule(workload, &mut d)
+    run_schedule_with(workload, &mut d, kind)
 }
 
 fn max_arity(run: &RunOutcome) -> usize {
@@ -87,9 +93,14 @@ fn next_prefix(run: &RunOutcome) -> Option<Trace> {
     None
 }
 
-fn make_divergence(workload: &Workload, run: &RunOutcome, baseline: &RunOutcome) -> Divergence {
+fn make_divergence(
+    workload: &Workload,
+    kind: ProtocolKind,
+    run: &RunOutcome,
+    baseline: &RunOutcome,
+) -> Divergence {
     let trace = run.trace();
-    let shrunk = shrink(workload, &trace, baseline);
+    let shrunk = shrink(workload, kind, &trace, baseline);
     Divergence {
         trace,
         shrunk,
@@ -103,7 +114,7 @@ fn make_divergence(workload: &Workload, run: &RunOutcome, baseline: &RunOutcome)
 /// `depend_interval` vectors against the all-defaults baseline. Stops
 /// at the first divergence, which is shrunk before reporting.
 pub fn explore_exhaustive(workload: &Workload, cfg: &ExploreConfig) -> ExploreReport {
-    let baseline = run_with(workload, Trace::new());
+    let baseline = run_with(workload, Trace::new(), cfg.protocol);
     let mut report = ExploreReport {
         schedules: 1,
         exhausted: false,
@@ -112,7 +123,7 @@ pub fn explore_exhaustive(workload: &Workload, cfg: &ExploreConfig) -> ExploreRe
         max_arity: max_arity(&baseline),
     };
     if baseline.deadlock || baseline.desynced {
-        report.divergence = Some(make_divergence(workload, &baseline, &baseline));
+        report.divergence = Some(make_divergence(workload, cfg.protocol, &baseline, &baseline));
         return report;
     }
     let mut last = baseline.clone();
@@ -124,11 +135,11 @@ pub fn explore_exhaustive(workload: &Workload, cfg: &ExploreConfig) -> ExploreRe
         if report.schedules >= cfg.max_schedules {
             return report;
         }
-        let run = run_with(workload, prefix);
+        let run = run_with(workload, prefix, cfg.protocol);
         report.schedules += 1;
         report.max_arity = report.max_arity.max(max_arity(&run));
         if !run.agrees_with(&baseline) {
-            report.divergence = Some(make_divergence(workload, &run, &baseline));
+            report.divergence = Some(make_divergence(workload, cfg.protocol, &run, &baseline));
             return report;
         }
         last = run;
@@ -139,7 +150,7 @@ pub fn explore_exhaustive(workload: &Workload, cfg: &ExploreConfig) -> ExploreRe
 /// each against the all-defaults baseline. For decision trees too
 /// large to enumerate; never sets `exhausted`.
 pub fn explore_sampled(workload: &Workload, cfg: &ExploreConfig) -> ExploreReport {
-    let baseline = run_with(workload, Trace::new());
+    let baseline = run_with(workload, Trace::new(), cfg.protocol);
     let mut report = ExploreReport {
         schedules: 1,
         exhausted: false,
@@ -148,7 +159,7 @@ pub fn explore_sampled(workload: &Workload, cfg: &ExploreConfig) -> ExploreRepor
         max_arity: max_arity(&baseline),
     };
     if baseline.deadlock || baseline.desynced {
-        report.divergence = Some(make_divergence(workload, &baseline, &baseline));
+        report.divergence = Some(make_divergence(workload, cfg.protocol, &baseline, &baseline));
         return report;
     }
     for i in 0..cfg.samples {
@@ -156,11 +167,11 @@ pub fn explore_sampled(workload: &Workload, cfg: &ExploreConfig) -> ExploreRepor
             return report;
         }
         let mut d = SeededDecider::new(splitmix64(cfg.seed ^ (i as u64)));
-        let run = run_schedule(workload, &mut d);
+        let run = run_schedule_with(workload, &mut d, cfg.protocol);
         report.schedules += 1;
         report.max_arity = report.max_arity.max(max_arity(&run));
         if !run.agrees_with(&baseline) {
-            report.divergence = Some(make_divergence(workload, &run, &baseline));
+            report.divergence = Some(make_divergence(workload, cfg.protocol, &run, &baseline));
             return report;
         }
     }
@@ -172,8 +183,13 @@ pub fn explore_sampled(workload: &Workload, cfg: &ExploreConfig) -> ExploreRepor
 /// replay as branch 0), then zero each remaining nonzero decision, then
 /// drop trailing zeros (replay-identical). The result replays to the
 /// same class of failure with, typically, a fraction of the decisions.
-pub fn shrink(workload: &Workload, trace: &Trace, baseline: &RunOutcome) -> Trace {
-    let fails = |t: Trace| !run_with(workload, t).agrees_with(baseline);
+pub fn shrink(
+    workload: &Workload,
+    kind: ProtocolKind,
+    trace: &Trace,
+    baseline: &RunOutcome,
+) -> Trace {
+    let fails = |t: Trace| !run_with(workload, t, kind).agrees_with(baseline);
     let mut cur: Vec<usize> = trace.as_slice().to_vec();
 
     while !cur.is_empty() {

@@ -47,6 +47,6 @@ pub use decider::{Decider, FirstDecider, SeededDecider, TraceDecider};
 pub use explorer::{
     explore_exhaustive, explore_sampled, shrink, Divergence, ExploreConfig, ExploreReport,
 };
-pub use runner::{run_schedule, Choice, RunOutcome};
+pub use runner::{run_schedule, run_schedule_with, Choice, RunOutcome};
 pub use trace::Trace;
 pub use workload::{Fold, Op, Payload, Workload};

@@ -53,8 +53,11 @@ pub struct Choice {
 pub struct RunOutcome {
     /// Final fold state per rank — the application-visible result.
     pub digests: Vec<u64>,
-    /// Final TDI `depend_interval` vector per rank (`None` for
-    /// protocols that do not maintain one).
+    /// Final `depend_interval` vector per rank (`None` for protocols
+    /// that do not maintain one). Always the *canonicalized dense*
+    /// form — sparse tracking (TDI-S) reports its materialized dense
+    /// vector — so outcomes from different codecs of the same protocol
+    /// cross-check directly.
     pub interval_vectors: Vec<Option<Vec<u64>>>,
     /// The choice points this run hit, with the branch taken at each.
     pub choices: Vec<Choice>,
@@ -96,10 +99,25 @@ enum Alt {
 }
 
 /// Execute `workload` under the schedule `decider` dictates and return
-/// the outcome. A run is a pure function of `(workload, decisions)`:
-/// replaying the returned [`RunOutcome::trace`] through a
-/// [`crate::TraceDecider`] reproduces it exactly.
+/// the outcome, using dense TDI tracking. A run is a pure function of
+/// `(workload, decisions)`: replaying the returned
+/// [`RunOutcome::trace`] through a [`crate::TraceDecider`] reproduces
+/// it exactly.
 pub fn run_schedule(workload: &Workload, decider: &mut dyn Decider) -> RunOutcome {
+    run_schedule_with(workload, decider, ProtocolKind::Tdi)
+}
+
+/// [`run_schedule`] with an explicit tracking protocol. Running the
+/// same `(workload, trace)` under [`ProtocolKind::Tdi`] and
+/// [`ProtocolKind::TdiSparse`] must produce outcomes that agree — the
+/// sparse codec is a wire encoding of the same lattice, and
+/// [`RunOutcome::interval_vectors`] is canonicalized dense on both
+/// sides.
+pub fn run_schedule_with(
+    workload: &Workload,
+    decider: &mut dyn Decider,
+    kind: ProtocolKind,
+) -> RunOutcome {
     let n = workload.n;
     let clock = SimClock::new();
     // Slot n is reserved for the TEL event logger by convention; TDI
@@ -109,7 +127,7 @@ pub fn run_schedule(workload: &Workload, decider: &mut dyn Decider) -> RunOutcom
     let store = CheckpointStore::new(Arc::new(MemStore::new()));
     let kernels: Vec<Kernel> = (0..n)
         .map(|r| {
-            let cfg = RunConfig::new(ProtocolKind::Tdi)
+            let cfg = RunConfig::new(kind)
                 .with_checkpoint(CheckpointPolicy::Never)
                 .with_clock(Clock::Sim(clock.clone()));
             Kernel::new(r, n, cfg, net.clone(), store.clone())

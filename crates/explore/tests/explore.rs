@@ -2,9 +2,10 @@
 //! MPI_ANY_SOURCE order-insensitivity regression test and the injected
 //! order-dependence mutation the explorer must catch and shrink.
 
+use lclog_core::ProtocolKind;
 use lclog_explore::{
-    explore_exhaustive, explore_sampled, run_schedule, ExploreConfig, Fold, Op, Payload, Trace,
-    TraceDecider, Workload,
+    explore_exhaustive, explore_sampled, run_schedule, run_schedule_with, ExploreConfig, Fold, Op,
+    Payload, Trace, TraceDecider, Workload,
 };
 
 /// The headline property: exhaustively enumerating every legal
@@ -93,6 +94,44 @@ fn any_source_two_explicit_schedules_same_digest() {
         "depend_interval vectors diverged across schedules"
     );
     assert_eq!(a.delivered, b.delivered);
+}
+
+/// Sparse/dense cross-check at n = 3: the same workload explored
+/// exhaustively under dense TDI and under the TDI-S delta codec must
+/// agree schedule-for-schedule — same digests and the same
+/// canonicalized dense `depend_interval` vectors. A codec bug that
+/// over- or under-approximates the lattice shows up here as either a
+/// digest divergence (wrong delivery order admitted) or an interval
+/// divergence (wrong dependency recorded).
+#[test]
+fn sparse_and_dense_explorations_cross_check_at_n3() {
+    let w = Workload::rotating_gather(3, 2);
+    let cfg = |protocol| ExploreConfig {
+        max_schedules: 50_000,
+        protocol,
+        ..Default::default()
+    };
+    let dense = explore_exhaustive(&w, &cfg(ProtocolKind::Tdi));
+    let sparse = explore_exhaustive(&w, &cfg(ProtocolKind::TdiSparse(4)));
+    assert!(dense.divergence.is_none(), "{:?}", dense.divergence);
+    assert!(sparse.divergence.is_none(), "{:?}", sparse.divergence);
+    assert!(dense.exhausted && sparse.exhausted);
+    assert_eq!(
+        dense.baseline_digests, sparse.baseline_digests,
+        "codec changed application-visible behavior"
+    );
+
+    // And directly, run for run on the default schedule: the dense
+    // interval vectors must be identical across codecs.
+    let mut d1 = TraceDecider::new(Trace::new());
+    let a = run_schedule_with(&w, &mut d1, ProtocolKind::Tdi);
+    let mut d2 = TraceDecider::new(Trace::new());
+    let b = run_schedule_with(&w, &mut d2, ProtocolKind::TdiSparse(4));
+    assert_eq!(a.digests, b.digests);
+    assert_eq!(
+        a.interval_vectors, b.interval_vectors,
+        "canonicalized depend_interval vectors must match across codecs"
+    );
 }
 
 /// A receive that can never be satisfied must be reported as a

@@ -207,7 +207,7 @@ impl FailurePlan {
         self.kills.is_empty()
     }
 
-    fn should_kill(&self, rank: Rank, incarnation: u64, step: u64) -> bool {
+    pub(crate) fn should_kill(&self, rank: Rank, incarnation: u64, step: u64) -> bool {
         self.kills
             .iter()
             .any(|k| k.rank == rank && k.incarnation == incarnation && step >= k.at_step)
@@ -342,6 +342,13 @@ impl ClusterConfig {
     /// Builder-style remote durability override.
     pub fn with_remote(mut self, remote: RemoteConfig) -> Self {
         self.remote = Some(remote);
+        self
+    }
+
+    /// Builder-style watchdog override (long scaling runs need more
+    /// than the 60 s default).
+    pub fn with_max_wall(mut self, max_wall: Duration) -> Self {
+        self.max_wall = max_wall;
         self
     }
 }

@@ -33,6 +33,25 @@ impl CommMode {
     }
 }
 
+/// How rank state machines are mapped onto OS threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineMode {
+    /// One OS thread per rank (plus a communication thread each in
+    /// non-blocking mode) — the faithful Fig. 4 arrangement. Fine to
+    /// n ≈ 64; thread stacks and context switches dominate beyond.
+    Threads,
+    /// Ranks run as cooperative tasks multiplexed onto a small sharded
+    /// worker pool over the held-delivery fabric and a virtual clock —
+    /// how n ∈ {256, 512, 1024} runs in-process. Requires a
+    /// [`crate::TaskApp`] workload (a poll-style state machine instead
+    /// of a blocking run loop).
+    Tasks {
+        /// Worker threads sharing the rank population (ranks are
+        /// sharded `rank % workers`). Clamped to at least 1.
+        workers: usize,
+    },
+}
+
 /// When a rank takes a checkpoint (always between application steps).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CheckpointPolicy {
@@ -90,6 +109,9 @@ pub struct RunConfig {
     /// [`crate::Cluster`] switches this on automatically whenever a
     /// [`crate::RemoteConfig`] is attached.
     pub log_gc_lag: bool,
+    /// Ranks as OS threads (default) or as scheduler tasks on a worker
+    /// pool (large n).
+    pub engine: EngineMode,
 }
 
 impl RunConfig {
@@ -108,6 +130,7 @@ impl RunConfig {
             detector: None,
             clock: Clock::Real,
             log_gc_lag: false,
+            engine: EngineMode::Threads,
         }
     }
 
@@ -140,6 +163,12 @@ impl RunConfig {
     /// Builder-style sender-log GC lag (see [`RunConfig::log_gc_lag`]).
     pub fn with_log_gc_lag(mut self, lag: bool) -> Self {
         self.log_gc_lag = lag;
+        self
+    }
+
+    /// Builder-style engine mode override (ranks as tasks for large n).
+    pub fn with_engine(mut self, engine: EngineMode) -> Self {
+        self.engine = engine;
         self
     }
 }

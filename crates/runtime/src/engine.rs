@@ -344,6 +344,18 @@ impl Engine {
         }
     }
 
+    /// Non-blocking receive: deliver the first queued message matching
+    /// `spec` if its dependency gate opens right now, else `Ok(None)`.
+    /// The poll-style primitive cooperative task engines are built on —
+    /// a task must never park its worker thread in [`Engine::recv`].
+    pub fn try_recv(&self, spec: RecvSpec) -> Result<Option<AppMsg>, Fault> {
+        self.check_live()?;
+        if matches!(self.mode, CommMode::Blocking { .. }) {
+            self.pump()?;
+        }
+        Ok(self.shared.kernel.try_deliver(spec))
+    }
+
     /// Take a checkpoint if the policy says one is due after `step`.
     pub fn maybe_checkpoint(&self, app_state: impl FnOnce() -> Vec<u8>, step: u64) -> bool {
         let kernel = &self.shared.kernel;

@@ -256,7 +256,7 @@ impl Kernel {
         let del = self.delivery.lock();
         let rel = self.reliability.lock();
         KernelSnapshot {
-            stats: trk.stats.clone(),
+            stats: trk.snapshot_stats(),
             log_bytes: rec.log.bytes(),
             log_entries: rec.log.len(),
             acked: rel.acked.clone(),
@@ -500,6 +500,19 @@ impl Kernel {
             WireMsg::LogAck(upto) => self.tracking.lock().protocol.on_logger_ack(upto),
             WireMsg::LogQueryResp(dets) => self.handle_logger_sync(dets),
             WireMsg::Membership(view) => self.handle_membership(view),
+            WireMsg::ResyncReq(who) => {
+                debug_assert_eq!(who as Rank, src, "resync request must name its sender");
+                let snap = self.tracking.lock().protocol.resync_snapshot(src);
+                if let Some(bytes) = snap {
+                    self.send_wire(src, &WireMsg::ResyncSnap(bytes.into()));
+                }
+            }
+            WireMsg::ResyncSnap(bytes) => {
+                // A corrupt snapshot is no worse than a lost one: the
+                // next undecodable frame re-requests, so the error is
+                // dropped rather than faulting the rank.
+                let _ = self.tracking.lock().protocol.install_resync(src, &bytes);
+            }
             WireMsg::LogDets(_) | WireMsg::LogQuery(_) | WireMsg::Suspect(_) => {
                 debug_assert!(false, "service-bound message reached rank {}", self.me);
             }
@@ -970,6 +983,13 @@ impl Kernel {
     /// may have been dead when the first broadcast went out — the
     /// multi-failure case of Fig. 2).
     pub fn tick(&self) {
+        // Sparse-codec resyncs first: frames queued behind an
+        // undecodable one stay parked until the snapshot round-trip
+        // completes, so the request should go out as soon as possible.
+        let resyncs = self.tracking.lock().protocol.take_resync_requests();
+        for src in resyncs {
+            self.send_wire(src, &WireMsg::ResyncReq(self.me as u32));
+        }
         // (rank, believed incarnation, φ·100) per new suspicion.
         let mut suspects: Vec<(Rank, u64, u64)> = Vec::new();
         {

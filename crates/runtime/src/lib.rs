@@ -60,6 +60,7 @@ mod recvq;
 mod reliability;
 pub mod replicator;
 mod service;
+mod tasks;
 mod tracking;
 mod transport;
 
@@ -69,7 +70,7 @@ pub use cluster::{
 };
 pub use clock::Clock;
 pub use events::{Event, EventKind, EventSink};
-pub use config::{CheckpointPolicy, CommMode, RunConfig};
+pub use config::{CheckpointPolicy, CommMode, EngineMode, RunConfig};
 pub use detector::DetectorConfig;
 pub use fault::{Fault, StepStatus};
 pub use kernel::{CheckpointImage, Kernel, KernelSnapshot};
@@ -80,6 +81,7 @@ pub use message::{
     ANY_SOURCE, ANY_TAG,
 };
 pub use process::{RankApp, RankCtx};
+pub use tasks::{run_tasks, BlockingTaskApp, TaskApp, TaskCtx, TaskPoll};
 pub use recvq::{Pending, RecvQueue};
 pub use replicator::{Replicator, ReplicatorConfig, ReplicatorStats};
 pub use transport::{payload_is_data_frame, DataPlaneStats};

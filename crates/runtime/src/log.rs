@@ -140,6 +140,8 @@ impl LogEntry {
                     WireMsg::LogQueryResp(_) => 8,
                     WireMsg::Suspect(_) => 9,
                     WireMsg::Membership(_) => 10,
+                    WireMsg::ResyncReq(_) => 11,
+                    WireMsg::ResyncSnap(_) => 12,
                     WireMsg::App(_) => unreachable!("matched above"),
                 },
             }),

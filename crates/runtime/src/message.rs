@@ -199,6 +199,12 @@ pub enum WireMsg {
     Suspect(SuspectWire),
     /// Membership arbiter → everyone: a certified epoch-stamped view.
     Membership(MembershipView),
+    /// TDI-S: receiver could not decode a piggyback frame from the
+    /// carrier rank and asks it for a resync snapshot.
+    ResyncReq(u32),
+    /// TDI-S: sender's answer to a `ResyncReq` — an epoch/seq-stamped
+    /// full-vector snapshot re-anchoring the channel's delta chain.
+    ResyncSnap(Bytes),
 }
 
 impl_wire_enum!(WireMsg {
@@ -213,6 +219,8 @@ impl_wire_enum!(WireMsg {
     8 => LogQueryResp(d),
     9 => Suspect(s),
     10 => Membership(v),
+    11 => ResyncReq(rank),
+    12 => ResyncSnap(b),
 });
 
 #[cfg(test)]
@@ -277,6 +285,8 @@ mod tests {
                 epoch: 4,
                 floor: vec![1, 2, 1],
             }),
+            WireMsg::ResyncReq(5),
+            WireMsg::ResyncSnap(Bytes::from(vec![7, 8, 9])),
         ];
         for m in msgs {
             let bytes = encode_to_vec(&m);

@@ -50,6 +50,10 @@ impl<'a> RankCtx<'a> {
         RankCtx { engine, step }
     }
 
+    pub(crate) fn engine(&self) -> &'a Engine {
+        self.engine
+    }
+
     /// This process's rank.
     pub fn rank(&self) -> Rank {
         self.engine.me()

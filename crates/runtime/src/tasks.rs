@@ -1,0 +1,726 @@
+//! Ranks as scheduler tasks: many rank state machines multiplexed
+//! onto a small sharded worker pool.
+//!
+//! The thread engine ([`crate::Cluster`]) is the faithful Fig. 4
+//! arrangement — one OS thread per rank — and tops out around n ≈ 64:
+//! beyond that, thread stacks and context switches dominate and an
+//! n = 1024 run is not even schedulable. This module runs the *same
+//! kernels* (same transport, sender log, checkpointing, rollback
+//! recovery) cooperatively instead: each rank is a [`TaskApp`] state
+//! machine polled by one of W worker threads, the fabric runs in held
+//! mode so delivery happens in deterministic sweeps, and kernel time
+//! is a scheduler-advanced virtual clock.
+//!
+//! Sharding is by rank (`rank % workers`), so a kernel is only ever
+//! touched by its owning worker and no cross-worker locking exists
+//! beyond the fabric itself. One sweep per worker:
+//!
+//! 1. drain the fabric inbox of every owned rank into its kernel;
+//! 2. crash/respawn owned ranks the failure plan says to kill (held
+//!    frames toward the dead slot are flushed while it is dead, so
+//!    in-flight messages are lost exactly as in the thread engine);
+//! 3. poll each live rank's state machine up to a bounded budget
+//!    (checkpointing between steps, exactly like the thread loop);
+//! 4. tick the kernel (retransmission timers, resync-request drain,
+//!    rollback rebroadcast).
+//!
+//! Worker 0 additionally releases all held fabric channels, advances
+//! the virtual clock, and arms the watchdog. Completion leaves a rank
+//! serving its peers (drain + tick) until every rank is done — the
+//! cooperative version of `serve_until_shutdown`.
+//!
+//! Unsupported in tasks mode (use the thread engine): event-logger
+//! protocols (TEL/PES — the stable service is a thread), detected
+//! failures, remote log shipping, node-loss (`wipe`) kills, and fabric
+//! chaos (the fabric is forced to held delivery).
+
+use crate::cluster::{ClusterConfig, RunReport, StorageKind};
+use crate::clock::Clock;
+use crate::config::EngineMode;
+use crate::engine::Engine;
+use crate::events::{EventKind, EventSink};
+use crate::fault::{Fault, StepStatus};
+use crate::kernel::Kernel;
+use crate::message::{AppMsg, RecvSpec};
+use crate::process::{RankApp, RankCtx};
+use crate::transport::DataPlaneStats;
+use bytes::Bytes;
+use lclog_core::{Rank, TrackingStats};
+use lclog_simnet::{Endpoint, NetConfig, SimClock, SimNet};
+use lclog_stable::{CheckpointStore, DiskStore, MemStore, StableStorage};
+use lclog_wire::{Decode, Encode};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// What one poll of a task state machine produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskPoll {
+    /// One application step completed — a checkpoint boundary, exactly
+    /// like [`StepStatus::Continue`] in the thread engine.
+    Step,
+    /// Waiting on a message that has not arrived; poll again after the
+    /// next delivery sweep. The task must NOT block its worker.
+    Pending,
+    /// The computation finished; the state's digest is final.
+    Done,
+}
+
+/// A parallel application written as a poll-style state machine, the
+/// cooperative counterpart of [`RankApp`].
+///
+/// The execution-model contract is the thread engine's: `poll` must be
+/// a deterministic function of `(state, received messages)`, and a
+/// recovered incarnation re-polls from its last checkpointed state
+/// (re-sends are suppressed as repetitive by the kernel). The one new
+/// rule: `poll` must never block — return [`TaskPoll::Pending`] and
+/// park the partial progress in `state` instead.
+pub trait TaskApp: Send + Sync + 'static {
+    /// Serializable per-rank state, checkpointed between steps.
+    type State: Encode + Decode + Send;
+
+    /// Deterministic initial state of `rank` in an `n`-rank run.
+    fn init(&self, rank: Rank, n: usize) -> Self::State;
+
+    /// Advance the state machine as far as it can go without blocking.
+    fn poll(&self, ctx: &mut TaskCtx<'_>, state: &mut Self::State) -> Result<TaskPoll, Fault>;
+
+    /// A verification digest of the final state: identical across
+    /// fault-free and recovered runs, and across engine modes.
+    fn digest(&self, state: &Self::State) -> u64;
+}
+
+/// The runtime a task polls against: a bare kernel under the task
+/// scheduler, or a full engine when a [`TaskApp`] runs inside the
+/// thread engine via [`BlockingTaskApp`].
+enum TaskIo<'a> {
+    Kernel(&'a Kernel),
+    Engine(&'a Engine),
+}
+
+/// The runtime handle passed to [`TaskApp::poll`] — the non-blocking
+/// subset of [`RankCtx`].
+pub struct TaskCtx<'a> {
+    io: TaskIo<'a>,
+    step: u64,
+}
+
+impl<'a> TaskCtx<'a> {
+    fn for_kernel(kernel: &'a Kernel, step: u64) -> Self {
+        TaskCtx {
+            io: TaskIo::Kernel(kernel),
+            step,
+        }
+    }
+
+    pub(crate) fn for_engine(engine: &'a Engine, step: u64) -> Self {
+        TaskCtx {
+            io: TaskIo::Engine(engine),
+            step,
+        }
+    }
+
+    /// This process's rank.
+    pub fn rank(&self) -> Rank {
+        match &self.io {
+            TaskIo::Kernel(k) => k.me(),
+            TaskIo::Engine(e) => e.me(),
+        }
+    }
+
+    /// Number of application ranks.
+    pub fn n(&self) -> usize {
+        match &self.io {
+            TaskIo::Kernel(k) => k.n(),
+            TaskIo::Engine(e) => e.n(),
+        }
+    }
+
+    /// The current application step index.
+    pub fn step(&self) -> u64 {
+        self.step
+    }
+
+    /// Send `data` to `dst` under `tag` (never blocks — under the task
+    /// scheduler sends are buffered into the held fabric).
+    pub fn send(&mut self, dst: Rank, tag: u32, data: &[u8]) -> Result<(), Fault> {
+        self.send_bytes(dst, tag, Bytes::copy_from_slice(data))
+    }
+
+    /// Zero-copy variant of [`TaskCtx::send`].
+    pub fn send_bytes(&mut self, dst: Rank, tag: u32, data: Bytes) -> Result<(), Fault> {
+        match &self.io {
+            TaskIo::Kernel(k) => {
+                k.app_send(dst, tag, data, false);
+                Ok(())
+            }
+            TaskIo::Engine(e) => e.send(dst, tag, data),
+        }
+    }
+
+    /// Send an [`Encode`]-able value.
+    pub fn send_value<T: Encode>(&mut self, dst: Rank, tag: u32, value: &T) -> Result<(), Fault> {
+        self.send_bytes(dst, tag, Bytes::from(lclog_wire::encode_to_vec(value)))
+    }
+
+    /// Deliver the first queued message matching `spec` if its
+    /// dependency gate opens right now; `Ok(None)` means return
+    /// [`TaskPoll::Pending`] and try again after the next sweep.
+    pub fn try_recv(&mut self, spec: RecvSpec) -> Result<Option<AppMsg>, Fault> {
+        match &self.io {
+            TaskIo::Kernel(k) => Ok(k.try_deliver(spec)),
+            TaskIo::Engine(e) => e.try_recv(spec),
+        }
+    }
+
+    /// Receive and decode a value, asserting it decodes cleanly.
+    pub fn try_recv_value<T: Decode>(
+        &mut self,
+        spec: RecvSpec,
+    ) -> Result<Option<(Rank, T)>, Fault> {
+        Ok(self.try_recv(spec)?.map(|msg| {
+            let value =
+                lclog_wire::decode_from_slice(&msg.data).expect("message payload decodes as T");
+            (msg.src, value)
+        }))
+    }
+}
+
+/// Adapter running a [`TaskApp`] under the thread engine: `step` polls
+/// the state machine to its next step boundary, sleeping briefly on
+/// [`TaskPoll::Pending`]. This is how one workload runs under both
+/// engine modes, which is what makes cross-mode digest checks (and the
+/// SC1 scaling table's small-n thread baselines) possible.
+pub struct BlockingTaskApp<A>(pub A);
+
+impl<A: TaskApp> RankApp for BlockingTaskApp<A> {
+    type State = A::State;
+
+    fn init(&self, rank: Rank, n: usize) -> Self::State {
+        self.0.init(rank, n)
+    }
+
+    fn step(&self, ctx: &mut RankCtx<'_>, state: &mut Self::State) -> Result<StepStatus, Fault> {
+        loop {
+            let mut tctx = TaskCtx::for_engine(ctx.engine(), ctx.step());
+            match self.0.poll(&mut tctx, state)? {
+                TaskPoll::Step => return Ok(StepStatus::Continue),
+                TaskPoll::Done => return Ok(StepStatus::Done),
+                TaskPoll::Pending => std::thread::sleep(Duration::from_micros(50)),
+            }
+        }
+    }
+
+    fn digest(&self, state: &Self::State) -> u64 {
+        self.0.digest(state)
+    }
+}
+
+/// One rank's slot in a worker's shard.
+struct Slot<A: TaskApp> {
+    rank: Rank,
+    incarnation: u64,
+    endpoint: Endpoint,
+    kernel: Kernel,
+    state: A::State,
+    step: u64,
+    done: bool,
+    digest: u64,
+    /// Merged across this rank's incarnations (live kernel excluded
+    /// until its crash or completion).
+    stats: TrackingStats,
+    data_plane: DataPlaneStats,
+}
+
+/// Steps a slot may take per sweep before yielding to its shard-mates.
+const POLL_BUDGET: usize = 32;
+/// Virtual time per sweep — enough that retransmission and rebroadcast
+/// timers make progress over tens of sweeps without ever dominating.
+const SWEEP_ADVANCE: Duration = Duration::from_micros(50);
+
+/// Run `app` on `cfg.n` ranks as cooperative tasks on a sharded worker
+/// pool (see the module docs for the sweep loop and the list of
+/// configurations that require the thread engine instead).
+pub fn run_tasks<A: TaskApp>(cfg: &ClusterConfig, app: A) -> Result<RunReport, String> {
+    let n = cfg.n;
+    assert!(n > 0, "cluster needs at least one rank");
+    if cfg.run.protocol.uses_event_logger() {
+        return Err(format!(
+            "protocol {} needs the event-logger service thread; use the thread engine",
+            cfg.run.protocol
+        ));
+    }
+    if cfg.run.detector.is_some() {
+        return Err("detected failures are not supported in tasks mode".into());
+    }
+    if cfg.remote.is_some() {
+        return Err("remote log shipping is not supported in tasks mode".into());
+    }
+
+    let workers = match cfg.run.engine {
+        EngineMode::Tasks { workers } => workers.max(1),
+        EngineMode::Threads => 4,
+    }
+    .min(n);
+    let clock = SimClock::new();
+    let mut run_cfg = cfg.run.clone();
+    run_cfg.clock = Clock::Sim(clock.clone());
+    // Held delivery is what makes sweeps deterministic and lets one
+    // thread serve many ranks; chaos injection (which rides the
+    // courier model) is not available here.
+    let net = SimNet::new(n + 1, NetConfig::held());
+    let storage: Arc<dyn StableStorage> = match &cfg.storage {
+        StorageKind::Memory => Arc::new(MemStore::new()),
+        StorageKind::Disk(dir) => {
+            Arc::new(DiskStore::open(dir).map_err(|e| format!("open disk store: {e}"))?)
+        }
+    };
+    let ckpts = CheckpointStore::new(storage);
+    let sink = if cfg.trace {
+        EventSink::recording()
+    } else {
+        EventSink::disabled()
+    };
+    // Attach every endpoint before any worker starts, then shard
+    // round-robin.
+    let endpoints: Vec<Endpoint> = (0..n).map(|rank| net.attach(rank)).collect();
+    let mut shards: Vec<Vec<Slot<A>>> = (0..workers).map(|_| Vec::new()).collect();
+    for (rank, endpoint) in endpoints.into_iter().enumerate() {
+        let mut kernel = Kernel::new(rank, n, run_cfg.clone(), net.clone(), ckpts.clone());
+        kernel.set_incarnation(1);
+        kernel.set_event_sink(sink.clone());
+        sink.emit(rank, EventKind::Spawned { incarnation: 1 });
+        shards[rank % workers].push(Slot {
+            rank,
+            incarnation: 1,
+            endpoint,
+            kernel,
+            state: app.init(rank, n),
+            step: 0,
+            done: false,
+            digest: 0,
+            stats: TrackingStats::default(),
+            data_plane: DataPlaneStats::default(),
+        });
+    }
+
+    let done_count = AtomicUsize::new(0);
+    let kills = AtomicU32::new(0);
+    let finished = AtomicBool::new(false);
+    let failure: Mutex<Option<String>> = Mutex::new(None);
+    let start = Instant::now();
+    let app = &app;
+    let run_cfg = &run_cfg;
+    let max_wall = cfg.max_wall;
+
+    let shard_results: Vec<Vec<Slot<A>>> = std::thread::scope(|s| {
+        let handles: Vec<_> = shards
+            .into_iter()
+            .enumerate()
+            .map(|(w, mut slots)| {
+                let net = net.clone();
+                let ckpts = ckpts.clone();
+                let sink = sink.clone();
+                let clock = clock.clone();
+                let (done_count, kills, finished, failure) =
+                    (&done_count, &kills, &finished, &failure);
+                s.spawn(move || {
+                    worker_sweeps(WorkerCtx {
+                        worker: w,
+                        slots: &mut slots,
+                        app,
+                        cfg,
+                        run_cfg,
+                        net: &net,
+                        ckpts: &ckpts,
+                        sink: &sink,
+                        clock: &clock,
+                        done_count,
+                        kills,
+                        finished,
+                        failure,
+                        start,
+                        max_wall,
+                    });
+                    slots
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("task worker panicked"))
+            .collect()
+    });
+    if let Some(msg) = failure.into_inner() {
+        return Err(msg);
+    }
+
+    let mut digests = vec![0u64; n];
+    let mut per_rank_stats = vec![TrackingStats::default(); n];
+    let mut per_rank_data_plane = vec![DataPlaneStats::default(); n];
+    for slot in shard_results.into_iter().flatten() {
+        debug_assert!(slot.done, "run completed with an unfinished rank");
+        digests[slot.rank] = slot.digest;
+        per_rank_stats[slot.rank] = slot.stats;
+        per_rank_data_plane[slot.rank] = slot.data_plane;
+    }
+    let mut stats = TrackingStats::default();
+    for s in &per_rank_stats {
+        stats.merge(s);
+    }
+    let mut data_plane = DataPlaneStats::default();
+    for d in &per_rank_data_plane {
+        data_plane.merge(d);
+    }
+    Ok(RunReport {
+        digests,
+        per_rank_stats,
+        stats,
+        wall: start.elapsed(),
+        kills: kills.load(Ordering::Relaxed),
+        net_msgs: net.stats().msgs_sent(),
+        net_bytes: net.stats().bytes_sent(),
+        retransmits: net.stats().retransmits(),
+        chaos_dropped: net.stats().chaos_dropped(),
+        chaos_duplicated: net.stats().chaos_duplicated(),
+        chaos_corrupted: net.stats().chaos_corrupted(),
+        per_rank_data_plane,
+        data_plane,
+        timeline: sink.take(),
+        detector: None,
+        replicator: None,
+    })
+}
+
+/// Everything one worker's sweep loop needs (bundled to keep the
+/// function signature legible).
+struct WorkerCtx<'a, A: TaskApp> {
+    worker: usize,
+    slots: &'a mut Vec<Slot<A>>,
+    app: &'a A,
+    cfg: &'a ClusterConfig,
+    run_cfg: &'a crate::config::RunConfig,
+    net: &'a SimNet,
+    ckpts: &'a CheckpointStore,
+    sink: &'a EventSink,
+    clock: &'a SimClock,
+    done_count: &'a AtomicUsize,
+    kills: &'a AtomicU32,
+    finished: &'a AtomicBool,
+    failure: &'a Mutex<Option<String>>,
+    start: Instant,
+    max_wall: Duration,
+}
+
+fn worker_sweeps<A: TaskApp>(w: WorkerCtx<'_, A>) {
+    let n = w.cfg.n;
+    loop {
+        let mut progressed = false;
+        for slot in w.slots.iter_mut() {
+            // 1. Drain the fabric inbox.
+            while let Ok(env) = slot.endpoint.try_recv() {
+                slot.kernel.ingest(env);
+                progressed = true;
+            }
+            if !slot.done {
+                if w.cfg.failures.should_kill(slot.rank, slot.incarnation, slot.step) {
+                    w.kills.fetch_add(1, Ordering::Relaxed);
+                    crash_and_respawn(slot, w.app, w.net, w.ckpts, w.run_cfg, w.sink, n);
+                    progressed = true;
+                } else if slot.kernel.is_fenced() || slot.kernel.is_desynced() {
+                    // No detector runs in tasks mode, but the desync
+                    // path (tracking merge rejected a gate-approved
+                    // message) is still reachable; rebuild through the
+                    // rollback path like the thread engine does.
+                    w.kills.fetch_add(1, Ordering::Relaxed);
+                    crash_and_respawn(slot, w.app, w.net, w.ckpts, w.run_cfg, w.sink, n);
+                    progressed = true;
+                } else {
+                    // 3. Poll up to the budget.
+                    for _ in 0..POLL_BUDGET {
+                        let mut ctx = TaskCtx::for_kernel(&slot.kernel, slot.step);
+                        match w.app.poll(&mut ctx, &mut slot.state) {
+                            Ok(TaskPoll::Pending) => break,
+                            Ok(TaskPoll::Step) => {
+                                slot.step += 1;
+                                if slot.kernel.checkpoint_due(slot.step) {
+                                    slot.kernel.do_checkpoint(
+                                        lclog_wire::encode_to_vec(&slot.state),
+                                        slot.step,
+                                    );
+                                }
+                                progressed = true;
+                                // Kills fire on step boundaries; leave
+                                // the budget so the next sweep's kill
+                                // check sees the new step promptly.
+                                if w.cfg.failures.should_kill(
+                                    slot.rank,
+                                    slot.incarnation,
+                                    slot.step,
+                                ) {
+                                    break;
+                                }
+                            }
+                            Ok(TaskPoll::Done) => {
+                                w.sink.emit(slot.rank, EventKind::Done { step: slot.step });
+                                // A final checkpoint lets every peer
+                                // release the last log entries
+                                // referring to us.
+                                slot.kernel.do_checkpoint(
+                                    lclog_wire::encode_to_vec(&slot.state),
+                                    slot.step,
+                                );
+                                slot.digest = w.app.digest(&slot.state);
+                                let snap = slot.kernel.snapshot();
+                                slot.stats.merge(&snap.stats);
+                                slot.data_plane.merge(&snap.data_plane);
+                                slot.done = true;
+                                w.done_count.fetch_add(1, Ordering::Relaxed);
+                                progressed = true;
+                                break;
+                            }
+                            Err(Fault::Shutdown) => break,
+                            Err(_) => {
+                                w.kills.fetch_add(1, Ordering::Relaxed);
+                                crash_and_respawn(
+                                    slot, w.app, w.net, w.ckpts, w.run_cfg, w.sink, n,
+                                );
+                                progressed = true;
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+            // 4. Timers, resync-request drain, rollback rebroadcast.
+            // Done ranks keep ticking: the cooperative
+            // `serve_until_shutdown`.
+            slot.kernel.tick();
+        }
+        if w.worker == 0 {
+            // 2'. Release everything in flight, advance virtual time,
+            // arm the watchdog.
+            if w.net.held_deliver_all() > 0 {
+                progressed = true;
+            }
+            w.clock.advance(SWEEP_ADVANCE);
+            if w.done_count.load(Ordering::Relaxed) == n {
+                w.finished.store(true, Ordering::Release);
+            } else if w.start.elapsed() > w.max_wall {
+                *w.failure.lock() = Some(format!(
+                    "tasks watchdog fired after {:?} (protocol {}, {} ranks, {} workers)",
+                    w.max_wall,
+                    w.cfg.run.protocol,
+                    n,
+                    w.slots.len().max(1)
+                ));
+                w.finished.store(true, Ordering::Release);
+            }
+        }
+        if w.finished.load(Ordering::Acquire) {
+            return;
+        }
+        if !progressed {
+            std::thread::yield_now();
+        }
+    }
+}
+
+/// Crash `slot`'s incarnation and bring up its successor through the
+/// normal rollback path — the tasks-mode equivalent of the thread
+/// engine's `crash` + respawn cycle.
+fn crash_and_respawn<A: TaskApp>(
+    slot: &mut Slot<A>,
+    app: &A,
+    net: &SimNet,
+    ckpts: &CheckpointStore,
+    run_cfg: &crate::config::RunConfig,
+    sink: &EventSink,
+    n: usize,
+) {
+    sink.emit(slot.rank, EventKind::Crashed { step: slot.step });
+    net.kill(slot.rank);
+    // Flush held frames toward the dead slot — they are dropped at
+    // delivery, reproducing the thread engine's loss of in-flight
+    // messages at a crash (survivors resend from their logs).
+    for src in 0..n + 1 {
+        while net.held_deliver(src, slot.rank) {}
+    }
+    let snap = slot.kernel.snapshot();
+    slot.stats.merge(&snap.stats);
+    slot.data_plane.merge(&snap.data_plane);
+    slot.incarnation += 1;
+    slot.endpoint = net.respawn(slot.rank);
+    let mut kernel = Kernel::new(slot.rank, n, run_cfg.clone(), net.clone(), ckpts.clone());
+    kernel.set_incarnation(slot.incarnation);
+    kernel.set_event_sink(sink.clone());
+    sink.emit(
+        slot.rank,
+        EventKind::Spawned {
+            incarnation: slot.incarnation,
+        },
+    );
+    let (step, state) = match kernel.load_checkpoint() {
+        Some(image) => {
+            let (step, app_bytes) = kernel.restore(image);
+            let state = lclog_wire::decode_from_slice(&app_bytes)
+                .expect("checkpointed app state decodes");
+            (step, state)
+        }
+        None => (0u64, app.init(slot.rank, n)),
+    };
+    kernel.begin_recovery();
+    slot.kernel = kernel;
+    slot.state = state;
+    slot.step = step;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::{Cluster, FailurePlan};
+    use crate::config::{CheckpointPolicy, RunConfig};
+    use lclog_core::ProtocolKind;
+    use lclog_wire::impl_wire_struct;
+
+    const TAG: u32 = 7;
+
+    fn mix(mut z: u64) -> u64 {
+        z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    #[derive(Debug, Clone, PartialEq)]
+    struct RingState {
+        round: u64,
+        sent: bool,
+        acc: u64,
+    }
+
+    impl_wire_struct!(RingState { round, sent, acc });
+
+    /// Neighbor-exchange ring: each round every rank sends one value
+    /// right and folds one value from the left — all n messages of a
+    /// round are in flight concurrently, so a round costs O(1) sweeps
+    /// regardless of n.
+    struct ExchangeRing {
+        rounds: u64,
+    }
+
+    impl TaskApp for ExchangeRing {
+        type State = RingState;
+
+        fn init(&self, rank: Rank, _n: usize) -> RingState {
+            RingState {
+                round: 0,
+                sent: false,
+                acc: mix(rank as u64),
+            }
+        }
+
+        fn poll(&self, ctx: &mut TaskCtx<'_>, st: &mut RingState) -> Result<TaskPoll, Fault> {
+            if st.round >= self.rounds {
+                return Ok(TaskPoll::Done);
+            }
+            let me = ctx.rank();
+            let n = ctx.n();
+            if !st.sent {
+                let payload = mix(st.acc ^ st.round);
+                ctx.send_value((me + 1) % n, TAG, &payload)?;
+                st.sent = true;
+            }
+            let left = (me + n - 1) % n;
+            match ctx.try_recv_value::<u64>(RecvSpec::from(left, TAG))? {
+                Some((_, v)) => {
+                    st.acc = mix(st.acc.wrapping_add(v));
+                    st.sent = false;
+                    st.round += 1;
+                    Ok(TaskPoll::Step)
+                }
+                None => Ok(TaskPoll::Pending),
+            }
+        }
+
+        fn digest(&self, st: &RingState) -> u64 {
+            mix(st.acc ^ st.round)
+        }
+    }
+
+    fn tasks_cfg(n: usize, kind: ProtocolKind) -> ClusterConfig {
+        ClusterConfig::new(
+            n,
+            RunConfig::new(kind)
+                .with_checkpoint(CheckpointPolicy::EverySteps(2))
+                .with_engine(EngineMode::Tasks { workers: 2 }),
+        )
+        .with_max_wall(Duration::from_secs(30))
+    }
+
+    #[test]
+    fn tasks_and_threads_agree_on_digests() {
+        let app = || ExchangeRing { rounds: 6 };
+        let tasks = run_tasks(&tasks_cfg(4, ProtocolKind::Tdi), app()).unwrap();
+        let threads = Cluster::run(
+            &ClusterConfig::new(
+                4,
+                RunConfig::new(ProtocolKind::Tdi)
+                    .with_checkpoint(CheckpointPolicy::EverySteps(2)),
+            ),
+            BlockingTaskApp(app()),
+        )
+        .unwrap();
+        assert_eq!(tasks.digests, threads.digests);
+        assert_eq!(tasks.stats.delivers, threads.stats.delivers);
+    }
+
+    #[test]
+    fn tasks_mode_recovers_to_clean_digests() {
+        for kind in [ProtocolKind::Tdi, ProtocolKind::TdiSparse(8)] {
+            let clean = run_tasks(&tasks_cfg(4, kind), ExchangeRing { rounds: 8 }).unwrap();
+            let faulty = run_tasks(
+                &tasks_cfg(4, kind).with_failures(FailurePlan::kill_at(1, 3)),
+                ExchangeRing { rounds: 8 },
+            )
+            .unwrap();
+            assert!(faulty.kills >= 1, "{kind}: the planned kill must fire");
+            assert_eq!(
+                faulty.digests, clean.digests,
+                "{kind}: recovery must reproduce the fault-free digests"
+            );
+        }
+    }
+
+    #[test]
+    fn tasks_mode_rejects_service_protocols() {
+        assert!(run_tasks(&tasks_cfg(3, ProtocolKind::Tel), ExchangeRing { rounds: 2 }).is_err());
+        assert!(
+            run_tasks(&tasks_cfg(3, ProtocolKind::Pessim), ExchangeRing { rounds: 2 }).is_err()
+        );
+    }
+
+    #[test]
+    fn sparse_tasks_run_reports_frame_stats() {
+        // n must be large enough that a dense vector dwarfs a delta
+        // frame's fixed overhead (at n = 4 dense wins; sparse exists
+        // for large n).
+        let n = 32;
+        let sparse = run_tasks(
+            &tasks_cfg(n, ProtocolKind::TdiSparse(8)),
+            ExchangeRing { rounds: 4 },
+        )
+        .unwrap();
+        assert!(sparse.stats.full_frames > 0, "first frames are FULL");
+        assert!(sparse.stats.delta_frames > 0, "steady state is deltas");
+        let dense =
+            run_tasks(&tasks_cfg(n, ProtocolKind::Tdi), ExchangeRing { rounds: 4 }).unwrap();
+        assert!(
+            sparse.stats.piggyback_bytes < dense.stats.piggyback_bytes,
+            "sparse {} >= dense {}",
+            sparse.stats.piggyback_bytes,
+            dense.stats.piggyback_bytes
+        );
+    }
+}

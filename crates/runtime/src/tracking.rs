@@ -66,4 +66,18 @@ impl Tracking {
         self.stats.delivers += 1;
         Ok(())
     }
+
+    /// The stats snapshot reported outward: the runtime-side counters
+    /// with the protocol's frame-level codec counters overlaid (both
+    /// are cumulative over this incarnation, so assignment — not
+    /// addition — is the correct overlay).
+    pub fn snapshot_stats(&self) -> TrackingStats {
+        let mut stats = self.stats.clone();
+        if let Some(fs) = self.protocol.frame_stats() {
+            stats.delta_frames = fs.delta_frames;
+            stats.full_frames = fs.full_frames;
+            stats.resync_requests = fs.resync_requests;
+        }
+        stats
+    }
 }
