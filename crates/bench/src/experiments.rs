@@ -900,6 +900,318 @@ pub fn scaling_table(quick: bool) -> Table {
     t
 }
 
+/// Deliveries between receiver checkpoints in the HP1 harness
+/// (sender-log GC cadence, mirrors the `kernel_hot_path` bench).
+const HP_CKPT_EVERY: u64 = 1024;
+
+/// A two-rank kernel pair on a direct fabric — the HP1 measurement
+/// rig, mirroring the `kernel_hot_path` criterion bench.
+struct HotPair {
+    _net: lclog_simnet::SimNet,
+    k0: std::sync::Arc<lclog_runtime::Kernel>,
+    k1: std::sync::Arc<lclog_runtime::Kernel>,
+    ep0: lclog_simnet::Endpoint,
+    ep1: lclog_simnet::Endpoint,
+    delivered: u64,
+    ckpts: u64,
+}
+
+fn hot_pair() -> HotPair {
+    use lclog_stable::{CheckpointStore, MemStore};
+    use std::sync::Arc;
+    let net = lclog_simnet::SimNet::new(3, NetConfig::direct());
+    let store = CheckpointStore::new(Arc::new(MemStore::new()));
+    let ep0 = net.attach(0);
+    let ep1 = net.attach(1);
+    let k0 = Arc::new(lclog_runtime::Kernel::new(
+        0,
+        2,
+        RunConfig::new(ProtocolKind::Tdi),
+        net.clone(),
+        store.clone(),
+    ));
+    let k1 = Arc::new(lclog_runtime::Kernel::new(
+        1,
+        2,
+        RunConfig::new(ProtocolKind::Tdi),
+        net.clone(),
+        store,
+    ));
+    HotPair {
+        _net: net,
+        k0,
+        k1,
+        ep0,
+        ep1,
+        delivered: 0,
+        ckpts: 0,
+    }
+}
+
+impl HotPair {
+    /// One comm-thread round for both ranks: batch-ingest the fabric
+    /// inboxes, deliver on rank 1, checkpoint every `HP_CKPT_EVERY`
+    /// deliveries so rank 0's sender log stays bounded.
+    fn service(&mut self) {
+        use lclog_runtime::RecvSpec;
+        let mut batch = Vec::new();
+        while let Ok(env) = self.ep1.try_recv() {
+            batch.push(env);
+        }
+        if !batch.is_empty() {
+            self.k1.ingest_batch(batch);
+        }
+        while self.k1.try_deliver(RecvSpec::any()).is_some() {
+            self.delivered += 1;
+            if self.delivered.is_multiple_of(HP_CKPT_EVERY) {
+                self.ckpts += 1;
+                self.k1.do_checkpoint(Vec::new(), self.ckpts);
+            }
+        }
+        let mut acks = Vec::new();
+        while let Ok(env) = self.ep0.try_recv() {
+            acks.push(env);
+        }
+        if !acks.is_empty() {
+            self.k0.ingest_batch(acks);
+        }
+    }
+}
+
+/// Mean `app_send` latency in nanoseconds. Uncontended: receiver
+/// servicing runs untimed between 64-send chunks. Contended: a comm
+/// thread concurrently ingests acks, delivers, checkpoints, and runs
+/// both kernels' ticks against the same pair.
+fn send_latency_ns(contended: bool, iters: u64) -> f64 {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use std::time::Instant;
+    let data = bytes::Bytes::from(vec![7u8; 256]);
+    let mut p = hot_pair();
+    let k0 = Arc::clone(&p.k0);
+    if !contended {
+        let mut timed = Duration::ZERO;
+        let mut i = 0;
+        while i < iters {
+            p.service();
+            let chunk = 64.min(iters - i);
+            let t0 = Instant::now();
+            for _ in 0..chunk {
+                k0.app_send(1, 0, data.clone(), false);
+            }
+            timed += t0.elapsed();
+            i += chunk;
+        }
+        timed.as_nanos() as f64 / iters as f64
+    } else {
+        let stop = Arc::new(AtomicBool::new(false));
+        let comm = {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    p.service();
+                    p.k0.tick();
+                    p.k1.tick();
+                    std::hint::spin_loop();
+                }
+            })
+        };
+        for _ in 0..1_000 {
+            k0.app_send(1, 0, data.clone(), false);
+        }
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            k0.app_send(1, 0, data.clone(), false);
+        }
+        let ns = t0.elapsed().as_nanos() as f64 / iters as f64;
+        stop.store(true, Ordering::Relaxed);
+        comm.join().unwrap();
+        ns
+    }
+}
+
+/// Send-side saturation: `producers` threads hammer `app_send` on
+/// the same kernel while one service thread concurrently drains,
+/// delivers, and checkpoints. Returns kframes/s over the producers'
+/// wall time — the capacity of the lock-free send path under
+/// contention, not receiver throughput. The receiver is drained
+/// (untimed) before teardown so every frame is accounted for.
+fn saturation_kfps(producers: usize, per_producer: u64) -> f64 {
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::sync::Arc;
+    use std::time::Instant;
+    let mut p = hot_pair();
+    let total = producers as u64 * per_producer;
+    let k0 = Arc::clone(&p.k0);
+    let done = Arc::new(AtomicBool::new(false));
+    let delivered = Arc::new(AtomicU64::new(0));
+    let service = {
+        let done = Arc::clone(&done);
+        let delivered = Arc::clone(&delivered);
+        std::thread::spawn(move || {
+            while !done.load(Ordering::Acquire) {
+                p.service();
+                delivered.store(p.delivered, Ordering::Release);
+                std::hint::spin_loop();
+            }
+        })
+    };
+    let data = bytes::Bytes::from(vec![7u8; 256]);
+    let start = Instant::now();
+    let senders: Vec<_> = (0..producers)
+        .map(|_| {
+            let k0 = Arc::clone(&k0);
+            let data = data.clone();
+            std::thread::spawn(move || {
+                for _ in 0..per_producer {
+                    k0.app_send(1, 0, data.clone(), false);
+                }
+            })
+        })
+        .collect();
+    for s in senders {
+        s.join().unwrap();
+    }
+    let wall = start.elapsed();
+    // Untimed: let the service thread finish delivering the backlog.
+    let drain_start = Instant::now();
+    while delivered.load(Ordering::Acquire) < total
+        && drain_start.elapsed() < Duration::from_secs(120)
+    {
+        std::thread::yield_now();
+    }
+    done.store(true, Ordering::Release);
+    service.join().unwrap();
+    total as f64 / wall.as_secs_f64() / 1e3
+}
+
+/// HP1 (lock-free hot path): `app_send` latency with and without a
+/// concurrent comm thread, a frames/sec saturation sweep over 1–8
+/// producer threads on one kernel, and the digest-parity gate that
+/// guards the ring data plane — clean vs. mid-run kill, across both
+/// engines (threaded ranks, ranks-as-tasks) and both tracking
+/// protocols (TDI, TDI-S). A `false` in `digest_ok` means the
+/// lock-free path broke exactly-once recovery.
+pub fn hotpath_table(quick: bool) -> Table {
+    let mut t = Table::new(
+        "HP1 — Lock-free hot path: app_send latency, saturation sweep, digest parity",
+        &[
+            "cell",
+            "threads",
+            "ns_per_op",
+            "kframes_s",
+            "engine",
+            "protocol",
+            "kills",
+            "digest_ok",
+        ],
+    );
+    let iters: u64 = if quick { 20_000 } else { 200_000 };
+    for contended in [false, true] {
+        let ns = send_latency_ns(contended, iters);
+        t.row(vec![
+            if contended {
+                "send_contended"
+            } else {
+                "send_uncontended"
+            }
+            .to_string(),
+            "1".to_string(),
+            format!("{ns:.0}"),
+            "-".to_string(),
+            "threads".to_string(),
+            "tdi".to_string(),
+            "-".to_string(),
+            "-".to_string(),
+        ]);
+    }
+    let per_producer: u64 = if quick { 20_000 } else { 100_000 };
+    for producers in [1usize, 2, 4, 8] {
+        let kfps = saturation_kfps(producers, per_producer);
+        t.row(vec![
+            "saturation".to_string(),
+            producers.to_string(),
+            format!("{:.0}", 1e6 / kfps),
+            format!("{kfps:.0}"),
+            "threads".to_string(),
+            "tdi".to_string(),
+            "-".to_string(),
+            "-".to_string(),
+        ]);
+    }
+    // Digest parity: the ring data plane must reproduce fault-free
+    // digests through a mid-run kill on every engine × protocol cell.
+    let class = Class::Test;
+    let steps = total_steps(Benchmark::Lu, class);
+    let ckpt = (steps / 6).max(2);
+    let rounds: u64 = if quick { 6 } else { 16 };
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(8);
+    for kind in [ProtocolKind::Tdi, ProtocolKind::TdiSparse(32)] {
+        let threaded = |kill: bool| {
+            let mut c = ClusterConfig::new(
+                8,
+                RunConfig::new(kind).with_checkpoint(CheckpointPolicy::EverySteps(ckpt)),
+            );
+            if kill {
+                c = c.with_failures(FailurePlan::kill_at(1, steps / 2));
+            }
+            c.max_wall = Duration::from_secs(600);
+            run_benchmark(Benchmark::Lu, class, &c).expect("hotpath parity run")
+        };
+        let clean = threaded(false);
+        let faulty = threaded(true);
+        t.row(vec![
+            "parity_kill".to_string(),
+            "-".to_string(),
+            "-".to_string(),
+            "-".to_string(),
+            "threads".to_string(),
+            kind.to_string(),
+            faulty.kills.to_string(),
+            (faulty.kills >= 1 && faulty.digests == clean.digests).to_string(),
+        ]);
+        let tasks = |kill: bool| {
+            let failures = if kill {
+                FailurePlan::kill_at(1, rounds / 2)
+            } else {
+                FailurePlan::none()
+            };
+            let cfg = ClusterConfig::new(
+                8,
+                RunConfig::new(kind)
+                    .with_checkpoint(CheckpointPolicy::EverySteps(8))
+                    .with_engine(EngineMode::Tasks { workers }),
+            )
+            .with_failures(failures)
+            .with_max_wall(Duration::from_secs(600));
+            run_tasks(
+                &cfg,
+                TaskRing {
+                    rounds,
+                    payload: 64,
+                },
+            )
+            .expect("hotpath tasks parity run")
+        };
+        let clean = tasks(false);
+        let faulty = tasks(true);
+        t.row(vec![
+            "parity_kill".to_string(),
+            "-".to_string(),
+            "-".to_string(),
+            "-".to_string(),
+            "tasks".to_string(),
+            kind.to_string(),
+            faulty.kills.to_string(),
+            (faulty.kills >= 1 && faulty.digests == clean.digests).to_string(),
+        ]);
+    }
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -947,10 +1259,14 @@ mod tests {
             let copies: u64 = row[4].parse().unwrap();
             assert!(copies <= frames, "one payload pass per built frame: {row:?}");
             if row[1] == "clean" {
-                // No faults → nothing retransmitted, nothing resent
-                // from the log.
+                // No faults → nothing resent from the sender log.
+                // Timeout retransmits (row 7) are NOT asserted zero:
+                // on a starved CPU a receiver thread can sit
+                // descheduled past the retransmit deadline, so a
+                // clean run may legally retransmit a few frames (the
+                // receiver dedups them). Asserting 0 here made the
+                // test flake under load.
                 assert_eq!(row[6], "0", "{row:?}");
-                assert_eq!(row[7], "0", "{row:?}");
             } else {
                 // Chaos exercised at least one of the zero-copy
                 // resend paths (which one is timing-dependent: fast

@@ -58,6 +58,20 @@
 //! protocol state and doubles as a debug-assert oracle: debug builds
 //! run a shadow receiver per channel and verify every encoded frame
 //! decodes back to the dense vector exactly.
+//!
+//! ## Dirty journal (O(changed) encoding)
+//!
+//! The sender does **not** scan the n-entry change-stamp array per
+//! send. Every `touch` appends its entry index to a global dirty
+//! journal (deduped per stamp), and each channel keeps a cursor into
+//! it; a delta is assembled from the journal suffix past the cursor —
+//! O(entries changed since that channel's last frame). The FULL-frame
+//! byte total is maintained incrementally, so the FULL-vs-DELTA size
+//! choice is O(1). The journal is compacted once it exceeds
+//! `journal_cap()`: channels pinning the prefix too far back are
+//! demoted to a FULL frame on their next send, bounding journal
+//! memory regardless of traffic skew. Debug builds re-run the old
+//! stamp scan and assert the journal suffix matches it exactly.
 
 use crate::protocol::{DeliveryVerdict, LoggingProtocol, SendArtifacts};
 use crate::stats::FrameStats;
@@ -78,8 +92,14 @@ struct SendChannel {
     /// A frame has been encoded for this destination this epoch.
     primed: bool,
     /// Global change-stamp as of the last frame to this destination;
-    /// entries stamped later than this go into the next delta.
+    /// entries stamped later than this go into the next delta. Kept
+    /// as the debug oracle for the journal cursor below.
     last_stamp: u64,
+    /// Absolute cursor into the dirty journal: journal entries at or
+    /// beyond this position changed since the last frame on this
+    /// channel, so the next delta is assembled in O(changed) instead
+    /// of an O(n) change-stamp scan.
+    log_pos: usize,
     /// `send_index` of the last frame encoded for this destination.
     last_seq: u64,
     /// Frames since the last FULL (periodic resync counter).
@@ -91,6 +111,7 @@ impl SendChannel {
         SendChannel {
             primed: false,
             last_stamp: 0,
+            log_pos: 0,
             last_seq: 0,
             since_full: 0,
         }
@@ -141,6 +162,19 @@ pub struct SparseTdi {
     stamp: u64,
     /// `stamped[i]` = value of `stamp` when `depend[i]` last changed.
     stamped: Vec<u64>,
+    /// Dirty journal: every entry index, in touch order, appended at
+    /// most once per stamp. Channels hold absolute cursors into it
+    /// (`SendChannel::log_pos`), so assembling a delta costs
+    /// O(entries changed since that channel's last frame) instead of
+    /// an O(n) scan of `stamped`.
+    dirty_log: Vec<Rank>,
+    /// Journal entries dropped by compaction; `dirty_log[0]` is
+    /// absolute position `compacted`.
+    compacted: usize,
+    /// Incrementally-maintained Σ `varint::len_u64(depend[i])` — the
+    /// body size of a FULL frame — so the frame-size choice in
+    /// `on_send` is O(1) instead of O(n).
+    full_body: usize,
     /// Per-destination encode state.
     chans: Vec<SendChannel>,
     /// Per-source decode bases (checkpointed).
@@ -168,6 +202,9 @@ impl SparseTdi {
             epoch: 0,
             stamp: 0,
             stamped: vec![0; n],
+            dirty_log: Vec::new(),
+            compacted: 0,
+            full_body: n * varint::len_u64(0),
             chans: vec![SendChannel::fresh(); n],
             bases: vec![None; n],
             pending_resync: Mutex::new(BTreeSet::new()),
@@ -177,10 +214,51 @@ impl SparseTdi {
         }
     }
 
-    /// Record a change to `depend[k]` under the current stamp.
+    /// Record a change to `depend[k]` under the current stamp: journal
+    /// the index (once per stamp) and keep the FULL-frame byte total
+    /// current.
     fn touch(&mut self, k: Rank, value: u64) {
+        if self.stamped[k] != self.stamp {
+            self.dirty_log.push(k);
+            self.stamped[k] = self.stamp;
+        }
+        self.full_body += varint::len_u64(value);
+        self.full_body -= varint::len_u64(self.depend[k]);
         self.depend[k] = value;
-        self.stamped[k] = self.stamp;
+    }
+
+    /// Journal length that triggers compaction. Generous enough that
+    /// steady traffic rarely compacts; small enough to bound memory.
+    fn journal_cap(&self) -> usize {
+        (2 * self.n).max(128)
+    }
+
+    /// Drop the journal prefix every primed channel has already
+    /// framed. A channel pinning the prefix more than half a cap back
+    /// is demoted (next frame FULL) rather than allowed to hold the
+    /// journal hostage, so journal memory is bounded by the cap
+    /// regardless of traffic skew. Amortized O(1) per touch: each
+    /// compaction drops at least half a cap of entries.
+    fn compact_journal(&mut self) {
+        let cap = self.journal_cap();
+        if self.dirty_log.len() <= cap {
+            return;
+        }
+        let abs_end = self.compacted + self.dirty_log.len();
+        let floor = abs_end - cap / 2;
+        let mut min = abs_end;
+        for chan in &mut self.chans {
+            if !chan.primed {
+                continue;
+            }
+            if chan.log_pos < floor {
+                chan.primed = false; // too stale: forget its delta chain
+            } else {
+                min = min.min(chan.log_pos);
+            }
+        }
+        self.dirty_log.drain(..min - self.compacted);
+        self.compacted = min;
     }
 
     fn parse_frame(&self, piggyback: &[u8]) -> Result<Frame, ProtocolError> {
@@ -336,18 +414,39 @@ impl LoggingProtocol for SparseTdi {
             !chan.primed || send_index > chan.last_seq,
             "send_index must advance per destination"
         );
-        // Entries changed since the last frame on this channel.
-        let changed: Vec<usize> = (0..self.n)
-            .filter(|&i| self.stamped[i] > chan.last_stamp)
-            .collect();
+        // Entries changed since the last frame on this channel: the
+        // dirty-journal suffix past the channel's cursor, sorted and
+        // deduped (an entry re-touched at several stamps appears once
+        // per stamp). O(changed), not O(n). A channel whose cursor
+        // predates the compacted prefix — never primed, or demoted by
+        // `compact_journal` — has no usable suffix and sends FULL.
+        let lagging = !chan.primed || chan.log_pos < self.compacted;
+        let mut changed: Vec<usize> = if lagging {
+            Vec::new()
+        } else {
+            self.dirty_log[chan.log_pos - self.compacted..].to_vec()
+        };
+        changed.sort_unstable();
+        changed.dedup();
+        #[cfg(debug_assertions)]
+        if !lagging {
+            let oracle: Vec<usize> = (0..self.n)
+                .filter(|&i| self.stamped[i] > chan.last_stamp)
+                .collect();
+            debug_assert_eq!(changed, oracle, "dirty journal must match the stamp scan");
+        }
         let delta_body: usize = changed
             .iter()
             .map(|&i| varint::len_u64(i as u64) + varint::len_u64(self.depend[i]))
             .sum::<usize>()
             + varint::len_u64(changed.len() as u64);
-        let full_body: usize = self.depend.iter().map(|&v| varint::len_u64(v)).sum();
-        let full =
-            !chan.primed || chan.since_full >= self.resync_interval || delta_body >= full_body;
+        let full_body = self.full_body;
+        debug_assert_eq!(
+            full_body,
+            self.depend.iter().map(|&v| varint::len_u64(v)).sum::<usize>(),
+            "incremental FULL-body total out of sync"
+        );
+        let full = lagging || chan.since_full >= self.resync_interval || delta_body >= full_body;
 
         let mut buf =
             Vec::with_capacity(1 + varint::len_u64(self.epoch) + delta_body.min(full_body));
@@ -372,9 +471,11 @@ impl LoggingProtocol for SparseTdi {
             self.stats.delta_frames += 1;
         }
 
+        let abs_end = self.compacted + self.dirty_log.len();
         let chan = &mut self.chans[dst];
         chan.primed = true;
         chan.last_stamp = self.stamp;
+        chan.log_pos = abs_end;
         chan.last_seq = send_index;
         chan.since_full = if full { 0 } else { chan.since_full + 1 };
 
@@ -432,6 +533,7 @@ impl LoggingProtocol for SparseTdi {
                 self.touch(k, v);
             }
         }
+        self.compact_journal();
         // Commit the decoded vector as the channel's new base (Stale
         // resolutions keep the existing, newer base).
         if let Some(epoch) = frame_epoch {
@@ -512,6 +614,9 @@ impl LoggingProtocol for SparseTdi {
         self.epoch = epoch + 1;
         self.stamp = 1;
         self.stamped = vec![1; self.n];
+        self.dirty_log.clear();
+        self.compacted = 0;
+        self.full_body = self.depend.iter().map(|&v| varint::len_u64(v)).sum();
         self.chans = vec![SendChannel::fresh(); self.n];
         self.pending_resync.lock().clear();
         #[cfg(debug_assertions)]
@@ -543,9 +648,11 @@ impl LoggingProtocol for SparseTdi {
         for &v in &self.depend {
             varint::write_u64(&mut buf, v);
         }
+        let abs_end = self.compacted + self.dirty_log.len();
         let chan = &mut self.chans[dst];
         chan.primed = true;
         chan.last_stamp = self.stamp;
+        chan.log_pos = abs_end;
         chan.since_full = 0;
         #[cfg(debug_assertions)]
         {
@@ -684,6 +791,46 @@ mod tests {
         assert!(l.send_and_deliver(3, 1));
         assert!(l.send_and_deliver(1, 0));
         assert!(l.send_and_deliver(0, 3));
+    }
+
+    #[test]
+    fn dirty_journal_stays_bounded_and_demotes_laggards_to_full() {
+        let n = 4;
+        let mut l = Lockstep::new(n, 1_000_000);
+        // Prime channel 0→3 so it holds a journal cursor, then leave
+        // it idle while rank 0 churns: deliveries from 1 keep touching
+        // its vector, sends to 1 keep that channel's cursor near the
+        // journal tail.
+        assert!(l.send_and_deliver(0, 3));
+        for _ in 0..600 {
+            l.send_and_deliver(1, 0);
+            l.send_and_deliver(0, 1);
+        }
+        let cap = l.sparse[0].journal_cap();
+        assert!(
+            l.sparse[0].dirty_log.len() <= cap,
+            "journal grew past its cap: {} > {cap}",
+            l.sparse[0].dirty_log.len()
+        );
+        assert!(l.sparse[0].compacted > 0, "compaction never ran");
+        // The idle channel was demoted rather than pinning the
+        // journal; its next frame is a FULL that still decodes
+        // exactly (the lockstep asserts the vectors agree).
+        assert!(!l.sparse[0].chans[3].primed, "laggard should be demoted");
+        l.next_idx[0][3] += 1;
+        let idx = l.next_idx[0][3];
+        let sp = l.sparse[0].on_send(3, idx);
+        let de = l.dense[0].on_send(3, idx);
+        assert_eq!(sp.piggyback[0], KIND_FULL);
+        assert_eq!(
+            l.sparse[3].deliverable(0, idx, &sp.piggyback),
+            l.dense[3].deliverable(0, idx, &de.piggyback)
+        );
+        if l.sparse[3].deliverable(0, idx, &sp.piggyback) == DeliveryVerdict::Deliver {
+            l.sparse[3].on_deliver(0, idx, &sp.piggyback).unwrap();
+            l.dense[3].on_deliver(0, idx, &de.piggyback).unwrap();
+        }
+        l.assert_vectors_equal();
     }
 
     #[test]

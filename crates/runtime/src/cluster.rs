@@ -380,7 +380,8 @@ pub struct RunReport {
     /// Envelopes the chaos fabric flipped a bit in.
     pub chaos_corrupted: u64,
     /// Per-rank data-plane byte accounting (frames built, payload
-    /// copies, zero-copy resends), merged across incarnations.
+    /// copies, zero-copy resends, ack coalescing), merged across
+    /// incarnations.
     pub per_rank_data_plane: Vec<DataPlaneStats>,
     /// Cluster-wide sum of `per_rank_data_plane`.
     pub data_plane: DataPlaneStats,

@@ -16,8 +16,8 @@
 //! while the application computes.
 //!
 //! The kernel is `Sync` (its layers carry their own locks), so both
-//! threads call it directly — the comm thread's `ingest` and the app
-//! thread's `try_deliver`/`app_send` run concurrently. The only
+//! threads call it directly — the comm thread's `ingest_batch` and the
+//! app thread's `try_deliver`/`app_send` run concurrently. The only
 //! coordination between them is the [`Notifier`]: an eventcount the
 //! comm thread bumps after every ingestion batch so the app thread can
 //! sleep without a missed-wakeup race (read the generation *before*
@@ -176,12 +176,16 @@ impl Engine {
     }
 
     /// Drain the fabric inbox into the kernel (blocking mode only —
-    /// the app thread owns the endpoint).
+    /// the app thread owns the endpoint). Envelopes are handed to the
+    /// kernel as one batch, so staged app wires are admitted under a
+    /// single delivery acquisition and acks coalesce to one cumulative
+    /// frame per peer.
     fn pump(&self) -> Result<(), Fault> {
         let ep = self.endpoint.as_ref().expect("pump in blocking mode");
+        let mut batch = Vec::new();
         loop {
             match ep.try_recv() {
-                Ok(env) => self.shared.kernel.ingest(env),
+                Ok(env) => batch.push(env),
                 Err(RecvError::Empty) => break,
                 Err(RecvError::Dead) => {
                     self.shared.dead.store(true, Ordering::Relaxed);
@@ -189,6 +193,9 @@ impl Engine {
                 }
                 Err(RecvError::Timeout) => unreachable!("try_recv never times out"),
             }
+        }
+        if !batch.is_empty() {
+            self.shared.kernel.ingest_batch(batch);
         }
         self.shared.kernel.tick();
         Ok(())
@@ -454,12 +461,16 @@ fn spawn_comm_thread(shared: Arc<Shared>, endpoint: Endpoint, poll: Duration) ->
                 match endpoint.recv_timeout(backoff.next_wait()) {
                     Ok(env) => {
                         backoff.reset();
-                        shared.kernel.ingest(env);
-                        // Drain whatever else is queued before waking
-                        // the app thread.
+                        // Drain whatever else is queued and hand the
+                        // kernel one batch — staged app wires admit
+                        // under a single delivery acquisition and acks
+                        // coalesce per peer — before waking the app
+                        // thread.
+                        let mut batch = vec![env];
                         while let Ok(env) = endpoint.try_recv() {
-                            shared.kernel.ingest(env);
+                            batch.push(env);
                         }
+                        shared.kernel.ingest_batch(batch);
                         shared.kernel.tick();
                         shared.notifier.notify();
                     }

@@ -1,46 +1,93 @@
-//! The rollback-recovery kernel: a thin, `Sync` facade over four
-//! separately-locked layers, together implementing the paper's
-//! Algorithm 1.
+//! The rollback-recovery kernel: a thin, `Sync` facade over three
+//! separately-locked layers plus a lock-free data plane, together
+//! implementing the paper's Algorithm 1.
 //!
 //! One kernel instance exists per rank incarnation. Engines feed it
-//! raw envelopes ([`Kernel::ingest`], comm thread) and pull
+//! raw envelopes ([`Kernel::ingest_batch`], comm thread) and pull
 //! deliverable application messages ([`Kernel::try_deliver`], app
 //! thread) **concurrently** — there is no whole-kernel lock. Each
 //! layer owns exactly the state its operations touch:
 //!
 //! | layer                          | lock     | owns                                             | Algorithm 1 |
 //! |--------------------------------|----------|--------------------------------------------------|-------------|
-//! | [`recovery`](crate::recovery)  | `recovery` | state machine, send counters, sender log, ckpts | 8–9, 12, 32–53 |
+//! | [`recovery`](crate::recovery)  | `recovery` | state machine, sender log, checkpoints         | 8–9, 12, 32–53 |
 //! | [`tracking`](crate::tracking)  | `tracking` | `LoggingProtocol` box, piggyback merge, stats   | 10–11, 15–31 |
 //! | [`delivery`](crate::delivery)  | `delivery` | receiving queue, `last_deliver_index`           | 13–17 |
-//! | [`reliability`](crate::reliability) | `reliability` | transport channels, rendezvous acks      | (below the paper) |
+//!
+//! The old fourth layer — a `Mutex<Reliability>` serializing every
+//! transmit and every frame-strip — is gone. The reliability layer is
+//! embedded **lock-free**: the transport shards its channel state per
+//! peer (no two channels share a lock), the rendezvous-ack and send
+//! counters are [`AtomicCounters`], and the sender-log/ingress
+//! bookkeeping that used to ride under the `recovery`/`delivery` locks
+//! on every frame is staged in per-channel [`SeqRing`]s and drained in
+//! batches (see *Batching epochs* below).
 //!
 //! # Lock ordering
 //!
 //! Locks are always acquired in the fixed order
 //!
 //! ```text
-//! recovery  →  tracking  →  delivery  →  reliability
+//! recovery  →  tracking  →  delivery
 //! ```
 //!
-//! (any contiguous-or-gapped subset, never a back edge). Two rules
-//! make the hierarchy work:
+//! (any contiguous-or-gapped subset, never a back edge). Below the
+//! hierarchy sit only terminal leaves that never acquire anything:
+//! the transport's per-peer channel shards and the failure detector's
+//! own small mutex. Sends are legal from under any layer lock.
 //!
-//! 1. **`reliability` is a leaf.** It is taken for one `send_wire` or
-//!    one frame-strip and nothing else is ever acquired under it;
-//!    most paths drop every other lock before transmitting.
-//! 2. **`ingest` dispatches lock-free.** The comm thread strips the
-//!    transport frame under `reliability` alone, releases it, and only
-//!    then takes the locks the inner message's handler needs — so the
-//!    hot ingest path (`App` frames) touches `delivery` + `reliability`
-//!    and never contends with `app_send` (`recovery` + `tracking`).
+//! The send hot path is **tracking-only**: `app_send` takes the
+//! tracking lock for the protocol piggyback, bumps the atomic send
+//! counter, transmits through the destination's channel shard, and
+//! stages the log entry in that destination's ring — it touches
+//! neither the `recovery` nor the `delivery` lock. The ingest hot
+//! path (`App` frames) is **delivery-only** and batched: frames are
+//! staged per source and admitted under one `delivery` acquisition
+//! per batch.
 //!
-//! Two lock-free fast paths keep `try_deliver` off the cold locks: the
+//! # Batching epochs
+//!
+//! Three kinds of per-frame bookkeeping are deferred into rings and
+//! consumed in bulk:
+//!
+//! * **staged sender-log entries** (`log_stage[dst]`) — drained into
+//!   the locked [`SenderLog`] by `drain_log_rings`, which runs at the
+//!   top of *every* recovery-lock section (checkpoint, rollback,
+//!   response, GC, snapshot) and opportunistically from [`Kernel::tick`]
+//!   via `try_lock`. Any observer holding the recovery lock therefore
+//!   sees a complete log; between drains the entries live in the rings,
+//!   which are part of this incarnation's volatile state exactly like
+//!   the log itself.
+//! * **staged inbound app wires** (`ingress[src]`) — drained into the
+//!   receive queue by `drain_ingress` under one `delivery` acquisition,
+//!   at the end of each ingest batch and at the top of `try_deliver`.
+//! * **coalesced cumulative acks** — the transport marks channels
+//!   dirty and [`Kernel::ingest_batch`] flushes one cumulative ack per
+//!   peer per batch instead of one frame per frame.
+//!
+//! # Crash-drain
+//!
+//! Rings are volatile, so a crash loses staged entries exactly as it
+//! loses the locked log — nothing new. What recovery *requires* is
+//! that every survivor answering a `ROLLBACK` resends its complete
+//! retained log: `handle_rollback` drains the rings under the
+//! recovery lock before computing the resend window, so staged
+//! entries are never invisible to a recovering peer. Checkpoints
+//! drain before imaging for the same reason.
+//!
+//! Lock-free fast paths keep `try_deliver` off the cold locks: the
 //! `recovering` flag is an `AtomicBool` (Release-stored only after
 //! recovery info is installed under `tracking`, so an Acquire-load of
 //! `false` plus the `tracking` lock acquisition observes the installed
 //! state), and `needs_full_recovery_info` is cached at construction
-//! (the [`LoggingProtocol`] contract requires it constant).
+//! (the [`LoggingProtocol`] contract requires it constant). The
+//! duplicate-suppression bound (`rollback_last_send_index`) is read
+//! lock-free on the send fast path; every *write* happens under the
+//! recovery lock, and a send that observes a stale bound errs toward
+//! transmitting — safe, because receivers discard repetitive
+//! send-indexes and re-ack them (§III.C.3). A send that observes the
+//! bound *suppressing* it re-checks under the recovery lock, making
+//! the suppression decision authoritative.
 
 use crate::config::RunConfig;
 use crate::delivery::{Admit, Delivery};
@@ -52,6 +99,7 @@ use crate::message::{
 };
 use crate::recovery::{RecoveryLayer, RecoveryPhase, Transition};
 use crate::reliability::Reliability;
+use crate::ring::{AtomicCounters, SeqRing};
 use crate::tracking::Tracking;
 use crate::transport::{DataPlaneStats, Transport, TransportConfig};
 use bytes::Bytes;
@@ -60,7 +108,15 @@ use lclog_simnet::{Envelope, SimNet};
 use lclog_stable::CheckpointStore;
 use lclog_wire::{encode_to_vec, impl_wire_struct};
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// Slots per staging ring (sender-log entries per destination,
+/// inbound app wires per source). Rings are lazily allocated per
+/// active channel, so idle channels in a 1024-rank system cost one
+/// empty `OnceLock` each. A full ring falls back to the locked slow
+/// path — correctness never depends on capacity.
+const STAGE_SLOTS: usize = 256;
 
 /// Everything a checkpoint durably captures (Algorithm 1 line 33:
 /// image, log, and the counter vectors).
@@ -119,8 +175,9 @@ pub struct KernelSnapshot {
     pub data_plane: DataPlaneStats,
 }
 
-/// Per-rank rollback-recovery kernel: four locked layers behind
-/// `&self` methods (see the module docs for the lock hierarchy).
+/// Per-rank rollback-recovery kernel: three locked layers plus a
+/// lock-free data plane behind `&self` methods (see the module docs
+/// for the lock hierarchy and the batching-epoch protocol).
 pub struct Kernel {
     me: Rank,
     n: usize,
@@ -148,10 +205,33 @@ pub struct Kernel {
     /// rebuilds through the rollback path instead of aborting the
     /// process.
     desynced: AtomicBool,
+    /// `last_send_index[dst]`: bumped lock-free on the send fast path
+    /// (under the tracking lock, so per-destination protocol state and
+    /// index order agree), snapshotted into checkpoints.
+    last_send_index: AtomicCounters,
+    /// Duplicate-suppression bound per destination (§III.C.3): sends
+    /// with `send_index <= bound` were delivered by the peer before
+    /// our crash and are logged without transmitting. Read lock-free
+    /// on the fast path; written only under the recovery lock.
+    rollback_last_send_index: AtomicCounters,
+    /// Staged sender-log entries per destination, drained into
+    /// `recovery.log` by `drain_log_rings`.
+    log_stage: Vec<OnceLock<SeqRing<LogEntry>>>,
+    /// Staged inbound app wires per source, drained into the receive
+    /// queue by `drain_ingress`.
+    ingress: Vec<OnceLock<SeqRing<AppWire>>>,
+    /// Dirty flag: some `log_stage` ring may be non-empty.
+    log_staged: AtomicBool,
+    /// Dirty flag: some `ingress` ring may be non-empty.
+    ingress_pending: AtomicBool,
+    /// High-water mark of retained log bytes, maintained at drain
+    /// points (the locked-era code updated it per send).
+    log_bytes_peak: AtomicU64,
     recovery: Mutex<RecoveryLayer>,
     tracking: Mutex<Tracking>,
     delivery: Mutex<Delivery>,
-    reliability: Mutex<Reliability>,
+    /// Lock-free: per-peer transport shards + atomic rendezvous acks.
+    reliability: Reliability,
     /// Structured timeline collector (disabled by default).
     events: EventSink,
 }
@@ -179,6 +259,7 @@ impl Kernel {
         if let Some(dcfg) = cfg.detector {
             reliability.set_detector(Detector::new(me, n, dcfg, now));
         }
+        let slots = net.n();
         Kernel {
             me,
             n,
@@ -189,10 +270,17 @@ impl Kernel {
             recovering: AtomicBool::new(false),
             fenced: AtomicBool::new(false),
             desynced: AtomicBool::new(false),
+            last_send_index: AtomicCounters::zeroed(n),
+            rollback_last_send_index: AtomicCounters::zeroed(n),
+            log_stage: (0..slots).map(|_| OnceLock::new()).collect(),
+            ingress: (0..slots).map(|_| OnceLock::new()).collect(),
+            log_staged: AtomicBool::new(false),
+            ingress_pending: AtomicBool::new(false),
+            log_bytes_peak: AtomicU64::new(0),
             recovery: Mutex::new(RecoveryLayer::new(n, ckpt_store, now)),
             tracking: Mutex::new(Tracking::new(protocol, clock)),
             delivery: Mutex::new(Delivery::new(n)),
-            reliability: Mutex::new(reliability),
+            reliability,
             events: EventSink::disabled(),
         }
     }
@@ -202,26 +290,28 @@ impl Kernel {
     /// fresh sequence space from stale duplicates. Must be called
     /// before any traffic when the incarnation is not the first.
     pub fn set_incarnation(&mut self, incarnation: u64) {
-        self.reliability.lock().transport.set_epoch(incarnation);
+        self.reliability.transport.set_epoch(incarnation);
     }
 
     /// True when the reliability layer has written `dst` off: it
-    /// stayed silent across the whole retransmit budget.
+    /// stayed silent across the whole retransmit budget. Lock-free.
     pub fn peer_unreachable(&self, dst: Rank) -> bool {
-        self.reliability.lock().transport.peer_unreachable(dst)
+        self.reliability.transport.peer_unreachable(dst)
     }
 
-    /// One-lock read of the blocking engine's rendezvous state for
+    /// Lock-free read of the blocking engine's rendezvous state for
     /// `dst`: `(highest acked send_index, peer written off)`.
     pub fn rendezvous_progress(&self, dst: Rank) -> (u64, bool) {
-        let rel = self.reliability.lock();
-        (rel.acked.get(dst), rel.transport.peer_unreachable(dst))
+        (
+            self.reliability.acked.get(dst),
+            self.reliability.transport.peer_unreachable(dst),
+        )
     }
 
     /// Attach a timeline collector (see [`crate::events`]). Call
     /// before the kernel is shared with the engine.
     pub fn set_event_sink(&mut self, sink: EventSink) {
-        self.reliability.lock().transport.set_event_sink(sink.clone());
+        self.reliability.transport.set_event_sink(sink.clone());
         self.events = sink;
     }
 
@@ -249,23 +339,29 @@ impl Kernel {
     /// old `stats()` / `log_bytes()` / `log_entries()` / `acked()`
     /// accessor pile with one locked round-trip.
     pub fn snapshot(&self) -> KernelSnapshot {
-        // Canonical lock order: recovery → tracking → delivery →
-        // reliability.
-        let rec = self.recovery.lock();
+        // Settle the batched planes first so the locked reads see a
+        // complete picture, then canonical lock order:
+        // recovery → tracking → delivery.
+        self.drain_ingress();
+        let mut rec = self.recovery.lock();
+        self.drain_log_rings(&mut rec);
         let trk = self.tracking.lock();
         let del = self.delivery.lock();
-        let rel = self.reliability.lock();
+        let mut stats = trk.snapshot_stats();
+        stats.log_bytes_peak = stats
+            .log_bytes_peak
+            .max(self.log_bytes_peak.load(Ordering::Relaxed));
         KernelSnapshot {
-            stats: trk.snapshot_stats(),
+            stats,
             log_bytes: rec.log.bytes(),
             log_entries: rec.log.len(),
-            acked: rel.acked.clone(),
+            acked: self.reliability.acked.snapshot(),
             recovery_phase: rec.machine.phase().clone(),
             queued: del.queue.len(),
-            dup_discarded: rel.transport.dup_discarded(),
-            corrupt_detected: rel.transport.corrupt_detected(),
-            fenced_rejected: rel.transport.fenced_rejected(),
-            data_plane: rel.transport.data_plane(),
+            dup_discarded: self.reliability.transport.dup_discarded(),
+            corrupt_detected: self.reliability.transport.corrupt_detected(),
+            fenced_rejected: self.reliability.transport.fenced_rejected(),
+            data_plane: self.reliability.transport.data_plane(),
         }
     }
 
@@ -312,7 +408,7 @@ impl Kernel {
     }
 
     fn send_wire(&self, dst: Rank, msg: &WireMsg) {
-        self.reliability.lock().send_wire(dst, msg);
+        self.reliability.send_wire(dst, msg);
     }
 
     fn emit_transition(&self, tr: Option<Transition>) {
@@ -352,15 +448,20 @@ impl Kernel {
     /// Returns `(send_index, transmitted)`; when `transmitted` and
     /// `needs_ack`, the blocking engine waits for [`WireMsg::Ack`].
     ///
-    /// Locks: `recovery` + `tracking`, with `reliability` taken
-    /// briefly under both for the frame build + transmit (legal —
-    /// `reliability` is the leaf of the hierarchy, and nothing is
-    /// acquired under it). Holding `recovery` across the transmit
-    /// keeps the log insert and the suppression decision atomic: a
-    /// concurrent `ROLLBACK` either sees the entry in the log (and
-    /// resends it) or has already clamped the suppression bound this
-    /// send is checked against; wire-level copies that cross are
-    /// deduplicated by the receiver's send_index.
+    /// Locks: **tracking only** on the fast path. The send counter is
+    /// bumped (under the tracking lock, so per-destination protocol
+    /// state and index order agree), the suppression bound is read
+    /// lock-free, the frame goes out through the destination's
+    /// channel shard, and the log entry is staged in the
+    /// destination's ring. A stale bound read can only err toward
+    /// transmitting a send a concurrent `RESPONSE` would have
+    /// suppressed — safe, because the receiver discards repetitive
+    /// send-indexes and re-acks them. When the bound *does* suppress,
+    /// the slow path re-checks under the recovery lock (which
+    /// serializes all bound writes), making suppression
+    /// authoritative; a concurrent `ROLLBACK` either sees the entry
+    /// in the drained log (and resends it) or has already clamped the
+    /// bound this send is checked against.
     ///
     /// ## Zero-copy budget
     ///
@@ -374,12 +475,30 @@ impl Kernel {
     /// move in from the send without a decode pass. A suppressed send
     /// encodes once into the log and transmits nothing.
     pub fn app_send(&self, dst: Rank, tag: u32, data: Bytes, needs_ack: bool) -> (u64, bool) {
-        let mut rec = self.recovery.lock();
-        let send_index = rec.last_send_index.bump(dst);
         let mut trk = self.tracking.lock();
+        let send_index = self.last_send_index.bump(dst);
         let artifacts = trk.on_send(dst, send_index);
+        drop(trk);
         let piggyback = Bytes::from(artifacts.piggyback);
-        let transmit = send_index > rec.rollback_last_send_index.get(dst);
+        if send_index > self.rollback_last_send_index.get(dst) {
+            let msg = WireMsg::App(AppWire {
+                tag,
+                send_index,
+                piggyback,
+                needs_ack,
+                data,
+            });
+            let inner = self.reliability.send_wire(dst, &msg);
+            let WireMsg::App(w) = msg else { unreachable!() };
+            self.stage_log_entry(dst, LogEntry::from_parts(dst as u32, w, inner));
+            return (send_index, true);
+        }
+        // Suppression slow path: the bound says this send was already
+        // delivered by the peer's pre-crash observation of us. Confirm
+        // under the recovery lock, where all bound writes serialize.
+        let mut rec = self.recovery.lock();
+        self.drain_log_rings(&mut rec);
+        let transmit = send_index > self.rollback_last_send_index.get(dst);
         let entry = if transmit {
             let msg = WireMsg::App(AppWire {
                 tag,
@@ -388,18 +507,55 @@ impl Kernel {
                 needs_ack,
                 data,
             });
-            let inner = self.reliability.lock().send_wire(dst, &msg);
+            let inner = self.reliability.send_wire(dst, &msg);
             let WireMsg::App(w) = msg else { unreachable!() };
             LogEntry::from_parts(dst as u32, w, inner)
         } else {
             LogEntry::new(dst as u32, send_index, tag, piggyback, needs_ack, data)
         };
         rec.log.insert(entry);
-        let retained = rec.log.bytes() as u64;
-        if retained > trk.stats.log_bytes_peak {
-            trk.stats.log_bytes_peak = retained;
-        }
+        self.note_log_peak(&rec);
         (send_index, transmit)
+    }
+
+    /// Stage a log entry in `dst`'s ring for the next batched drain.
+    /// A full ring degrades to the locked slow path (drain + insert),
+    /// so capacity is a performance knob, never a correctness one.
+    fn stage_log_entry(&self, dst: Rank, entry: LogEntry) {
+        let ring = self.log_stage[dst].get_or_init(|| SeqRing::with_capacity(STAGE_SLOTS));
+        match ring.try_push(entry) {
+            Ok(()) => self.log_staged.store(true, Ordering::Release),
+            Err(entry) => {
+                let mut rec = self.recovery.lock();
+                self.drain_log_rings(&mut rec);
+                rec.log.insert(entry);
+                self.note_log_peak(&rec);
+            }
+        }
+    }
+
+    /// Consume every staged log entry into the locked sender log.
+    /// Runs at the top of every recovery-lock section, so any code
+    /// holding the lock observes a complete log. Entries land in the
+    /// per-destination `BTreeMap` keyed by send_index, so concurrent
+    /// producers' interleaving across the ring is irrelevant.
+    fn drain_log_rings(&self, rec: &mut RecoveryLayer) {
+        if !self.log_staged.swap(false, Ordering::AcqRel) {
+            return;
+        }
+        for slot in &self.log_stage {
+            if let Some(ring) = slot.get() {
+                while let Some(entry) = ring.try_pop() {
+                    rec.log.insert(entry);
+                }
+            }
+        }
+        self.note_log_peak(rec);
+    }
+
+    fn note_log_peak(&self, rec: &RecoveryLayer) {
+        self.log_bytes_peak
+            .fetch_max(rec.log.bytes() as u64, Ordering::Relaxed);
     }
 
     /// Retransmit a logged message whose rendezvous ack has not
@@ -409,7 +565,8 @@ impl Kernel {
     /// rendezvous sends are ever waited on.
     pub fn resend_unacked(&self, dst: Rank, send_index: u64) {
         let wire = {
-            let rec = self.recovery.lock();
+            let mut rec = self.recovery.lock();
+            self.drain_log_rings(&mut rec);
             let found = rec
                 .log
                 .entries_after(dst, send_index - 1)
@@ -418,11 +575,11 @@ impl Kernel {
             found
         };
         match wire {
-            Some(inner) => self.reliability.lock().send_encoded(dst, inner),
+            Some(inner) => self.reliability.send_encoded(dst, inner),
             None => {
                 // The entry was released by a CHECKPOINT_ADVANCE: the
                 // receiver durably consumed it — an implicit ack.
-                self.reliability.lock().note_consumed(dst, send_index);
+                self.reliability.note_consumed(dst, send_index);
             }
         }
     }
@@ -431,24 +588,56 @@ impl Kernel {
     // Ingestion and delivery (lines 13–31)
     // ---------------------------------------------------------------
 
-    /// Process one raw envelope from the fabric (comm thread). The
-    /// reliability layer strips the transport frame first — corrupt
-    /// envelopes are NACK'ed, duplicates discarded, and control frames
-    /// consumed without ever reaching the dispatch below — then its
-    /// lock is released and the inner message routed to the layer that
-    /// owns it.
+    /// Process one raw envelope from the fabric, then close the batch
+    /// (drain staged app wires, flush coalesced acks). Engines that
+    /// hold several envelopes should prefer [`Kernel::ingest_batch`],
+    /// which pays the batch close once.
     pub fn ingest(&self, env: Envelope) {
-        let src = env.src;
-        let inner = {
-            let mut rel = self.reliability.lock();
-            let inner = rel.ingest(env);
-            // A `FENCED` notice from a peer lands entirely inside the
-            // transport; mirror its verdict while we hold the lock.
-            if rel.transport.is_self_fenced() {
-                self.fenced.store(true, Ordering::Release);
+        self.ingest_env(env);
+        self.finish_batch();
+    }
+
+    /// Process a batch of raw envelopes, then close the batch once:
+    /// one `delivery` acquisition admits every staged app wire, and
+    /// one cumulative ack per dirty peer replaces per-frame acks.
+    pub fn ingest_batch(&self, envs: impl IntoIterator<Item = Envelope>) {
+        for env in envs {
+            self.ingest_env(env);
+        }
+        self.finish_batch();
+    }
+
+    /// Close an ingest batch: admit staged app wires under one
+    /// delivery acquisition and flush the transport's coalesced acks.
+    /// Also opportunistically retires staged sender-log entries so a
+    /// send burst between recovery-lock sections cannot fill the
+    /// stage rings and push `app_send` onto its locked slow path (the
+    /// comm thread closes a batch far more often than checkpoint
+    /// advances arrive).
+    fn finish_batch(&self) {
+        self.drain_ingress();
+        if self.log_staged.load(Ordering::Acquire) {
+            if let Some(mut rec) = self.recovery.try_lock() {
+                self.drain_log_rings(&mut rec);
             }
-            inner
-        };
+        }
+        self.reliability.flush_acks();
+    }
+
+    /// Process one raw envelope without closing the batch. The
+    /// transport strips its frame first — corrupt envelopes are
+    /// NACK'ed, duplicates discarded, and control frames consumed
+    /// without ever reaching the dispatch below (all inside the
+    /// source's channel shard) — then the inner message is routed to
+    /// the layer that owns it.
+    fn ingest_env(&self, env: Envelope) {
+        let src = env.src;
+        let inner = self.reliability.ingest(env);
+        // A `FENCED` notice from a peer lands entirely inside the
+        // transport; mirror its verdict.
+        if self.reliability.transport.is_self_fenced() {
+            self.fenced.store(true, Ordering::Release);
+        }
         let Some(inner) = inner else {
             return;
         };
@@ -465,12 +654,16 @@ impl Kernel {
         };
         match msg {
             WireMsg::App(wire) => self.ingest_app(src, wire),
-            WireMsg::Ack(idx) => self.reliability.lock().note_consumed(src, idx),
+            WireMsg::Ack(idx) => self.reliability.note_consumed(src, idx),
             WireMsg::Rollback(w) => self.handle_rollback(src, w),
             WireMsg::Response(w) => self.handle_response(src, w),
             WireMsg::CkptAdvance(w) => {
                 {
                     let mut rec = self.recovery.lock();
+                    // Staged entries must be in the locked log before
+                    // the release pass, or covered entries could
+                    // outlive their GC horizon.
+                    self.drain_log_rings(&mut rec);
                     let horizon = if self.cfg.log_gc_lag {
                         // Release only what the *previous* advance
                         // covered: one extra generation of entries
@@ -493,9 +686,7 @@ impl Kernel {
                     .protocol
                     .on_peer_checkpoint(src, w.total_delivered);
                 // Checkpointed delivery counts double as acks.
-                self.reliability
-                    .lock()
-                    .note_consumed(src, w.delivered_from_you);
+                self.reliability.note_consumed(src, w.delivered_from_you);
             }
             WireMsg::LogAck(upto) => self.tracking.lock().protocol.on_logger_ack(upto),
             WireMsg::LogQueryResp(dets) => self.handle_logger_sync(dets),
@@ -519,14 +710,62 @@ impl Kernel {
         }
     }
 
-    /// Locks: `delivery`, then (for a repetitive re-ack) `reliability`.
+    /// Stage one inbound app wire in `src`'s ingress ring; the next
+    /// `drain_ingress` admits it under the batch's single delivery
+    /// acquisition. A full ring drains first and retries; if a racing
+    /// drain already refilled it, the wire is admitted inline (the
+    /// receive queue is arrival-order independent, so out-of-order
+    /// admission is harmless).
     fn ingest_app(&self, src: Rank, wire: AppWire) {
-        let verdict = self.delivery.lock().admit(src, wire);
-        if let Admit::Repetitive {
-            needs_ack: true,
-            send_index,
-        } = verdict
+        let ring = self.ingress[src].get_or_init(|| SeqRing::with_capacity(STAGE_SLOTS));
+        let wire = match ring.try_push(wire) {
+            Ok(()) => {
+                self.ingress_pending.store(true, Ordering::Release);
+                return;
+            }
+            Err(wire) => wire,
+        };
+        self.drain_ingress();
+        match ring.try_push(wire) {
+            Ok(()) => self.ingress_pending.store(true, Ordering::Release),
+            Err(wire) => {
+                let verdict = self.delivery.lock().admit(src, wire);
+                if let Admit::Repetitive {
+                    needs_ack: true,
+                    send_index,
+                } = verdict
+                {
+                    self.send_wire(src, &WireMsg::Ack(send_index));
+                }
+            }
+        }
+    }
+
+    /// Admit every staged inbound app wire under one `delivery`
+    /// acquisition, then send the re-acks owed to repetitive
+    /// rendezvous duplicates (outside the lock).
+    fn drain_ingress(&self) {
+        if !self.ingress_pending.swap(false, Ordering::AcqRel) {
+            return;
+        }
+        let mut reacks: Vec<(Rank, u64)> = Vec::new();
         {
+            let mut del = self.delivery.lock();
+            for (src, slot) in self.ingress.iter().enumerate() {
+                if let Some(ring) = slot.get() {
+                    while let Some(wire) = ring.try_pop() {
+                        if let Admit::Repetitive {
+                            needs_ack: true,
+                            send_index,
+                        } = del.admit(src, wire)
+                        {
+                            reacks.push((src, send_index));
+                        }
+                    }
+                }
+            }
+        }
+        for (src, send_index) in reacks {
             self.send_wire(src, &WireMsg::Ack(send_index));
         }
     }
@@ -535,9 +774,9 @@ impl Kernel {
     /// per-sender FIFO predecessor has been delivered and whose
     /// protocol dependency gate opens (lines 15–31). App thread.
     ///
-    /// Locks: `tracking` + `delivery`, then `reliability` (after
-    /// releasing both) — never `recovery`, whose role here is played
-    /// by the lock-free `recovering` flag.
+    /// Locks: `tracking` + `delivery` (after a standalone `delivery`
+    /// round to drain staged ingress) — never `recovery`, whose role
+    /// here is played by the lock-free `recovering` flag.
     pub fn try_deliver(&self, spec: RecvSpec) -> Option<AppMsg> {
         // PWD protocols must not deliver against an incomplete replay
         // script; hold everything until every survivor (and the event
@@ -546,6 +785,7 @@ impl Kernel {
         if self.holds_delivery_in_recovery && self.recovering.load(Ordering::Acquire) {
             return None;
         }
+        self.drain_ingress();
         let mut trk = self.tracking.lock();
         let mut del = self.delivery.lock();
         let taken = {
@@ -618,6 +858,7 @@ impl Kernel {
         if self.holds_delivery_in_recovery && self.recovering.load(Ordering::Acquire) {
             return Vec::new();
         }
+        self.drain_ingress();
         let trk = self.tracking.lock();
         let del = self.delivery.lock();
         let protocol = &trk.protocol;
@@ -646,17 +887,22 @@ impl Kernel {
     ///
     /// Locks: `recovery` + `tracking` + `delivery` held together while
     /// the image is assembled — the one operation that genuinely needs
-    /// a cross-layer-consistent cut — then `reliability` for the
-    /// `CHECKPOINT_ADVANCE` broadcast after the others are released.
+    /// a cross-layer-consistent cut — with the staged log drained
+    /// first so the image's log is complete. The `CHECKPOINT_ADVANCE`
+    /// broadcast goes out lock-free after all three are released.
+    /// `last_send` is snapshotted under the tracking lock, which is
+    /// consistent because only the application thread both sends and
+    /// checkpoints.
     pub fn do_checkpoint(&self, app_state: Vec<u8>, step: u64) {
         let mut rec = self.recovery.lock();
+        self.drain_log_rings(&mut rec);
         let mut trk = self.tracking.lock();
         let del = self.delivery.lock();
         let image = CheckpointImage {
             step,
             app_state,
             protocol: trk.protocol.checkpoint_bytes(),
-            last_send: rec.last_send_index.clone(),
+            last_send: self.last_send_index.snapshot(),
             last_deliver: del.last_deliver_index.clone(),
             log: rec.log.to_entries(),
         };
@@ -716,12 +962,12 @@ impl Kernel {
         trk.protocol
             .restore_from_checkpoint(&image.protocol)
             .expect("checkpoint protocol state decodes");
-        rec.last_send_index = image.last_send.clone();
+        self.last_send_index.load_from(&image.last_send);
         rec.restored_send_index = image.last_send;
         del.last_deliver_index = image.last_deliver.clone();
         rec.last_ckpt_deliver_index = image.last_deliver;
         rec.log = SenderLog::from_entries(self.n, image.log);
-        trk.stats.log_bytes_peak = trk.stats.log_bytes_peak.max(rec.log.bytes() as u64);
+        self.note_log_peak(&rec);
         rec.ckpt_version = rec
             .ckpt_store
             .latest_version(self.me)
@@ -760,8 +1006,8 @@ impl Kernel {
         }
     }
 
-    /// Locks: caller holds `recovery`; takes `delivery` (counter
-    /// snapshot) then `reliability` (the broadcast itself).
+    /// Locks: caller holds `recovery`; takes `delivery` briefly for
+    /// the counter snapshot. The broadcast itself is lock-free.
     fn broadcast_rollback(&self, rec: &mut RecoveryLayer) {
         rec.rollback_epoch += 1;
         let wire = RollbackWire {
@@ -780,15 +1026,13 @@ impl Kernel {
                 epoch: rec.rollback_epoch,
             },
         );
-        {
-            let mut rel = self.reliability.lock();
-            for k in targets {
-                rel.send_wire(k, &WireMsg::Rollback(wire.clone()));
-            }
-            if let Some(logger) = self.logger {
-                if rec.machine.needs_logger_sync() {
-                    rel.send_wire(logger, &WireMsg::LogQuery(self.me as u32));
-                }
+        for k in targets {
+            self.reliability.send_wire(k, &WireMsg::Rollback(wire.clone()));
+        }
+        if let Some(logger) = self.logger {
+            if rec.machine.needs_logger_sync() {
+                self.reliability
+                    .send_wire(logger, &WireMsg::LogQuery(self.me as u32));
             }
         }
         rec.machine.note_broadcast(self.cfg.clock.now());
@@ -798,8 +1042,9 @@ impl Kernel {
     /// delivery count and determinant knowledge, then resend logged
     /// messages the failed process lost.
     ///
-    /// Locks: `recovery` → `tracking` → `delivery`, all released
-    /// before `reliability` sends the answer.
+    /// Locks: `recovery` (staged log drained on entry, so the resend
+    /// window is complete) → `tracking` → `delivery`, all released
+    /// before the lock-free answer goes out.
     fn handle_rollback(&self, src: Rank, w: RollbackWire) {
         // The rollback vector is the *authoritative* post-restore
         // delivery state of src's new incarnation. Anything we
@@ -811,8 +1056,9 @@ impl Kernel {
         // messages the incarnation still needs.
         let upto = w.last_deliver_index.get(self.me).copied();
         let mut rec = self.recovery.lock();
+        self.drain_log_rings(&mut rec);
         if let Some(upto) = upto {
-            rec.rollback_last_send_index.set(src, upto);
+            self.rollback_last_send_index.set(src, upto);
         }
         let lost_after = upto.unwrap_or(0);
         // Logged wire bytes are resent verbatim — refcount bumps, zero
@@ -836,11 +1082,10 @@ impl Kernel {
                 },
             );
         }
-        let mut rel = self.reliability.lock();
         if let Some(upto) = upto {
-            rel.acked.set(src, upto);
+            self.reliability.acked.set(src, upto);
         }
-        rel.send_wire(
+        self.reliability.send_wire(
             src,
             &WireMsg::Response(ResponseWire {
                 delivered_from_you,
@@ -849,7 +1094,7 @@ impl Kernel {
             }),
         );
         for inner in resends.drain(..) {
-            rel.send_encoded(src, inner);
+            self.reliability.send_encoded(src, inner);
         }
         // Anything we had queued from the pre-failure incarnation will
         // be resent/regenerated with identical identities; keeping the
@@ -860,13 +1105,13 @@ impl Kernel {
     /// Incarnation side of `RESPONSE` (lines 52–53).
     ///
     /// Locks: `recovery` → `tracking` (recovery info installed and the
-    /// barrier possibly lifted with both held), then `reliability` for
-    /// the resupply resends.
+    /// barrier possibly lifted with both held); the resupply resends
+    /// go out lock-free afterwards.
     fn handle_response(&self, src: Rank, w: ResponseWire) {
         let mut rec = self.recovery.lock();
-        if w.delivered_from_you > rec.rollback_last_send_index.get(src) {
-            rec.rollback_last_send_index.set(src, w.delivered_from_you);
-        }
+        self.drain_log_rings(&mut rec);
+        self.rollback_last_send_index
+            .max_up(src, w.delivered_from_you);
         // The dead incarnation's transport may have been holding sent-
         // but-undelivered messages for retransmission when it crashed;
         // on a lossy fabric those copies are gone for good. Any such
@@ -907,10 +1152,9 @@ impl Kernel {
                 },
             );
         }
-        let mut rel = self.reliability.lock();
-        rel.note_consumed(src, w.delivered_from_you);
+        self.reliability.note_consumed(src, w.delivered_from_you);
         for inner in resends {
-            rel.send_encoded(src, inner);
+            self.reliability.send_encoded(src, inner);
         }
     }
 
@@ -943,23 +1187,25 @@ impl Kernel {
     ///    retry clock would leave `Replaying{progress}` wedged on a
     ///    corpse for a whole retry interval per cascade link.
     ///
-    /// Locks: `reliability` alone, released, then (only when duty 3
-    /// applies) `recovery` — never nested, so the leaf rule holds.
+    /// Locks: none of the layer hierarchy until (only when duty 3
+    /// applies) `recovery` — the fence and detector updates run on
+    /// the lock-free plane and the detector's leaf mutex.
     fn handle_membership(&self, view: MembershipView) {
-        let advanced = {
-            let mut rel = self.reliability.lock();
-            let advanced = rel.transport.apply_fence_floors(view.epoch, &view.floor);
-            if rel.transport.is_self_fenced() {
-                self.fenced.store(true, Ordering::Release);
-            }
-            if let (Some(adv), Some(det)) = (&advanced, &mut rel.detector) {
-                let now = self.cfg.clock.now();
+        let advanced = self
+            .reliability
+            .transport
+            .apply_fence_floors(view.epoch, &view.floor);
+        if self.reliability.transport.is_self_fenced() {
+            self.fenced.store(true, Ordering::Release);
+        }
+        if let Some(adv) = &advanced {
+            let now = self.cfg.clock.now();
+            self.reliability.with_detector(|det| {
                 for &r in adv {
                     det.reset_peer(r, now);
                 }
-            }
-            advanced
-        };
+            });
+        }
         let Some(advanced) = advanced else {
             return; // stale or already-applied view
         };
@@ -976,12 +1222,14 @@ impl Kernel {
         }
     }
 
-    /// Periodic maintenance: drive the reliability layer's
-    /// retransmission timers and the failure detector (liveness feed,
-    /// forced suspicions, threshold crossings, idle heartbeats), then
-    /// rebroadcast `ROLLBACK` to peers that have not responded (they
-    /// may have been dead when the first broadcast went out — the
-    /// multi-failure case of Fig. 2).
+    /// Periodic maintenance — the kernel tick that closes the batching
+    /// epochs: opportunistically drain the staged sender log, admit
+    /// staged ingress, drive the transport's retransmission timers and
+    /// the failure detector (liveness feed, forced suspicions,
+    /// threshold crossings, idle heartbeats), flush coalesced acks,
+    /// then rebroadcast `ROLLBACK` to peers that have not responded
+    /// (they may have been dead when the first broadcast went out —
+    /// the multi-failure case of Fig. 2).
     pub fn tick(&self) {
         // Sparse-codec resyncs first: frames queued behind an
         // undecodable one stay parked until the snapshot round-trip
@@ -990,49 +1238,52 @@ impl Kernel {
         for src in resyncs {
             self.send_wire(src, &WireMsg::ResyncReq(self.me as u32));
         }
+        // Opportunistic log-ring drain: bound how long staged entries
+        // can sit in their rings without ever blocking the tick behind
+        // a busy recovery lock (whoever holds it drains on entry).
+        if let Some(mut rec) = self.recovery.try_lock() {
+            self.drain_log_rings(&mut rec);
+        }
+        self.drain_ingress();
+        let transport = &self.reliability.transport;
+        transport.tick();
         // (rank, believed incarnation, φ·100) per new suspicion.
         let mut suspects: Vec<(Rank, u64, u64)> = Vec::new();
-        {
-            let mut rel = self.reliability.lock();
-            rel.transport.tick();
-            let Reliability {
-                transport, detector, ..
-            } = &mut *rel;
-            if let Some(det) = detector {
-                let now = self.cfg.clock.now();
-                transport.take_heard(|r| det.heard(r, now));
-                // Budget exhaustion = forced threshold crossing.
-                let mut crossed: Vec<(Rank, u64)> = Vec::new();
-                for r in transport.take_pending_suspects() {
-                    if det.force_suspect(r) {
-                        crossed.push((r, (det.phi(r, now) * 100.0) as u64));
-                    }
-                }
-                crossed.extend(det.poll(now));
-                if det.heartbeat_due(now) {
-                    for k in 0..self.n {
-                        if k != self.me {
-                            transport.send_heartbeat(k);
-                        }
-                    }
-                }
-                // The believed incarnation: the highest one we have
-                // evidence of — data-frame epochs or heartbeats seen
-                // (`peer_incarnation`), or the membership floor if a
-                // successor has been declared but never spoke. A
-                // stale belief is harmless: the arbiter answers it
-                // with the current view instead of a declaration.
-                for (r, phi_x100) in crossed {
-                    let believed = transport
-                        .peer_incarnation(r)
-                        .max(transport.fence_floor(r))
-                        .max(1);
-                    suspects.push((r, believed, phi_x100));
+        self.reliability.with_detector(|det| {
+            let now = self.cfg.clock.now();
+            transport.take_heard(|r| det.heard(r, now));
+            // Budget exhaustion = forced threshold crossing.
+            let mut crossed: Vec<(Rank, u64)> = Vec::new();
+            for r in transport.take_pending_suspects() {
+                if det.force_suspect(r) {
+                    crossed.push((r, (det.phi(r, now) * 100.0) as u64));
                 }
             }
-            if rel.transport.is_self_fenced() {
-                self.fenced.store(true, Ordering::Release);
+            crossed.extend(det.poll(now));
+            if det.heartbeat_due(now) {
+                for k in 0..self.n {
+                    if k != self.me {
+                        transport.send_heartbeat(k);
+                    }
+                }
             }
+            // The believed incarnation: the highest one we have
+            // evidence of — data-frame epochs or heartbeats seen
+            // (`peer_incarnation`), or the membership floor if a
+            // successor has been declared but never spoke. A
+            // stale belief is harmless: the arbiter answers it
+            // with the current view instead of a declaration.
+            for (r, phi_x100) in crossed {
+                let believed = transport
+                    .peer_incarnation(r)
+                    .max(transport.fence_floor(r))
+                    .max(1);
+                suspects.push((r, believed, phi_x100));
+            }
+        });
+        self.reliability.flush_acks();
+        if transport.is_self_fenced() {
+            self.fenced.store(true, Ordering::Release);
         }
         for (r, incarnation, phi_x100) in suspects {
             self.events.emit(
@@ -1076,7 +1327,16 @@ impl std::fmt::Debug for Kernel {
         let rec = self.recovery.lock();
         let trk = self.tracking.lock();
         let del = self.delivery.lock();
-        let rel = self.reliability.lock();
+        let staged: Vec<(usize, usize, usize)> = self
+            .log_stage
+            .iter()
+            .enumerate()
+            .filter_map(|(dst, slot)| {
+                let ring = slot.get()?;
+                (!ring.is_empty()).then(|| (dst, ring.len(), ring.capacity()))
+            })
+            .collect();
+        let transport = &self.reliability.transport;
         f.debug_struct("Kernel")
             .field("me", &self.me)
             .field("n", &self.n)
@@ -1085,15 +1345,16 @@ impl std::fmt::Debug for Kernel {
             .field("queued", &del.queue.summary())
             .field("log_bytes", &rec.log.bytes())
             .field("log_entries", &rec.log.len())
-            .field("last_send", &rec.last_send_index.as_slice())
+            .field("log_staged (dst, len, cap)", &staged)
+            .field("last_send", &self.last_send_index)
             .field("last_deliver", &del.last_deliver_index.as_slice())
             .field("delivered_total", &trk.protocol.delivered_total())
             .field("recovery_phase", rec.machine.phase())
-            .field("dup_discarded", &rel.transport.dup_discarded())
-            .field("corrupt_detected", &rel.transport.corrupt_detected())
-            .field("fence_epoch", &rel.transport.fence_epoch())
-            .field("fenced_rejected", &rel.transport.fenced_rejected())
-            .field("channels", &rel.transport.channel_summary())
+            .field("dup_discarded", &transport.dup_discarded())
+            .field("corrupt_detected", &transport.corrupt_detected())
+            .field("fence_epoch", &transport.fence_epoch())
+            .field("fenced_rejected", &transport.fenced_rejected())
+            .field("channels", &transport.channel_summary())
             .finish()
     }
 }

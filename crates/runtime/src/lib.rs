@@ -59,6 +59,7 @@ mod recovery;
 mod recvq;
 mod reliability;
 pub mod replicator;
+mod ring;
 mod service;
 mod tasks;
 mod tracking;

@@ -1,14 +1,16 @@
 //! The checkpoint/recovery layer: an explicit typed state machine for
 //! incarnation recovery (Algorithm 1 lines 32–53) plus the state a
-//! checkpoint durably captures — the send counters, the sender-based
-//! message log, and the checkpoint-store plumbing.
+//! checkpoint durably captures — the sender-based message log and the
+//! checkpoint-store plumbing.
 //!
 //! This is the outermost layer of the kernel's lock hierarchy (see
-//! [`crate::kernel`] for the ordering rules): the application thread
-//! takes it on every `app_send` (counter bump + log insert), the
-//! communication thread only for the rare recovery/checkpoint control
-//! messages (`ROLLBACK`, `RESPONSE`, `CHECKPOINT_ADVANCE`), so the
-//! two hot paths do not meet here.
+//! [`crate::kernel`] for the ordering rules) — and since the staged
+//! sender-log rings it is a **cold** lock: `app_send` stages its log
+//! entry in a lock-free per-destination ring instead of taking this
+//! lock, and only the rare recovery/checkpoint control paths
+//! (`ROLLBACK`, `RESPONSE`, `CHECKPOINT_ADVANCE`, checkpoints,
+//! snapshots, the tick's opportunistic drain) acquire it — each one
+//! draining the rings on entry so the log it observes is complete.
 //!
 //! ## The recovery state machine
 //!
@@ -250,15 +252,15 @@ impl RecoveryMachine {
 }
 
 /// The checkpoint/recovery layer: the recovery machine plus everything
-/// a checkpoint durably captures on the send side — counters, the
-/// sender log, suppression bounds — and the checkpoint-store plumbing.
+/// a checkpoint durably captures on the send side — the sender log,
+/// checkpoint-time counter snapshots — and the checkpoint-store
+/// plumbing. The live `last_send_index` / `rollback_last_send_index`
+/// vectors moved to the kernel as lock-free [`crate::ring::AtomicCounters`]
+/// (the send fast path reads them without this lock); their *writes*
+/// during recovery still happen under this lock, which is what makes
+/// the suppression re-check in `app_send`'s slow path authoritative.
 pub(crate) struct RecoveryLayer {
     pub machine: RecoveryMachine,
-    /// `last_send_index` vector (Algorithm 1 line 9).
-    pub last_send_index: CounterVector,
-    /// Suppression bound from `RESPONSE`s (line 53): do not re-send
-    /// message `k <= rollback_last_send_index[j]` to `j`.
-    pub rollback_last_send_index: CounterVector,
     /// `last_send_index` as restored from the checkpoint (zero on a
     /// first incarnation). Sends at or below this bound happened
     /// before the checkpoint, so re-execution will never regenerate
@@ -287,8 +289,6 @@ impl RecoveryLayer {
     pub fn new(n: usize, ckpt_store: CheckpointStore, now: Instant) -> Self {
         RecoveryLayer {
             machine: RecoveryMachine::new(n, now),
-            last_send_index: CounterVector::zeroed(n),
-            rollback_last_send_index: CounterVector::zeroed(n),
             restored_send_index: CounterVector::zeroed(n),
             last_ckpt_deliver_index: CounterVector::zeroed(n),
             peer_ckpt_advance: CounterVector::zeroed(n),

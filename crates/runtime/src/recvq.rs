@@ -20,6 +20,13 @@
 //! lane whose head candidate passes the gate is a legal next delivery
 //! ([`RecvQueue::eligible_sources`]).
 //!
+//! Under the batched data plane (DESIGN.md §11) messages arrive here
+//! a drained-ring batch at a time rather than one by one; arrival
+//! stamps are assigned at admission, so within a batch they follow
+//! ring (= per-sender transport) order and the cross-lane total order
+//! is whatever interleaving the drain observed — exactly the
+//! order-insensitivity the explorer already checks.
+//!
 //! [`DeliveryVerdict::Wait`]: lclog_core::DeliveryVerdict
 
 use crate::message::{AppWire, RecvSpec};
@@ -42,12 +49,27 @@ struct Stamped {
     wire: AppWire,
 }
 
+/// One sender's arrivals, in arrival order.
+#[derive(Debug, Default, Clone)]
+struct Lane {
+    entries: VecDeque<Stamped>,
+    /// Highest `send_index` ever pushed into this lane — an upper
+    /// bound on every queued entry. Lets [`RecvQueue::contains`]
+    /// reject above-bound probes without scanning, which is the
+    /// steady-state case: per-sender FIFO transport means every fresh
+    /// arrival carries a new high index, so admitting a B-message
+    /// backlog dedups in O(B) instead of O(B²). Below-bound probes
+    /// (recovery resends reusing pre-crash indices) fall back to the
+    /// lane scan.
+    ceil: u64,
+}
+
 /// FIFO-arrival buffer with matched extraction, laned per sender.
 #[derive(Debug, Default, Clone)]
 pub struct RecvQueue {
     /// `lanes[src]` holds that sender's arrivals in order. Lanes are
     /// grown on demand so the queue needs no up-front rank count.
-    lanes: Vec<VecDeque<Stamped>>,
+    lanes: Vec<Lane>,
     /// Next arrival stamp to hand out.
     next_arrival: u64,
     /// Total queued messages across all lanes.
@@ -63,7 +85,7 @@ impl RecvQueue {
     /// Empty queue with lanes pre-allocated for `ranks` senders.
     pub fn with_ranks(ranks: usize) -> Self {
         Self {
-            lanes: (0..ranks).map(|_| VecDeque::new()).collect(),
+            lanes: (0..ranks).map(|_| Lane::default()).collect(),
             next_arrival: 0,
             len: 0,
         }
@@ -84,19 +106,22 @@ impl RecvQueue {
     /// resends during recovery are dropped at ingestion.) Scans only
     /// the sender's own lane.
     pub fn contains(&self, src: Rank, send_index: u64) -> bool {
-        self.lanes
-            .get(src)
-            .is_some_and(|lane| lane.iter().any(|s| s.wire.send_index == send_index))
+        self.lanes.get(src).is_some_and(|lane| {
+            send_index <= lane.ceil
+                && lane.entries.iter().any(|s| s.wire.send_index == send_index)
+        })
     }
 
     /// Append an arrival.
     pub fn push(&mut self, pending: Pending) {
         if pending.src >= self.lanes.len() {
-            self.lanes.resize_with(pending.src + 1, VecDeque::new);
+            self.lanes.resize_with(pending.src + 1, Lane::default);
         }
         let arrival = self.next_arrival;
         self.next_arrival += 1;
-        self.lanes[pending.src].push_back(Stamped {
+        let lane = &mut self.lanes[pending.src];
+        lane.ceil = lane.ceil.max(pending.wire.send_index);
+        lane.entries.push_back(Stamped {
             arrival,
             wire: pending.wire,
         });
@@ -111,7 +136,7 @@ impl RecvQueue {
         spec: RecvSpec,
         gate: &mut impl FnMut(Rank, u64, &[u8]) -> bool,
     ) -> Option<usize> {
-        self.lanes[src].iter().position(|s| {
+        self.lanes[src].entries.iter().position(|s| {
             spec.matches(src, s.wire.tag) && gate(src, s.wire.send_index, &s.wire.piggyback)
         })
     }
@@ -139,14 +164,14 @@ impl RecvQueue {
         let mut best: Option<(u64, Rank, usize)> = None;
         for src in self.lane_range(spec) {
             if let Some(pos) = self.lane_candidate(src, spec, &mut gate) {
-                let arrival = self.lanes[src][pos].arrival;
+                let arrival = self.lanes[src].entries[pos].arrival;
                 if best.is_none_or(|(a, _, _)| arrival < a) {
                     best = Some((arrival, src, pos));
                 }
             }
         }
         let (_, src, pos) = best?;
-        let stamped = self.lanes[src].remove(pos).expect("candidate position");
+        let stamped = self.lanes[src].entries.remove(pos).expect("candidate position");
         self.len -= 1;
         Some(Pending {
             src,
@@ -169,7 +194,7 @@ impl RecvQueue {
         let mut found: Vec<(u64, Rank)> = Vec::new();
         for src in self.lane_range(spec) {
             if let Some(pos) = self.lane_candidate(src, spec, &mut gate) {
-                found.push((self.lanes[src][pos].arrival, src));
+                found.push((self.lanes[src].entries[pos].arrival, src));
             }
         }
         found.sort_unstable();
@@ -184,7 +209,8 @@ impl RecvQueue {
             .iter()
             .enumerate()
             .flat_map(|(src, lane)| {
-                lane.iter()
+                lane.entries
+                    .iter()
                     .map(move |s| (s.arrival, src, s.wire.send_index, s.wire.tag))
             })
             .collect();
@@ -196,15 +222,30 @@ impl RecvQueue {
 
     /// Drop queued messages from `src` whose `send_index` is already
     /// covered by the receiver's delivery counter (repetitive messages
-    /// that slipped in before the counter advanced). Touches only that
-    /// sender's lane.
+    /// that slipped in before the counter advanced). Touches only the
+    /// front of that sender's lane: O(dropped), normally zero.
+    ///
+    /// Front-only is sufficient because covered entries cannot hide
+    /// mid-lane — admission rejects indices at or below the counter
+    /// (`Admit::Repetitive`), `contains` dedup keeps at most one copy
+    /// per identity queued, and the counter only passes an index by
+    /// delivering that sole copy (which extraction removes). The
+    /// predecessor of this method ran a full-lane `retain` on every
+    /// delivery, which made draining a B-message backlog O(B²) — the
+    /// HP1 contended cell's 200k-send backlog took minutes to drain;
+    /// see `drains_large_backlog_in_linear_time`.
     pub fn drop_repetitive(&mut self, src: Rank, upto: u64) {
         let Some(lane) = self.lanes.get_mut(src) else {
             return;
         };
-        let before = lane.len();
-        lane.retain(|s| s.wire.send_index > upto);
-        self.len -= before - lane.len();
+        while lane
+            .entries
+            .front()
+            .is_some_and(|s| s.wire.send_index <= upto)
+        {
+            lane.entries.pop_front();
+            self.len -= 1;
+        }
     }
 }
 
@@ -275,6 +316,34 @@ mod tests {
         assert!(!q.contains(0, 1));
         assert!(q.contains(0, 2));
         assert!(q.contains(1, 1));
+    }
+
+    #[test]
+    fn drains_large_backlog_in_linear_time() {
+        // The batched data plane can admit a whole send backlog in one
+        // ingest round, then deliver it in one drain loop. Both halves
+        // must be O(backlog): `contains` short-circuits on the lane
+        // ceiling for every fresh (new-high-index) arrival, and
+        // `drop_repetitive` pops only covered front entries. The old
+        // full-lane scans made this O(B²) — at this B the test (and
+        // HP1's full-mode drain) ran for minutes instead of
+        // milliseconds.
+        const B: u64 = 100_000;
+        let mut q = RecvQueue::with_ranks(2);
+        for idx in 1..=B {
+            assert!(!q.contains(0, idx));
+            q.push(pending(0, 1, idx));
+        }
+        assert_eq!(q.len(), B as usize);
+        let mut counter = 0u64;
+        while let Some(p) =
+            q.take_first_matching(RecvSpec::any(), |_, idx, _| idx == counter + 1)
+        {
+            counter = p.wire.send_index;
+            q.drop_repetitive(0, counter);
+        }
+        assert_eq!(counter, B);
+        assert!(q.is_empty());
     }
 
     #[test]

@@ -2,44 +2,62 @@
 //! (CRC framing, sequencing, dedup, ack/retransmit, epochs) plus the
 //! *application-level* rendezvous acknowledgement counters.
 //!
-//! This is the innermost lock of the kernel's hierarchy: it is taken
-//! on every wire transmission and every raw-envelope ingestion, and
-//! never held while any other kernel lock is acquired — `ingest`
-//! strips the transport frame under this lock, releases it, and only
-//! then dispatches the inner message to the layer that owns it.
+//! Since the per-peer transport sharding this layer is **lock-free at
+//! this level**: the transport shards internally per peer, the
+//! rendezvous counters are atomics, and only the failure detector —
+//! cold-path, tick-driven — sits behind its own small mutex. The
+//! kernel embeds `Reliability` directly (no `Mutex<Reliability>` leaf
+//! lock), so wire transmissions and raw-envelope ingestions on
+//! different channels never serialize against each other.
 
 use crate::detector::Detector;
 use crate::message::WireMsg;
+use crate::ring::AtomicCounters;
 use crate::transport::Transport;
 use bytes::Bytes;
-use lclog_core::{CounterVector, Rank};
+use lclog_core::Rank;
 use lclog_simnet::Envelope;
+use parking_lot::Mutex;
 
-/// Transport + rendezvous-ack state.
+/// Transport + rendezvous-ack state. All methods take `&self`.
 pub(crate) struct Reliability {
     pub transport: Transport,
-    /// Highest acknowledged rendezvous send per destination.
-    pub acked: CounterVector,
-    /// φ-accrual failure detector (detected-failures mode only). Lives
-    /// here so its liveness feed — intact frames surfaced by the
-    /// transport — never needs another lock.
-    pub detector: Option<Detector>,
+    /// Highest acknowledged rendezvous send per destination
+    /// (monotone, so lock-free max-updates are safe).
+    pub acked: AtomicCounters,
+    /// φ-accrual failure detector (detected-failures mode only).
+    /// Tick-driven cold path; its own leaf mutex, never held across
+    /// any other kernel lock.
+    detector: Mutex<Option<Detector>>,
+    /// Lock-free fast check so the per-ingest detector feed costs
+    /// nothing when no detector is installed (the common case).
+    has_detector: bool,
 }
 
 impl Reliability {
     pub fn new(transport: Transport, n: usize) -> Self {
         Reliability {
             transport,
-            acked: CounterVector::zeroed(n),
-            detector: None,
+            acked: AtomicCounters::zeroed(n),
+            detector: Mutex::new(None),
+            has_detector: false,
         }
     }
 
     /// Install the failure detector and switch the transport's budget
-    /// verdicts to suspicion inputs.
+    /// verdicts to suspicion inputs. Construction-time only (`&mut`).
     pub fn set_detector(&mut self, detector: Detector) {
         self.transport.set_suspicion_mode(true);
-        self.detector = Some(detector);
+        *self.detector.get_mut() = Some(detector);
+        self.has_detector = true;
+    }
+
+    /// Run `f` against the installed detector, if any.
+    pub fn with_detector<R>(&self, f: impl FnOnce(&mut Detector) -> R) -> Option<R> {
+        if !self.has_detector {
+            return None;
+        }
+        self.detector.lock().as_mut().map(f)
     }
 
     /// Send one wire message reliably to `dst`.
@@ -53,36 +71,44 @@ impl Reliability {
     /// The frame (CRC + header + encoded message) is built in one
     /// pass into one allocation; the returned `Bytes` is the
     /// encoded-message region of that frame as a zero-copy window,
-    /// which `app_send` hands to the sender log.
-    pub fn send_wire(&mut self, dst: Rank, msg: &WireMsg) -> Bytes {
+    /// which `app_send` hands to the sender log. Locks only the
+    /// destination's channel shard.
+    pub fn send_wire(&self, dst: Rank, msg: &WireMsg) -> Bytes {
         self.transport.send_msg(dst, msg)
     }
 
     /// Resend an already-encoded wire message (a window into the
     /// sender log) with zero payload copies — only a small frame
     /// header is built fresh.
-    pub fn send_encoded(&mut self, dst: Rank, inner: Bytes) {
+    pub fn send_encoded(&self, dst: Rank, inner: Bytes) {
         self.transport.send_encoded(dst, inner);
     }
 
     /// Strip the transport frame off one raw envelope. Returns the
     /// inner encoded [`WireMsg`] (`None` for control frames,
     /// duplicates, and corrupt envelopes). Intact frames double as
-    /// liveness evidence for the detector.
-    pub fn ingest(&mut self, env: Envelope) -> Option<bytes::Bytes> {
+    /// liveness evidence for the detector. Acks are coalesced: finish
+    /// a batch of ingests with [`Reliability::flush_acks`].
+    pub fn ingest(&self, env: Envelope) -> Option<Bytes> {
         let inner = self.transport.ingest(env);
-        if let Some(det) = &mut self.detector {
+        if self.has_detector {
             let now = self.transport.clock().now();
-            self.transport.take_heard(|rank| det.heard(rank, now));
+            self.with_detector(|det| {
+                self.transport.take_heard(|rank| det.heard(rank, now));
+            });
         }
         inner
     }
 
+    /// Flush the transport's coalesced cumulative acks (one frame per
+    /// peer that sent data since the last flush).
+    pub fn flush_acks(&self) {
+        self.transport.flush_acks();
+    }
+
     /// Record proof that `peer` has consumed our messages up to
     /// `upto` — implicit acknowledgement for any pending rendezvous.
-    pub fn note_consumed(&mut self, peer: Rank, upto: u64) {
-        if upto > self.acked.get(peer) {
-            self.acked.set(peer, upto);
-        }
+    pub fn note_consumed(&self, peer: Rank, upto: u64) {
+        self.acked.max_up(peer, upto);
     }
 }

@@ -86,7 +86,12 @@ pub fn spawn_event_logger(
                     Err(_) => return,
                 };
                 let src = env.src;
-                let Some(inner) = transport.ingest(env) else {
+                let inner = transport.ingest(env);
+                // Inbound data frames mark their channel ack-pending;
+                // the service is single-threaded and cold, so flush
+                // the coalesced ack right away.
+                transport.flush_acks();
+                let Some(inner) = inner else {
                     continue;
                 };
                 backoff.reset();

@@ -418,9 +418,14 @@ fn worker_sweeps<A: TaskApp>(w: WorkerCtx<'_, A>) {
     loop {
         let mut progressed = false;
         for slot in w.slots.iter_mut() {
-            // 1. Drain the fabric inbox.
+            // 1. Drain the fabric inbox as one batch (one delivery
+            // acquisition, coalesced acks).
+            let mut batch = Vec::new();
             while let Ok(env) = slot.endpoint.try_recv() {
-                slot.kernel.ingest(env);
+                batch.push(env);
+            }
+            if !batch.is_empty() {
+                slot.kernel.ingest_batch(batch);
                 progressed = true;
             }
             if !slot.done {

@@ -108,6 +108,15 @@ impl Bencher {
         }
     }
 
+    /// Hands the iteration count to `routine`, which returns its own
+    /// measured duration — criterion's escape hatch for loops that
+    /// must time multi-threaded work as one wall-clock interval.
+    pub fn iter_custom(&mut self, mut routine: impl FnMut(u64) -> Duration) {
+        let iters = self.samples as u64;
+        self.total += routine(iters);
+        self.iters += iters;
+    }
+
     /// Times `routine` on inputs produced (untimed) by `setup`.
     pub fn iter_batched<I, O>(
         &mut self,
