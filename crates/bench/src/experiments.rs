@@ -642,33 +642,76 @@ pub fn ablation_detector(n: usize) -> Table {
 }
 
 /// EXP1: schedule exploration — the TDI order-insensitivity claim
-/// checked over every (or, above n = 3, a seeded sample of) legal
-/// delivery interleaving of an `MPI_ANY_SOURCE` gather workload. The
-/// final row injects an order-sensitive fold to demonstrate that the
-/// explorer detects order dependence when it exists and shrinks the
-/// offending schedule to a minimal replayable trace.
+/// checked over every legal delivery interleaving of an
+/// `MPI_ANY_SOURCE` gather workload, now with **fault choice points**
+/// (crash, crash+wipe, forced detector verdicts) and **DPOR**
+/// sleep-set reduction. Brute-force rows enumerate the raw tree; dpor
+/// rows cover the same outcomes in a fraction of the executions
+/// (`reduction` = brute schedules / dpor executions, only reported
+/// when the brute row exhausted). The final row injects an
+/// order-sensitive fold to demonstrate the explorer detects order
+/// dependence when it exists — its shrunk counterexample is written to
+/// `results/explore_counterexample.case` for `--replay`.
 pub fn explore_table(quick: bool) -> Table {
-    use lclog_explore::{explore_exhaustive, explore_sampled, ExploreConfig, Fold, Workload};
+    use lclog_explore::{
+        explore_dpor, explore_exhaustive, explore_sampled, ExploreConfig, ExploreReport,
+        FaultBudget, Fold, ReplayCase, Workload,
+    };
 
     let mut t = Table::new(
-        "EXP1 — Schedule exploration: digests & depend_interval across legal interleavings (TDI)",
+        "EXP1 — Schedule exploration: digests & depend_interval across legal interleavings, faults included",
         &[
-            "workload", "mode", "schedules", "exhausted", "max_arity", "agree", "counterexample",
+            "workload", "mode", "protocol", "faults", "schedules", "blocked", "wedged",
+            "exhausted", "reduction", "agree", "counterexample",
         ],
     );
-    let cfg = ExploreConfig {
-        max_schedules: if quick { 5_000 } else { 50_000 },
+    let base = ExploreConfig {
+        max_schedules: if quick { 40_000 } else { 500_000 },
         samples: if quick { 32 } else { 256 },
         ..Default::default()
     };
-
-    let mut row = |label: &str, mode: &str, report: &lclog_explore::ExploreReport| {
+    let fault_label = |f: &FaultBudget| {
+        if f.total() == 0 {
+            "-".to_string()
+        } else {
+            let mut parts = Vec::new();
+            if f.crashes > 0 {
+                parts.push(format!("crash x{}", f.crashes));
+            }
+            if f.wipes > 0 {
+                parts.push(format!("wipe x{}", f.wipes));
+            }
+            if f.suspects > 0 {
+                parts.push(format!("suspect x{}", f.suspects));
+            }
+            if f.window > 0 {
+                parts.push(format!("w<{}", f.window));
+            }
+            parts.join(" ")
+        }
+    };
+    let mut row = |label: &str,
+                   mode: &str,
+                   cfg: &ExploreConfig,
+                   report: &ExploreReport,
+                   brute: Option<&ExploreReport>| {
+        let executions = report.schedules + report.sleep_blocked;
+        let reduction = match brute {
+            Some(b) if b.exhausted && executions > 0 => {
+                format!("{:.1}x", b.schedules as f64 / executions as f64)
+            }
+            _ => "-".into(),
+        };
         t.row(vec![
             label.to_string(),
             mode.to_string(),
+            cfg.protocol.name().to_string(),
+            fault_label(&cfg.faults),
             report.schedules.to_string(),
+            report.sleep_blocked.to_string(),
+            report.wedged.to_string(),
             report.exhausted.to_string(),
-            report.max_arity.to_string(),
+            reduction,
             report.divergence.is_none().to_string(),
             match &report.divergence {
                 None => "-".into(),
@@ -677,26 +720,127 @@ pub fn explore_table(quick: bool) -> Table {
         ]);
     };
 
-    for n in [2usize, 3] {
-        let rounds = if quick { 2 } else { 3 };
-        let w = Workload::rotating_gather(n, rounds);
-        let report = explore_exhaustive(&w, &cfg);
-        row(&format!("gather n={n} r={rounds}"), "exhaustive", &report);
+    // Fault-free n=3: brute vs DPOR, dense and sparse codecs. The
+    // acceptance bar: reduction > 1 for both protocols, identical
+    // digest censuses (a census mismatch surfaces as `agree=false`
+    // downstream in CI via the test suite's census pin).
+    let rounds = if quick { 2 } else { 3 };
+    let w3 = Workload::rotating_gather(3, rounds);
+    for protocol in [ProtocolKind::Tdi, ProtocolKind::TdiSparse(4)] {
+        let cfg = ExploreConfig { protocol, ..base };
+        let label = format!("gather n=3 r={rounds}");
+        let brute = explore_exhaustive(&w3, &cfg);
+        row(&label, "brute", &cfg, &brute, None);
+        let dpor = explore_dpor(&w3, &cfg);
+        row(&label, "dpor", &cfg, &dpor, Some(&brute));
     }
+
+    // Single-crash matrix at n=3: every schedule of the two-round
+    // gather with a crash of any live rank injectable before any
+    // enabled action. Brute enumerates fault alternatives too, so the
+    // reduction factor is like-for-like.
+    let crash1 = FaultBudget {
+        crashes: 1,
+        ..FaultBudget::none()
+    };
+    let wc = Workload::rotating_gather(3, 2);
+    for protocol in [ProtocolKind::Tdi, ProtocolKind::TdiSparse(4)] {
+        let cfg = ExploreConfig {
+            protocol,
+            faults: crash1,
+            ..base
+        };
+        let brute = explore_exhaustive(&wc, &cfg);
+        row("gather n=3 r=2", "brute", &cfg, &brute, None);
+        let dpor = explore_dpor(&wc, &cfg);
+        row("gather n=3 r=2", "dpor", &cfg, &dpor, Some(&brute));
+    }
+
+    // Crash + storage wipe with checkpointing on: the victim falls
+    // back past its wiped checkpoint and replays under survivor log
+    // resends (log_gc_lag keeps one generation resendable).
+    {
+        let cfg = ExploreConfig {
+            faults: FaultBudget {
+                wipes: 1,
+                ..FaultBudget::none()
+            },
+            ..base
+        };
+        let ww = Workload::rotating_gather(3, 2).with_checkpoints(2);
+        let dpor = explore_dpor(&ww, &cfg);
+        row("gather n=3 r=2 ckpt2", "dpor", &cfg, &dpor, None);
+    }
+
+    // Crash composed with a detector verdict (true kill or false
+    // suspicion of a survivor) — two faults per schedule, so the
+    // one-round gather keeps the product of positions enumerable.
+    {
+        let cfg = ExploreConfig {
+            faults: FaultBudget {
+                crashes: 1,
+                suspects: 1,
+                ..FaultBudget::none()
+            },
+            ..base
+        };
+        let wp = Workload::rotating_gather(3, 1);
+        let dpor = explore_dpor(&wp, &cfg);
+        row("gather n=3 r=1", "dpor", &cfg, &dpor, None);
+    }
+
+    // Exhaustive n=4 single-crash matrix: one crash, any target, any
+    // position, all downstream interleavings. Only application frames
+    // are choice points (protocol traffic flushes eagerly), which is
+    // what keeps this enumerable; see DESIGN.md §12.
+    {
+        let cfg = ExploreConfig {
+            faults: FaultBudget {
+                crashes: 1,
+                ..FaultBudget::none()
+            },
+            ..base
+        };
+        let w4 = Workload::rotating_gather(4, 1);
+        let dpor = explore_dpor(&w4, &cfg);
+        row("gather n=4 r=1", "dpor", &cfg, &dpor, None);
+    }
+
+    // Sampled fault-free n=4 — the tree is too large to enumerate.
     {
         let w = Workload::rotating_gather(4, if quick { 2 } else { 4 });
-        let report = explore_sampled(&w, &cfg);
-        row("gather n=4", "sampled", &report);
+        let report = explore_sampled(&w, &base);
+        row("gather n=4", "sampled", &base, &report, None);
     }
+
+    // The injected mutation: same workload, order-sensitive fold. The
+    // explorer must disagree; its shrunk trace becomes a replayable
+    // counterexample case file.
     {
-        // The injected mutation: same workload, order-sensitive fold.
         let mut w = Workload::rotating_gather(3, 2);
         w.fold = Fold::OrderSensitive;
-        let report = explore_exhaustive(&w, &cfg);
+        let report = explore_exhaustive(&w, &base);
+        if let Some(div) = &report.divergence {
+            let mut case = ReplayCase::gather(3, 2, div.shrunk.clone());
+            case.fold = Fold::OrderSensitive;
+            let dir = std::path::Path::new("results");
+            if std::fs::create_dir_all(dir).is_ok() {
+                let path = dir.join("explore_counterexample.case");
+                if std::fs::write(&path, case.to_string()).is_ok() {
+                    println!(
+                        "(saved {} — replay with `reproduce -- explore --replay {}`)",
+                        path.display(),
+                        path.display()
+                    );
+                }
+            }
+        }
         row(
             "gather n=3 ORDER-SENSITIVE (expect disagree)",
-            "exhaustive",
+            "brute",
+            &base,
             &report,
+            None,
         );
     }
     t

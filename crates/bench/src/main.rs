@@ -5,9 +5,13 @@
 //!                       ablation-ckpt|ablation-protocols|ablation-f|
 //!                       ablation-chaos|data-plane|detector|explore|
 //!                       log-ship|scaling|hotpath|all]
+//! reproduce explore --replay <case-file>
 //! ```
 //!
 //! Tables are printed to stdout and archived as CSV under `results/`.
+//! `--replay` re-executes a counterexample case file (written by the
+//! explore table on divergence) through the deterministic runner and
+//! prints the per-step timeline.
 
 use lclog_bench::experiments::{
     ablation_chaos, ablation_ckpt, ablation_detector, ablation_f_bound, ablation_protocols,
@@ -31,8 +35,58 @@ fn save(table: &Table, name: &str) {
     }
 }
 
+/// Replay a counterexample case file through the deterministic runner
+/// and print a per-step timeline. Returns an error string for `main`
+/// to surface with a nonzero exit.
+fn replay(path: &str) -> Result<(), String> {
+    use lclog_explore::{replay_trace, ReplayCase, Verdict};
+
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let case: ReplayCase = text.parse().map_err(|e| format!("{path}: {e}"))?;
+    println!("replaying {path}");
+    print!("{case}");
+    println!();
+    let (out, timeline) = replay_trace(&case);
+    for (i, step) in timeline.iter().enumerate() {
+        println!(
+            "  step {i:3}  {}{}",
+            step.action,
+            if step.chosen() {
+                format!("  [picked {} of {}]", step.picked, step.arity)
+            } else {
+                String::new()
+            }
+        );
+    }
+    println!();
+    match &out.verdict {
+        Verdict::Completed => println!("verdict: completed"),
+        Verdict::Wedged { unfinished } => {
+            println!("verdict: WEDGED — unfinished ranks {unfinished:?}")
+        }
+        Verdict::Desynced => println!("verdict: DESYNCED"),
+        Verdict::Aborted => println!("verdict: aborted by decider"),
+    }
+    println!("faults injected: {}", out.faults_injected);
+    println!("delivered:       {}", out.delivered);
+    println!("digests:         {:?}", out.digests);
+    Ok(())
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(pos) = args.iter().position(|a| a == "--replay") {
+        let Some(path) = args.get(pos + 1) else {
+            eprintln!("--replay requires a case-file path");
+            std::process::exit(2);
+        };
+        if let Err(e) = replay(path) {
+            eprintln!("replay failed: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
     let quick = args.iter().any(|a| a == "--quick");
     let which: Vec<&str> = args
         .iter()
@@ -126,7 +180,7 @@ fn main() {
     if all || which.contains(&"explore") {
         let t = explore_table(quick);
         print!("{}", t.render());
-        save(&t, "explore_schedules");
+        save(&t, "explore");
         println!();
     }
     if all || which.contains(&"log-ship") {

@@ -1,37 +1,44 @@
 //! Choice-point strategies.
 //!
-//! The runner consults a [`Decider`] whenever more than one legal next
-//! action exists. Everything else about a run is deterministic, so the
-//! decider *is* the schedule.
+//! The runner consults a [`Decider`] at every step — including forced
+//! steps with a single legal action, which DPOR needs to see for its
+//! sleep-set bookkeeping. Everything else about a run is
+//! deterministic, so the decider *is* the schedule.
 
+use crate::runner::Alt;
 use crate::trace::Trace;
 
-/// Supplies the branch taken at each choice point.
+/// Supplies the branch taken at each step.
 ///
-/// `choose(arity)` is called once per choice point with `arity >= 2`
-/// alternatives and must return an index in `0..arity`; the runner
-/// clamps out-of-range answers rather than panicking so that traces
-/// recorded under one alternative set stay replayable after the set
-/// shrinks.
+/// `choose(alts)` is called once per executed step with the canonical
+/// alternative list (never empty) and returns the index to execute;
+/// out-of-range answers are clamped rather than panicking so that
+/// traces recorded under one alternative set stay replayable after
+/// the set shrinks. Returning `None` abandons the run — the runner
+/// reports [`crate::Verdict::Aborted`] — which the DPOR engine uses
+/// to prune sleep-blocked continuations.
 pub trait Decider {
-    /// Pick one of `arity` alternatives.
-    fn choose(&mut self, arity: usize) -> usize;
+    /// Pick one of `alts.len()` alternatives, or `None` to abandon
+    /// the run.
+    fn choose(&mut self, alts: &[Alt]) -> Option<usize>;
 }
 
 /// Always picks branch 0 — the runtime's own default behavior
-/// (earliest arrival, first eligible sender).
+/// (earliest arrival, first eligible sender, never a fault).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct FirstDecider;
 
 impl Decider for FirstDecider {
-    fn choose(&mut self, _arity: usize) -> usize {
-        0
+    fn choose(&mut self, _alts: &[Alt]) -> Option<usize> {
+        Some(0)
     }
 }
 
-/// Replays a recorded [`Trace`]; choice points past the end of the
-/// trace take branch 0. This is both the replay mechanism and the DFS
-/// prefix-execution mechanism.
+/// Replays a recorded [`Trace`]; trace positions are consumed only at
+/// real choice points (two or more alternatives — forced steps replay
+/// for free), and positions past the end of the trace take branch 0.
+/// This is both the replay mechanism and the DFS prefix-execution
+/// mechanism.
 #[derive(Debug, Clone)]
 pub struct TraceDecider {
     trace: Trace,
@@ -46,15 +53,20 @@ impl TraceDecider {
 }
 
 impl Decider for TraceDecider {
-    fn choose(&mut self, arity: usize) -> usize {
+    fn choose(&mut self, alts: &[Alt]) -> Option<usize> {
+        if alts.len() < 2 {
+            return Some(0);
+        }
         let picked = self.trace.as_slice().get(self.pos).copied().unwrap_or(0);
         self.pos += 1;
-        picked.min(arity.saturating_sub(1))
+        Some(picked.min(alts.len() - 1))
     }
 }
 
 /// Seeded pseudo-random schedule sampling (xorshift64*) for trees too
-/// large to enumerate. The same seed always walks the same schedule.
+/// large to enumerate. The same seed always walks the same schedule;
+/// entropy is consumed only at real choice points so forced steps do
+/// not shift the stream.
 #[derive(Debug, Clone)]
 pub struct SeededDecider {
     state: u64,
@@ -71,34 +83,48 @@ impl SeededDecider {
 }
 
 impl Decider for SeededDecider {
-    fn choose(&mut self, arity: usize) -> usize {
+    fn choose(&mut self, alts: &[Alt]) -> Option<usize> {
+        if alts.len() < 2 {
+            return Some(0);
+        }
         let mut x = self.state;
         x ^= x << 13;
         x ^= x >> 7;
         x ^= x << 17;
         self.state = x;
-        (x.wrapping_mul(0x2545_f491_4f6c_dd1d) % arity.max(1) as u64) as usize
+        Some((x.wrapping_mul(0x2545_f491_4f6c_dd1d) % alts.len() as u64) as usize)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use lclog_core::Rank;
+
+    fn alts(n: usize) -> Vec<Alt> {
+        (0..n)
+            .map(|i| Alt::Release {
+                src: i as Rank,
+                dst: 0,
+            })
+            .collect()
+    }
 
     #[test]
     fn trace_decider_clamps_and_defaults() {
         let mut d = TraceDecider::new(vec![5, 1].into());
-        assert_eq!(d.choose(3), 2); // clamped from 5
-        assert_eq!(d.choose(4), 1);
-        assert_eq!(d.choose(2), 0); // past the end
+        assert_eq!(d.choose(&alts(3)), Some(2)); // clamped from 5
+        assert_eq!(d.choose(&alts(1)), Some(0)); // forced: no position consumed
+        assert_eq!(d.choose(&alts(4)), Some(1));
+        assert_eq!(d.choose(&alts(2)), Some(0)); // past the end
     }
 
     #[test]
     fn seeded_decider_is_reproducible() {
         let mut a = SeededDecider::new(42);
         let mut b = SeededDecider::new(42);
-        for arity in [2usize, 3, 5, 7, 2, 9] {
-            assert_eq!(a.choose(arity), b.choose(arity));
+        for arity in [2usize, 3, 5, 1, 7, 2, 9] {
+            assert_eq!(a.choose(&alts(arity)), b.choose(&alts(arity)));
         }
     }
 }

@@ -22,15 +22,32 @@
 //!   point). Control frames (acks, heartbeats) are flushed eagerly —
 //!   they cannot change application-visible behavior while virtual
 //!   time is frozen, so branching on them would only pad the tree.
+//! * **Faults are choice points too.** With a nonzero [`FaultBudget`]
+//!   the scheduler may, at any quiescent step, crash a rank
+//!   ([`Alt::Crash`]), crash it *and* wipe its stable storage
+//!   ([`Alt::CrashWipe`]), or force the failure detector's hand
+//!   ([`Alt::Suspect`] — a verdict `true` kills the suspect, `false`
+//!   fences a live rank as a zombie). Recovery, replay, and fencing
+//!   then run over the same held fabric, so crash-interleaved
+//!   schedules stay pure functions of `(workload, trace)` and their
+//!   digests must *still* match the fault-free baseline.
 //! * [`explore_exhaustive`] enumerates the full decision tree by
 //!   trace-prefix re-execution (the stateless-model-checking loop);
 //!   [`explore_sampled`] walks seeded random schedules when the tree
 //!   is too large. Both compare every run's per-rank digests and
 //!   TDI `depend_interval` vectors against the first run.
+//! * [`explore_dpor`] covers the same tree with dynamic partial-order
+//!   reduction: an independence relation over [`Alt`]s drives sleep
+//!   sets that skip schedules equivalent to ones already executed,
+//!   and the root frontier can be partitioned across worker threads
+//!   (`ExploreConfig::workers`). Same digest census, a fraction of
+//!   the executions; see `DESIGN.md` §12.
 //! * On divergence, [`shrink`] greedily minimizes the offending
 //!   [`Trace`] — truncating the tail and zeroing decisions while the
 //!   mismatch reproduces — so the report carries a minimal replayable
-//!   counterexample instead of a thousand-step schedule.
+//!   counterexample instead of a thousand-step schedule. Schedules
+//!   that stop making progress are first-class outcomes
+//!   ([`Verdict::Wedged`]) rather than watchdog timeouts.
 //!
 //! [`DeliveryModel::Held`]: lclog_simnet::DeliveryModel::Held
 //! [`SimClock`]: lclog_simnet::SimClock
@@ -39,14 +56,20 @@
 
 mod decider;
 mod explorer;
+mod replay;
 mod runner;
 mod trace;
 mod workload;
 
 pub use decider::{Decider, FirstDecider, SeededDecider, TraceDecider};
 pub use explorer::{
-    explore_exhaustive, explore_sampled, shrink, Divergence, ExploreConfig, ExploreReport,
+    explore_dpor, explore_exhaustive, explore_sampled, shrink, Divergence, ExploreConfig,
+    ExploreReport,
 };
-pub use runner::{run_schedule, run_schedule_with, Choice, RunOutcome};
+pub use replay::{replay_trace, ReplayCase, ReplayStep};
+pub use runner::{
+    run_schedule, run_schedule_cfg, run_schedule_with, Alt, FaultBudget, RunOutcome, RunnerConfig,
+    Step, Verdict,
+};
 pub use trace::Trace;
 pub use workload::{Fold, Op, Payload, Workload};

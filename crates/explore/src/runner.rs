@@ -1,5 +1,6 @@
 //! Deterministic single-threaded execution of a [`Workload`] over real
-//! [`Kernel`]s.
+//! [`Kernel`]s — including crash, wipe, and detector-verdict injection
+//! as schedule choice points.
 //!
 //! The runner owns everything that is normally concurrent: the fabric
 //! runs in [held mode](lclog_simnet::DeliveryModel::Held) so sends park
@@ -7,29 +8,41 @@
 //! kernel-path timestamp reads a shared [`SimClock`], and there are no
 //! engine threads — the runner drives `ingest`/`try_deliver` itself.
 //! With wall time frozen the transport never retransmits, so each
-//! application message crosses the fabric exactly once and the *only*
-//! degrees of freedom left are the ones the explorer wants to permute:
+//! application message crosses the fabric exactly once and the degrees
+//! of freedom left are exactly the ones the explorer wants to permute:
 //!
 //! 1. **arrival order** — which held data frame is released next
 //!    (subject to per-channel FIFO, the same guarantee real MPI gives);
 //! 2. **extraction order** — which eligible sender an `ANY_SOURCE`
 //!    receive takes (the `RecvQueue` choice the paper's
-//!    order-insensitivity argument is about).
+//!    order-insensitivity argument is about);
+//! 3. **fault placement** — when a rank crashes ([`Alt::Crash`]), when
+//!    it crashes *and* loses its local store ([`Alt::CrashWipe`]), and
+//!    what the failure detector concludes ([`Alt::Suspect`] — a true
+//!    verdict kills the rank and fences its incarnation, a false one
+//!    fences a rank that is still running).
 //!
 //! Everything else is *forced* and executed eagerly to a fixpoint
 //! between choice points: endpoint drains, control-frame flushes
-//! (acks cannot change application-visible behavior while the clock is
-//! frozen — branching on them would only pad the tree with
-//! semantically identical schedules), sends, and source-specific
-//! receives (their delivery order is already fixed by channel FIFO).
+//! (acks, `ROLLBACK`/`RESPONSE`, membership views — they cannot change
+//! application-visible behavior while the clock is frozen and their
+//! processing is order-insensitive at the reliability layer), sends,
+//! source-specific receives (delivery order already fixed by channel
+//! FIFO), checkpoints at fixed program positions, and zombie
+//! retirement. Recovery after an injected fault rides the *real*
+//! protocol machinery — `begin_recovery`, `ROLLBACK` broadcast,
+//! survivor `RESPONSE`s and sender-log resends — with the resent data
+//! frames parking in held channels like any other send, so the
+//! interleaving of recovery traffic with ordinary traffic is itself
+//! explored.
 
 use std::sync::Arc;
 use std::time::Duration;
 
 use bytes::Bytes;
-use lclog_core::{ProtocolKind, Rank};
+use lclog_core::{MembershipView, ProtocolKind, Rank};
 use lclog_runtime::{
-    payload_is_data_frame, AppMsg, CheckpointPolicy, Clock, Kernel, RecvSpec, RunConfig,
+    payload_is_app_frame, AppMsg, CheckpointPolicy, Clock, Kernel, RecvSpec, RunConfig,
 };
 use lclog_simnet::{Endpoint, NetConfig, SimClock, SimNet};
 use lclog_stable::{CheckpointStore, MemStore};
@@ -38,14 +51,165 @@ use crate::decider::Decider;
 use crate::trace::Trace;
 use crate::workload::{Op, Workload};
 
-/// One recorded choice point (only points with two or more legal
-/// alternatives are recorded; forced steps do not consume decisions).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct Choice {
-    /// Branch taken, in `0..arity`.
+/// A legal next action at a choice point. The runner enumerates these
+/// in a deterministic order (extractions by rank in arrival order,
+/// then releases in sorted channel order, then fault alternatives), so
+/// branch indices are stable across replays of the same prefix — and
+/// index 0 is never a fault while a regular action exists, which keeps
+/// the all-defaults baseline schedule fault-free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Alt {
+    /// Extract the queued deliverable message from `src` for the
+    /// `ANY_SOURCE` receive `rank` is blocked on.
+    Deliver {
+        /// The receiving rank.
+        rank: Rank,
+        /// The sender whose queued message is extracted.
+        src: Rank,
+        /// The receive's application tag.
+        tag: u32,
+    },
+    /// Release the held data frame at the head of channel `src → dst`.
+    Release {
+        /// Channel source.
+        src: Rank,
+        /// Channel destination.
+        dst: Rank,
+    },
+    /// Kill `rank` unannounced and respawn it through checkpoint
+    /// restore + rollback recovery. In-flight frames *toward* the rank
+    /// die with it; frames it already sent stay in flight (a real
+    /// crash cannot recall datagrams).
+    Crash {
+        /// The victim.
+        rank: Rank,
+    },
+    /// [`Alt::Crash`] plus node loss: the victim's local checkpoint
+    /// store is wiped, so the respawn restores from scratch and
+    /// replays its whole program under survivor log resends.
+    CrashWipe {
+        /// The victim.
+        rank: Rank,
+    },
+    /// Force a detector verdict on `rank`: the explorer synthesizes
+    /// the certified membership view a real arbiter would publish and
+    /// applies it to every survivor. `real: true` additionally kills
+    /// the rank first (correct detection); `real: false` leaves it
+    /// running as a fenced zombie (false suspicion) — it keeps
+    /// executing until a survivor rejects one of its frames or it
+    /// finishes, then is forcibly retired through the rollback path.
+    Suspect {
+        /// The suspected rank.
+        rank: Rank,
+        /// Whether the rank really is dead (`true`) or falsely
+        /// suspected (`false`).
+        real: bool,
+    },
+}
+
+impl std::fmt::Display for Alt {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Alt::Deliver { rank, src, tag } => write!(f, "deliver {rank}<-{src} tag {tag}"),
+            Alt::Release { src, dst } => write!(f, "release {src}->{dst}"),
+            Alt::Crash { rank } => write!(f, "crash {rank}"),
+            Alt::CrashWipe { rank } => write!(f, "crash+wipe {rank}"),
+            Alt::Suspect { rank, real: true } => write!(f, "suspect {rank} (true)"),
+            Alt::Suspect { rank, real: false } => write!(f, "suspect {rank} (false)"),
+        }
+    }
+}
+
+/// How many fault choice points a single schedule may take. Faults are
+/// offered as alternatives at every choice point that still has a
+/// regular action, each category drawing down its own budget; all-zero
+/// (the default) reproduces fault-free exploration exactly.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultBudget {
+    /// Unannounced crash+respawn injections ([`Alt::Crash`]).
+    pub crashes: usize,
+    /// Crash+store-wipe injections ([`Alt::CrashWipe`]).
+    pub wipes: usize,
+    /// Forced detector verdicts ([`Alt::Suspect`], true and false).
+    pub suspects: usize,
+    /// Fault alternatives are only offered during the first `window`
+    /// executed steps of a schedule (`0` = anywhere). Faults are
+    /// dependent with everything, so the fault-position axis is not
+    /// DPOR-reducible — the window is the explicit bound that keeps
+    /// larger matrices (e.g. the exhaustive n=4 single-crash table)
+    /// finite, trading late-schedule injection points (whose recovery
+    /// has the least left to replay) for tractability.
+    pub window: usize,
+}
+
+impl FaultBudget {
+    /// No faults — pure schedule exploration.
+    pub fn none() -> Self {
+        FaultBudget::default()
+    }
+
+    /// Total injections this budget still allows.
+    pub fn total(&self) -> usize {
+        self.crashes + self.wipes + self.suspects
+    }
+}
+
+/// Everything the runner needs besides the workload and the decider.
+#[derive(Debug, Clone, Copy)]
+pub struct RunnerConfig {
+    /// Tracking protocol under test.
+    pub protocol: ProtocolKind,
+    /// Fault choice points a schedule may spend.
+    pub faults: FaultBudget,
+}
+
+impl Default for RunnerConfig {
+    fn default() -> Self {
+        RunnerConfig {
+            protocol: ProtocolKind::Tdi,
+            faults: FaultBudget::none(),
+        }
+    }
+}
+
+/// How a run ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// Every rank finished its program and no recovery is pending.
+    Completed,
+    /// The schedule stalled: unfinished ranks exist but no legal
+    /// action does. Surfaced as a first-class outcome (with the trace
+    /// that reached it) instead of tripping a wall-clock watchdog.
+    Wedged {
+        /// Ranks with program steps left (or stuck mid-recovery).
+        unfinished: Vec<Rank>,
+    },
+    /// Some kernel flagged a tracking desync (always a defect).
+    Desynced,
+    /// The decider abandoned the run (`choose` returned `None`) — the
+    /// DPOR engine prunes sleep-blocked continuations this way. Not a
+    /// defect and not a distinct schedule.
+    Aborted,
+}
+
+/// One executed step: the full alternative set that was legal at that
+/// point (in canonical order) and the branch taken. Forced steps
+/// (arity 1) are recorded too — the DPOR engine needs every executed
+/// action to maintain its sleep sets, even where no branching was
+/// possible.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Step {
+    /// The legal alternatives, canonically ordered.
+    pub alts: Vec<Alt>,
+    /// Index of the alternative executed.
     pub picked: usize,
-    /// Number of legal alternatives that existed.
-    pub arity: usize,
+}
+
+impl Step {
+    /// The action this step executed.
+    pub fn action(&self) -> Alt {
+        self.alts[self.picked]
+    }
 }
 
 /// Everything observable about one schedule's execution.
@@ -59,52 +223,55 @@ pub struct RunOutcome {
     /// vector — so outcomes from different codecs of the same protocol
     /// cross-check directly.
     pub interval_vectors: Vec<Option<Vec<u64>>>,
-    /// The choice points this run hit, with the branch taken at each.
-    pub choices: Vec<Choice>,
-    /// Messages delivered to application receives across all ranks.
+    /// Every executed step with its full alternative set.
+    pub steps: Vec<Step>,
+    /// Messages delivered to application receives across all ranks
+    /// (re-deliveries after a rollback count — a crashed schedule
+    /// legitimately delivers more than a fault-free one).
     pub delivered: usize,
-    /// The run stalled: some rank had program steps left but no legal
-    /// action existed anywhere.
-    pub deadlock: bool,
-    /// Some kernel flagged a tracking desync (always a defect).
-    pub desynced: bool,
+    /// Fault alternatives this schedule actually took.
+    pub faults_injected: usize,
+    /// How the run ended.
+    pub verdict: Verdict,
 }
 
 impl RunOutcome {
-    /// The trace that replays this exact schedule.
+    /// The trace that replays this exact schedule: the branch taken at
+    /// each choice point with two or more alternatives (forced steps
+    /// replay for free).
     pub fn trace(&self) -> Trace {
-        self.choices.iter().map(|c| c.picked).collect()
+        self.steps
+            .iter()
+            .filter(|s| s.alts.len() >= 2)
+            .map(|s| s.picked)
+            .collect()
+    }
+
+    /// Largest branching factor seen at any step.
+    pub fn max_arity(&self) -> usize {
+        self.steps.iter().map(|s| s.alts.len()).max().unwrap_or(1)
     }
 
     /// Whether this outcome matches `baseline` in every property the
     /// order-insensitivity claim covers: it completed, and both the
     /// per-rank digests and the per-rank `depend_interval` vectors are
-    /// identical.
+    /// identical. Faulty schedules are held to the *same* bar — crash,
+    /// wipe, and false-suspicion recovery must converge to the
+    /// fault-free result.
     pub fn agrees_with(&self, baseline: &RunOutcome) -> bool {
-        !self.deadlock
-            && !self.desynced
+        self.verdict == Verdict::Completed
             && self.digests == baseline.digests
             && self.interval_vectors == baseline.interval_vectors
     }
 }
 
-/// A legal next action at a choice point.
-#[derive(Debug, Clone, Copy)]
-enum Alt {
-    /// Extract the queued deliverable message from `src` for the
-    /// `ANY_SOURCE` receive `rank` is blocked on.
-    Deliver { rank: Rank, src: Rank, tag: u32 },
-    /// Release the held data frame at the head of channel `src → dst`.
-    Release { src: Rank, dst: Rank },
-}
-
 /// Execute `workload` under the schedule `decider` dictates and return
-/// the outcome, using dense TDI tracking. A run is a pure function of
-/// `(workload, decisions)`: replaying the returned
+/// the outcome, using dense TDI tracking and no faults. A run is a
+/// pure function of `(workload, decisions)`: replaying the returned
 /// [`RunOutcome::trace`] through a [`crate::TraceDecider`] reproduces
 /// it exactly.
 pub fn run_schedule(workload: &Workload, decider: &mut dyn Decider) -> RunOutcome {
-    run_schedule_with(workload, decider, ProtocolKind::Tdi)
+    run_schedule_cfg(workload, decider, &RunnerConfig::default())
 }
 
 /// [`run_schedule`] with an explicit tracking protocol. Running the
@@ -118,53 +285,151 @@ pub fn run_schedule_with(
     decider: &mut dyn Decider,
     kind: ProtocolKind,
 ) -> RunOutcome {
-    let n = workload.n;
-    let clock = SimClock::new();
-    // Slot n is reserved for the TEL event logger by convention; TDI
-    // never talks to it, but sizing the fabric identically to the real
-    // cluster keeps rank arithmetic the same.
-    let net = SimNet::new(n + 1, NetConfig::held());
-    let store = CheckpointStore::new(Arc::new(MemStore::new()));
-    let kernels: Vec<Kernel> = (0..n)
-        .map(|r| {
-            let cfg = RunConfig::new(kind)
-                .with_checkpoint(CheckpointPolicy::Never)
-                .with_clock(Clock::Sim(clock.clone()));
-            Kernel::new(r, n, cfg, net.clone(), store.clone())
-        })
-        .collect();
-    let endpoints: Vec<Endpoint> = (0..n).map(|r| net.attach(r)).collect();
+    run_schedule_cfg(
+        workload,
+        decider,
+        &RunnerConfig {
+            protocol: kind,
+            faults: FaultBudget::none(),
+        },
+    )
+}
 
-    let mut state = vec![0u64; n];
-    let mut pc = vec![0usize; n];
-    let mut choices = Vec::new();
-    let mut delivered = 0usize;
-    let mut deadlock = false;
+/// Escape-hatch bound: how many times a stalled run may advance the
+/// virtual clock past the retry interval and tick every kernel to let
+/// time-driven recovery machinery (rollback rebroadcast to a peer that
+/// was dead at first broadcast) fire. Past this, the run is wedged.
+const MAX_TICK_ESCAPES: usize = 16;
 
-    loop {
-        // Phase 1: run every forced action to a fixpoint.
+/// The runner's per-run mutable world: real kernels over a held
+/// fabric, plus the bookkeeping fault injection needs.
+struct World<'w> {
+    workload: &'w Workload,
+    kind: ProtocolKind,
+    n: usize,
+    clock: SimClock,
+    net: SimNet,
+    store: CheckpointStore,
+    kernels: Vec<Kernel>,
+    endpoints: Vec<Endpoint>,
+    state: Vec<u64>,
+    pc: Vec<usize>,
+    incarnation: Vec<u64>,
+    /// Falsely suspected ranks still running (fenced by survivors).
+    zombie: Vec<bool>,
+    /// Monotone synthesized membership state: every forced verdict
+    /// bumps the epoch and raises the victim's floor, exactly like a
+    /// real arbiter's certified view sequence.
+    view_epoch: u64,
+    floors: Vec<u64>,
+    delivered: usize,
+    faults_injected: usize,
+}
+
+impl<'w> World<'w> {
+    fn new(workload: &'w Workload, kind: ProtocolKind) -> Self {
+        let n = workload.n;
+        let clock = SimClock::new();
+        // Slot n is reserved for the TEL event logger by convention;
+        // TDI never talks to it, but sizing the fabric identically to
+        // the real cluster keeps rank arithmetic the same.
+        let net = SimNet::new(n + 1, NetConfig::held());
+        let store = CheckpointStore::new(Arc::new(MemStore::new()));
+        let kernels: Vec<Kernel> = (0..n)
+            .map(|r| Self::make_kernel(r, n, kind, &clock, &net, &store))
+            .collect();
+        let endpoints: Vec<Endpoint> = (0..n).map(|r| net.attach(r)).collect();
+        World {
+            workload,
+            kind,
+            n,
+            clock,
+            net,
+            store,
+            kernels,
+            endpoints,
+            state: vec![0u64; n],
+            pc: vec![0usize; n],
+            incarnation: vec![1u64; n],
+            zombie: vec![false; n],
+            view_epoch: 0,
+            floors: vec![1u64; n],
+            delivered: 0,
+            faults_injected: 0,
+        }
+    }
+
+    fn make_kernel(
+        r: Rank,
+        n: usize,
+        kind: ProtocolKind,
+        clock: &SimClock,
+        net: &SimNet,
+        store: &CheckpointStore,
+    ) -> Kernel {
+        // `log_gc_lag` keeps one checkpoint generation of sender logs
+        // resendable past the GC horizon — the runtime's contract for
+        // node-loss restores, and what makes `Alt::CrashWipe` (restore
+        // falls back past the wiped checkpoint) recoverable.
+        let cfg = RunConfig::new(kind)
+            .with_checkpoint(CheckpointPolicy::Never)
+            .with_log_gc_lag(true)
+            .with_clock(Clock::Sim(clock.clone()));
+        Kernel::new(r, n, cfg, net.clone(), store.clone())
+    }
+
+    fn done(&self, r: Rank) -> bool {
+        self.pc[r] >= self.workload.programs[r].len()
+    }
+
+    /// A rank's program may run: alive, not mid-recovery, not fenced.
+    /// Zombies *do* run — a falsely suspected rank does not know it
+    /// was suspected until a survivor rejects one of its frames.
+    fn runnable(&self, r: Rank) -> bool {
+        !self.kernels[r].is_recovering() && !self.kernels[r].is_fenced()
+    }
+
+    fn checkpoint_if_due(&self, r: Rank) {
+        let Some(every) = self.workload.checkpoint_every else {
+            return;
+        };
+        let pc = self.pc[r] as u64;
+        if pc > 0 && pc % every == 0 {
+            let mut bytes = Vec::with_capacity(16);
+            bytes.extend_from_slice(&pc.to_le_bytes());
+            bytes.extend_from_slice(&self.state[r].to_le_bytes());
+            self.kernels[r].do_checkpoint(bytes, pc);
+        }
+    }
+
+    /// Phase 1: run every forced action to a fixpoint. Returns whether
+    /// anything at all happened (the escape hatch uses this).
+    fn forced_fixpoint(&mut self) -> bool {
+        let mut any = false;
         loop {
             let mut progress = false;
 
             // Surface released envelopes into the kernels.
-            for r in 0..n {
-                while let Ok(env) = endpoints[r].try_recv() {
-                    kernels[r].ingest(env);
+            for r in 0..self.n {
+                while let Ok(env) = self.endpoints[r].try_recv() {
+                    self.kernels[r].ingest(env);
                     progress = true;
                 }
             }
 
-            // Flush control frames (acks) at channel heads. Data
-            // frames stay parked — releasing them is a choice.
-            for (src, dst, _) in net.held_channels() {
-                if src >= n || dst >= n {
+            // Flush protocol frames (acks, checkpoint advances,
+            // rollback/response traffic, membership, fence notices)
+            // at channel heads. Application frames stay parked —
+            // releasing them is a choice.
+            for (src, dst, _) in self.net.held_channels() {
+                if src >= self.n || dst >= self.n {
                     continue;
                 }
-                while let Some(head) = net.held_head(src, dst) {
-                    if payload_is_data_frame(&head) {
+                while let Some(head) = self.net.held_head(src, dst) {
+                    if payload_is_app_frame(&head) {
                         break;
                     }
-                    net.held_deliver(src, dst);
+                    self.net.held_deliver(src, dst);
                     progress = true;
                 }
             }
@@ -172,26 +437,32 @@ pub fn run_schedule_with(
             // Run forced program steps: sends always, source-specific
             // receives when deliverable. ANY_SOURCE receives stop the
             // rank — they are the extraction choice point.
-            for r in 0..n {
-                while pc[r] < workload.programs[r].len() {
-                    match workload.programs[r][pc[r]] {
+            for r in 0..self.n {
+                if !self.runnable(r) {
+                    continue;
+                }
+                while self.pc[r] < self.workload.programs[r].len() {
+                    match self.workload.programs[r][self.pc[r]] {
                         Op::Send { dst, tag } => {
-                            let value = workload.payload.value(r, pc[r], state[r]);
-                            kernels[r].app_send(
+                            let value = self.workload.payload.value(r, self.pc[r], self.state[r]);
+                            self.kernels[r].app_send(
                                 dst,
                                 tag,
                                 Bytes::copy_from_slice(&value.to_le_bytes()),
                                 false,
                             );
-                            pc[r] += 1;
+                            self.pc[r] += 1;
+                            self.checkpoint_if_due(r);
                             progress = true;
                         }
                         Op::Recv { src: Some(s), tag } => {
-                            match kernels[r].try_deliver(RecvSpec::from(s, tag)) {
+                            match self.kernels[r].try_deliver(RecvSpec::from(s, tag)) {
                                 Some(msg) => {
-                                    state[r] = workload.fold.apply(state[r], decode(&msg));
-                                    delivered += 1;
-                                    pc[r] += 1;
+                                    self.state[r] =
+                                        self.workload.fold.apply(self.state[r], decode(&msg));
+                                    self.delivered += 1;
+                                    self.pc[r] += 1;
+                                    self.checkpoint_if_due(r);
                                     progress = true;
                                 }
                                 None => break,
@@ -203,83 +474,295 @@ pub fn run_schedule_with(
             }
 
             if !progress {
-                break;
+                return any;
+            }
+            any = true;
+        }
+    }
+
+    /// Forced retirement of fenced zombies and of falsely suspected
+    /// ranks that finished their (now void) program: the rank finally
+    /// "notices" it was declared dead and goes through the normal
+    /// crash path — kill, respawn above the fence floor, restore,
+    /// rollback recovery. Returns whether any rank was retired.
+    fn retire_zombies(&mut self) -> bool {
+        let mut retired = false;
+        for r in 0..self.n {
+            if self.zombie[r] && (self.kernels[r].is_fenced() || self.done(r)) {
+                self.zombie[r] = false;
+                self.crash_respawn(r, false);
+                retired = true;
             }
         }
+        retired
+    }
 
-        if pc
-            .iter()
-            .zip(&workload.programs)
-            .all(|(p, prog)| *p >= prog.len())
-        {
-            break;
+    /// Kill + respawn `rank` through the real recovery machinery.
+    /// In-flight frames toward the victim die with it (the fabric's
+    /// crash semantics); frames it already sent stay parked — a crash
+    /// cannot recall datagrams, and the survivors' dedup machinery
+    /// must absorb whichever copies the schedule later releases.
+    fn crash_respawn(&mut self, rank: Rank, wipe: bool) {
+        self.net.kill(rank);
+        for src in 0..self.n {
+            while self.net.held_deliver(src, rank) {}
         }
+        if wipe {
+            let prefix = CheckpointStore::prefix(rank);
+            for key in self.store.storage().keys_with_prefix(&prefix) {
+                self.store.storage().delete(&key);
+            }
+        }
+        self.endpoints[rank] = self.net.respawn(rank);
+        self.incarnation[rank] += 1;
+        let mut k = Self::make_kernel(
+            rank,
+            self.n,
+            self.kind,
+            &self.clock,
+            &self.net,
+            &self.store,
+        );
+        k.set_incarnation(self.incarnation[rank]);
+        let (pc, state) = match k.load_checkpoint() {
+            Some(image) => {
+                let (step, app) = k.restore(image);
+                let mut s = [0u8; 8];
+                s.copy_from_slice(&app[8..16]);
+                (step as usize, u64::from_le_bytes(s))
+            }
+            None => (0, 0),
+        };
+        self.pc[rank] = pc;
+        self.state[rank] = state;
+        k.begin_recovery();
+        self.kernels[rank] = k;
+    }
 
-        // Phase 2: enumerate the legal alternatives, deterministically
-        // ordered (extractions by (rank, src), then releases in the
-        // fabric's sorted channel order) so branch indices are stable
-        // across runs.
+    /// Synthesize the certified membership view a real arbiter would
+    /// publish for a verdict on `rank` and apply it to every survivor
+    /// (and, on a true verdict, to the replacement incarnation).
+    fn force_verdict(&mut self, rank: Rank, real: bool) {
+        self.view_epoch += 1;
+        self.floors[rank] = self.incarnation[rank] + 1;
+        let view = MembershipView {
+            epoch: self.view_epoch,
+            floor: self.floors.clone(),
+        };
+        if real {
+            for s in 0..self.n {
+                if s != rank {
+                    self.kernels[s].apply_membership(view.clone());
+                }
+            }
+            self.crash_respawn(rank, false);
+            self.kernels[rank].apply_membership(view);
+        } else {
+            for s in 0..self.n {
+                if s != rank {
+                    self.kernels[s].apply_membership(view.clone());
+                }
+            }
+            self.zombie[rank] = true;
+        }
+    }
+
+    fn execute(&mut self, alt: Alt) {
+        match alt {
+            Alt::Deliver { rank, src, tag } => {
+                if let Some(msg) = self.kernels[rank].try_deliver(RecvSpec::from(src, tag)) {
+                    self.state[rank] = self.workload.fold.apply(self.state[rank], decode(&msg));
+                    self.delivered += 1;
+                    self.pc[rank] += 1;
+                    self.checkpoint_if_due(rank);
+                }
+            }
+            Alt::Release { src, dst } => {
+                self.net.held_deliver(src, dst);
+            }
+            Alt::Crash { rank } => {
+                self.faults_injected += 1;
+                self.crash_respawn(rank, false);
+            }
+            Alt::CrashWipe { rank } => {
+                self.faults_injected += 1;
+                self.crash_respawn(rank, true);
+            }
+            Alt::Suspect { rank, real } => {
+                self.faults_injected += 1;
+                self.force_verdict(rank, real);
+            }
+        }
+    }
+
+    /// Phase 2: enumerate the legal alternatives in canonical order —
+    /// extractions by rank (sources in the queue's arrival order, as
+    /// the runtime itself would prefer them), then releases in the
+    /// fabric's sorted channel order, then fault alternatives (crashes
+    /// by rank, wipes by rank, true then false verdicts by rank). The
+    /// canonical order keeps branch indices stable across replays and
+    /// guarantees index 0 is never a fault while a regular action
+    /// exists.
+    fn enumerate_alts(&self, budget: &FaultBudget, step_idx: usize) -> Vec<Alt> {
         let mut alts: Vec<Alt> = Vec::new();
-        for r in 0..n {
-            if let Some(Op::Recv { src: None, tag }) = workload.programs[r].get(pc[r]).copied() {
-                for s in kernels[r].deliverable_sources(RecvSpec::any_source(tag)) {
+        for r in 0..self.n {
+            if !self.runnable(r) {
+                continue;
+            }
+            if let Some(Op::Recv { src: None, tag }) =
+                self.workload.programs[r].get(self.pc[r]).copied()
+            {
+                for s in self.kernels[r].deliverable_sources(RecvSpec::any_source(tag)) {
                     alts.push(Alt::Deliver { rank: r, src: s, tag });
                 }
             }
         }
-        for (src, dst, len) in net.held_channels() {
-            if src >= n || dst >= n || len == 0 {
+        for (src, dst, len) in self.net.held_channels() {
+            if src >= self.n || dst >= self.n || len == 0 {
                 continue;
             }
-            if let Some(head) = net.held_head(src, dst) {
-                if payload_is_data_frame(&head) {
+            if let Some(head) = self.net.held_head(src, dst) {
+                if payload_is_app_frame(&head) {
                     alts.push(Alt::Release { src, dst });
                 }
             }
         }
-
-        if alts.is_empty() {
-            deadlock = true;
-            break;
-        }
-
-        let idx = if alts.len() == 1 {
-            0
-        } else {
-            let picked = decider.choose(alts.len()).min(alts.len() - 1);
-            choices.push(Choice {
-                picked,
-                arity: alts.len(),
-            });
-            picked
-        };
-
-        match alts[idx] {
-            Alt::Deliver { rank, src, tag } => {
-                if let Some(msg) = kernels[rank].try_deliver(RecvSpec::from(src, tag)) {
-                    state[rank] = workload.fold.apply(state[rank], decode(&msg));
-                    delivered += 1;
-                    pc[rank] += 1;
+        // Faults are offered only where a regular action exists
+        // ("injectable before any enabled delivery") and only while
+        // the system is quiescent fault-wise: no recovery in flight
+        // and no zombie walking. Targets must be alive, unfenced, and
+        // still have program left — crashing a finished rank only
+        // re-runs an already-counted result.
+        let in_window = budget.window == 0 || step_idx < budget.window;
+        if !alts.is_empty() && budget.total() > 0 && in_window {
+            let quiescent = (0..self.n)
+                .all(|r| !self.kernels[r].is_recovering() && !self.zombie[r]);
+            if quiescent {
+                let eligible: Vec<Rank> = (0..self.n)
+                    .filter(|&r| {
+                        self.net.is_alive(r) && !self.kernels[r].is_fenced() && !self.done(r)
+                    })
+                    .collect();
+                if budget.crashes > 0 {
+                    alts.extend(eligible.iter().map(|&rank| Alt::Crash { rank }));
+                }
+                if budget.wipes > 0 {
+                    alts.extend(eligible.iter().map(|&rank| Alt::CrashWipe { rank }));
+                }
+                if budget.suspects > 0 {
+                    alts.extend(eligible.iter().map(|&rank| Alt::Suspect { rank, real: true }));
+                    alts.extend(
+                        eligible.iter().map(|&rank| Alt::Suspect { rank, real: false }),
+                    );
                 }
             }
-            Alt::Release { src, dst } => {
-                net.held_deliver(src, dst);
-            }
         }
+        alts
+    }
+
+    fn finished(&self) -> bool {
+        (0..self.n).all(|r| {
+            self.done(r)
+                && !self.kernels[r].is_recovering()
+                && !self.kernels[r].is_fenced()
+                && !self.zombie[r]
+        })
+    }
+
+    fn unfinished(&self) -> Vec<Rank> {
+        (0..self.n)
+            .filter(|&r| {
+                !self.done(r)
+                    || self.kernels[r].is_recovering()
+                    || self.kernels[r].is_fenced()
+                    || self.zombie[r]
+            })
+            .collect()
+    }
+
+    fn outcome(&self, steps: Vec<Step>, verdict: Verdict) -> RunOutcome {
+        RunOutcome {
+            digests: self.state.clone(),
+            interval_vectors: self.kernels.iter().map(|k| k.interval_vector()).collect(),
+            steps,
+            delivered: self.delivered,
+            faults_injected: self.faults_injected,
+            verdict,
+        }
+    }
+}
+
+/// The full-control entry point: explicit protocol *and* fault budget.
+/// Fault alternatives appear at choice points while their budget
+/// lasts; with an all-zero budget this is exactly fault-free
+/// exploration.
+pub fn run_schedule_cfg(
+    workload: &Workload,
+    decider: &mut dyn Decider,
+    cfg: &RunnerConfig,
+) -> RunOutcome {
+    let mut world = World::new(workload, cfg.protocol);
+    let mut budget = cfg.faults;
+    let mut steps: Vec<Step> = Vec::new();
+    let mut escapes = 0usize;
+
+    loop {
+        world.forced_fixpoint();
+        if world.retire_zombies() {
+            continue;
+        }
+        if world.kernels.iter().any(|k| k.is_desynced()) {
+            return world.outcome(steps, Verdict::Desynced);
+        }
+        if world.finished() {
+            return world.outcome(steps, Verdict::Completed);
+        }
+
+        let alts = world.enumerate_alts(&budget, steps.len());
+        if alts.is_empty() {
+            // A recovery can be waiting on a retry-clock rebroadcast
+            // (its first ROLLBACK went to a peer that was dead at the
+            // time). Let bounded virtual time pass and tick every
+            // kernel; if that changes nothing, the schedule is wedged.
+            if escapes < MAX_TICK_ESCAPES
+                && world.kernels.iter().any(|k| k.is_recovering())
+            {
+                escapes += 1;
+                let interval = world.kernels[0].cfg().retry_interval;
+                world.clock.advance(interval + Duration::from_millis(1));
+                for r in 0..world.n {
+                    if world.net.is_alive(r) {
+                        world.kernels[r].tick();
+                    }
+                }
+                continue;
+            }
+            let unfinished = world.unfinished();
+            return world.outcome(steps, Verdict::Wedged { unfinished });
+        }
+
+        let Some(idx) = decider.choose(&alts) else {
+            return world.outcome(steps, Verdict::Aborted);
+        };
+        let idx = idx.min(alts.len() - 1);
+        let alt = alts[idx];
+        match alt {
+            Alt::Crash { .. } => budget.crashes -= 1,
+            Alt::CrashWipe { .. } => budget.wipes -= 1,
+            Alt::Suspect { .. } => budget.suspects -= 1,
+            _ => {}
+        }
+        steps.push(Step {
+            alts,
+            picked: idx,
+        });
+        world.execute(alt);
 
         // Nudge virtual time so successive events carry distinct
         // timestamps; far below any transport timeout, and the runner
-        // never calls tick(), so no retransmission can fire.
-        clock.advance(Duration::from_micros(1));
-    }
-
-    RunOutcome {
-        digests: state,
-        interval_vectors: kernels.iter().map(|k| k.interval_vector()).collect(),
-        choices,
-        delivered,
-        deadlock,
-        desynced: kernels.iter().any(|k| k.is_desynced()),
+        // only ticks inside the bounded escape hatch above, so no
+        // retransmission can fire spontaneously.
+        world.clock.advance(Duration::from_micros(1));
     }
 }
 

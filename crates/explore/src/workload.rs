@@ -90,6 +90,13 @@ pub struct Workload {
     pub fold: Fold,
     /// Sender-side payload rule.
     pub payload: Payload,
+    /// Take a kernel checkpoint every this many completed program
+    /// steps per rank (`None` disables checkpointing, so a crashed
+    /// rank restores from scratch and replays its whole program).
+    /// Checkpoints are forced actions — they happen at fixed program
+    /// positions, never at schedule-dependent times — so a run stays a
+    /// pure function of `(workload, trace)`.
+    pub checkpoint_every: Option<u64>,
 }
 
 impl Workload {
@@ -100,12 +107,19 @@ impl Workload {
             programs: vec![Vec::new(); n],
             fold,
             payload: Payload::Deterministic,
+            checkpoint_every: None,
         }
     }
 
     /// Replace the payload rule.
     pub fn with_payload(mut self, payload: Payload) -> Self {
         self.payload = payload;
+        self
+    }
+
+    /// Checkpoint every `every` completed program steps per rank.
+    pub fn with_checkpoints(mut self, every: u64) -> Self {
+        self.checkpoint_every = Some(every.max(1));
         self
     }
 

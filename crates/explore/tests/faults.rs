@@ -1,0 +1,193 @@
+//! Fault choice points under exploration: crashes, crash+wipe, and
+//! forced detector verdicts injected at every quiescent point of
+//! every schedule must all converge back to the fault-free baseline's
+//! digests and `depend_interval` vectors — the message-logging
+//! recovery guarantee checked as an exhaustive invariant instead of a
+//! handful of scripted failure scenarios.
+
+use lclog_core::ProtocolKind;
+use lclog_explore::{
+    explore_dpor, run_schedule_cfg, Alt, ExploreConfig, FaultBudget, RunnerConfig, Trace,
+    TraceDecider, Verdict, Workload,
+};
+
+fn cfg(faults: FaultBudget) -> ExploreConfig {
+    ExploreConfig {
+        max_schedules: 200_000,
+        faults,
+        ..Default::default()
+    }
+}
+
+/// Exhaustive n=3 single-crash matrix: one crash (no wipe) injectable
+/// before any enabled delivery of any schedule. Every schedule must
+/// recover and agree with the fault-free baseline.
+#[test]
+fn crash_matrix_n3_agrees_everywhere() {
+    let w = Workload::rotating_gather(3, 2);
+    let report = explore_dpor(
+        &w,
+        &cfg(FaultBudget {
+            crashes: 1,
+            ..FaultBudget::none()
+        }),
+    );
+    assert!(report.divergence.is_none(), "{:?}", report.divergence);
+    assert!(report.exhausted, "crash matrix hit the execution cap");
+    assert_eq!(report.wedged, 0, "a crash schedule wedged");
+    // The fault-free DPOR tree is a strict subset of this one.
+    let fault_free = explore_dpor(&w, &cfg(FaultBudget::none()));
+    assert!(report.schedules > fault_free.schedules);
+    assert_eq!(
+        report.digests_seen, fault_free.digests_seen,
+        "a crash schedule reached digests no fault-free schedule can"
+    );
+}
+
+/// Same matrix under the TDI-S sparse codec: recovery resyncs delta
+/// chains too.
+#[test]
+fn crash_matrix_n3_sparse_codec_agrees() {
+    let w = Workload::rotating_gather(3, 1);
+    let report = explore_dpor(
+        &w,
+        &ExploreConfig {
+            protocol: ProtocolKind::TdiSparse(4),
+            ..cfg(FaultBudget {
+                crashes: 1,
+                ..FaultBudget::none()
+            })
+        },
+    );
+    assert!(report.divergence.is_none(), "{:?}", report.divergence);
+    assert!(report.exhausted);
+    assert_eq!(report.wedged, 0);
+}
+
+/// Crash + storage wipe with checkpointing enabled: the victim comes
+/// back from its most recent checkpoint (or from scratch when the
+/// wipe beat the first checkpoint) and must still converge.
+#[test]
+fn crash_wipe_with_checkpoints_agrees() {
+    let w = Workload::rotating_gather(3, 2).with_checkpoints(2);
+    let report = explore_dpor(
+        &w,
+        &cfg(FaultBudget {
+            wipes: 1,
+            ..FaultBudget::none()
+        }),
+    );
+    assert!(report.divergence.is_none(), "{:?}", report.divergence);
+    assert!(report.exhausted);
+    assert_eq!(report.wedged, 0, "a wipe schedule wedged");
+}
+
+/// Forced detector verdicts: at every quiescent point the explorer
+/// may declare any live rank failed. A `true` verdict kills and
+/// recovers it; a `false` verdict fences a perfectly healthy rank
+/// (zombie), which must be excised and recovered without digest
+/// damage — the "detector is allowed to be wrong" half of the fault
+/// model.
+#[test]
+fn suspect_matrix_n3_agrees_everywhere() {
+    let w = Workload::rotating_gather(3, 1);
+    let report = explore_dpor(
+        &w,
+        &cfg(FaultBudget {
+            suspects: 1,
+            ..FaultBudget::none()
+        }),
+    );
+    assert!(report.divergence.is_none(), "{:?}", report.divergence);
+    assert!(report.exhausted);
+    assert_eq!(report.wedged, 0, "a forced-verdict schedule wedged");
+}
+
+/// ISSUE target: n=3 with crash + false-suspicion *pairs* — up to two
+/// faults per schedule, exploring a real crash composed with a wrong
+/// verdict about a survivor.
+#[test]
+fn crash_plus_suspicion_pairs_n3_agree() {
+    let w = Workload::rotating_gather(3, 1);
+    let report = explore_dpor(
+        &w,
+        &cfg(FaultBudget {
+            crashes: 1,
+            suspects: 1,
+            ..FaultBudget::none()
+        }),
+    );
+    assert!(report.divergence.is_none(), "{:?}", report.divergence);
+    assert!(report.exhausted);
+    assert_eq!(report.wedged, 0);
+}
+
+/// ISSUE target: exhaustive n=4 with one crash choice point completes
+/// and agrees everywhere — single crash, any target, any position,
+/// composed with *all* downstream interleavings. A second run with
+/// `FaultBudget::window` set must explore a strict subset of the same
+/// tree (the window is the declared bound that keeps *larger*
+/// matrices finite; here it only trims late injection points).
+#[test]
+fn crash_matrix_n4_agrees_everywhere() {
+    let w = Workload::rotating_gather(4, 1);
+    let report = explore_dpor(
+        &w,
+        &cfg(FaultBudget {
+            crashes: 1,
+            ..FaultBudget::none()
+        }),
+    );
+    assert!(report.divergence.is_none(), "{:?}", report.divergence);
+    assert!(report.exhausted, "n=4 crash matrix hit the execution cap");
+    assert_eq!(report.wedged, 0);
+    assert!(report.max_arity >= 4, "fault alts missing from the frontier");
+
+    let windowed = explore_dpor(
+        &w,
+        &cfg(FaultBudget {
+            crashes: 1,
+            window: 2,
+            ..FaultBudget::none()
+        }),
+    );
+    assert!(windowed.divergence.is_none(), "{:?}", windowed.divergence);
+    assert!(windowed.exhausted);
+    assert!(
+        windowed.schedules < report.schedules,
+        "window did not prune late injection points"
+    );
+    assert!(windowed.digests_seen.is_subset(&report.digests_seen));
+}
+
+/// A single hand-picked false-suspicion schedule, end to end: force
+/// the highest-indexed alternative at the root — the canonical alt
+/// order puts `Suspect{real: false}` of the highest live rank last —
+/// and check the zombie is fenced, recovered, and the digests match.
+#[test]
+fn false_suspicion_single_run_converges() {
+    let w = Workload::rotating_gather(3, 2);
+    let rcfg = RunnerConfig {
+        faults: FaultBudget {
+            suspects: 1,
+            ..FaultBudget::none()
+        },
+        ..RunnerConfig::default()
+    };
+    let mut base = TraceDecider::new(Trace::new());
+    let baseline = run_schedule_cfg(&w, &mut base, &RunnerConfig::default());
+
+    let mut d = TraceDecider::new(vec![usize::MAX].into());
+    let out = run_schedule_cfg(&w, &mut d, &rcfg);
+    assert_eq!(out.verdict, Verdict::Completed);
+    assert_eq!(out.faults_injected, 1);
+    assert!(
+        out.steps.iter().any(|s| matches!(
+            s.action(),
+            Alt::Suspect { real: false, .. }
+        )),
+        "clamped trace did not select the false-suspicion alternative"
+    );
+    assert_eq!(out.digests, baseline.digests);
+    assert_eq!(out.interval_vectors, baseline.interval_vectors);
+}

@@ -89,6 +89,7 @@
 //! bound *suppressing* it re-checks under the recovery lock, making
 //! the suppression decision authoritative.
 
+use crate::backoff::RetryBackoff;
 use crate::config::RunConfig;
 use crate::delivery::{Admit, Delivery};
 use crate::detector::Detector;
@@ -108,6 +109,7 @@ use lclog_simnet::{Envelope, SimNet};
 use lclog_stable::CheckpointStore;
 use lclog_wire::{encode_to_vec, impl_wire_struct};
 use parking_lot::Mutex;
+use std::time::Duration;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::OnceLock;
 
@@ -232,6 +234,12 @@ pub struct Kernel {
     delivery: Mutex<Delivery>,
     /// Lock-free: per-peer transport shards + atomic rendezvous acks.
     reliability: Reliability,
+    /// Full-jitter pacing of outgoing `RESYNC_REQ` frames (TDI-S): the
+    /// protocol re-queues a request on *every* gate check while a
+    /// channel is parked behind an undecodable frame, so without
+    /// pacing each kernel tick re-sends the request and a slow or lost
+    /// `RESYNC_SNAP` turns into a request storm.
+    resync_pacer: Mutex<ResyncPacer>,
     /// Structured timeline collector (disabled by default).
     events: EventSink,
 }
@@ -260,6 +268,7 @@ impl Kernel {
             reliability.set_detector(Detector::new(me, n, dcfg, now));
         }
         let slots = net.n();
+        let resync_pacer = Mutex::new(ResyncPacer::new(me, n, &cfg));
         Kernel {
             me,
             n,
@@ -281,6 +290,7 @@ impl Kernel {
             tracking: Mutex::new(Tracking::new(protocol, clock)),
             delivery: Mutex::new(Delivery::new(n)),
             reliability,
+            resync_pacer,
             events: EventSink::disabled(),
         }
     }
@@ -701,8 +711,11 @@ impl Kernel {
             WireMsg::ResyncSnap(bytes) => {
                 // A corrupt snapshot is no worse than a lost one: the
                 // next undecodable frame re-requests, so the error is
-                // dropped rather than faulting the rank.
+                // dropped rather than faulting the rank. Either way the
+                // round-trip completed, so the request pacer restarts
+                // its schedule for this source.
                 let _ = self.tracking.lock().protocol.install_resync(src, &bytes);
+                self.resync_pacer.lock().settle(src);
             }
             WireMsg::LogDets(_) | WireMsg::LogQuery(_) | WireMsg::Suspect(_) => {
                 debug_assert!(false, "service-bound message reached rank {}", self.me);
@@ -1222,6 +1235,20 @@ impl Kernel {
         }
     }
 
+    /// Forced-verdict entry point for deterministic harnesses: apply a
+    /// certified membership view exactly as if the arbiter had
+    /// delivered it over the wire. The schedule explorer uses this to
+    /// make detector outcomes *choice points* — it synthesizes the
+    /// `(epoch, floor[])` view a real arbiter would certify for a
+    /// chosen verdict and applies it synchronously to each survivor,
+    /// instead of waiting on φ-accrual timing that virtual time never
+    /// advances past. Semantically identical to receiving
+    /// `WireMsg::Membership(view)`; idempotent and safe on stale
+    /// views (they are ignored, like any non-advancing view).
+    pub fn apply_membership(&self, view: MembershipView) {
+        self.handle_membership(view);
+    }
+
     /// Periodic maintenance — the kernel tick that closes the batching
     /// epochs: opportunistically drain the staged sender log, admit
     /// staged ingress, drive the transport's retransmission timers and
@@ -1233,10 +1260,17 @@ impl Kernel {
     pub fn tick(&self) {
         // Sparse-codec resyncs first: frames queued behind an
         // undecodable one stay parked until the snapshot round-trip
-        // completes, so the request should go out as soon as possible.
+        // completes, so the *first* request goes out immediately.
+        // Re-requests are paced by a per-source full-jitter backoff:
+        // the protocol re-queues the request on every gate check while
+        // the snapshot is in flight, and re-sending each tick would be
+        // a request storm that the snapshot sender answers in kind.
         let resyncs = self.tracking.lock().protocol.take_resync_requests();
-        for src in resyncs {
-            self.send_wire(src, &WireMsg::ResyncReq(self.me as u32));
+        if !resyncs.is_empty() {
+            let now = self.cfg.clock.now();
+            for src in self.resync_pacer.lock().admit(&resyncs, now) {
+                self.send_wire(src, &WireMsg::ResyncReq(self.me as u32));
+            }
         }
         // Opportunistic log-ring drain: bound how long staged entries
         // can sit in their rings without ever blocking the tick behind
@@ -1318,6 +1352,83 @@ impl Kernel {
     #[cfg(test)]
     pub(crate) fn ckpt_storage(&self) -> std::sync::Arc<dyn lclog_stable::StableStorage> {
         std::sync::Arc::clone(self.recovery.lock().ckpt_store.storage())
+    }
+}
+
+/// Per-source pacing of outgoing `RESYNC_REQ` frames.
+///
+/// The sparse protocol queues a resync request every time a gate check
+/// hits an undecodable frame, which is every delivery attempt while
+/// the snapshot round-trip is in flight. The pacer collapses that
+/// stream into: one immediate request, then re-requests only after a
+/// full-jitter backoff deadline passes (covering the lost-`SNAP` /
+/// lost-`REQ` cases), with the schedule reset once a snapshot arrives.
+/// The backoff is clock-free (seeded jitter), so paced schedules stay
+/// deterministic under the explorer's virtual clock.
+struct ResyncPacer {
+    /// Per-source schedule; allocated lazily (resyncs are rare).
+    slots: Vec<Option<ResyncSlot>>,
+    initial: Duration,
+    cap: Duration,
+    seed: u64,
+}
+
+struct ResyncSlot {
+    backoff: RetryBackoff,
+    /// Next instant a re-request may go out.
+    deadline: std::time::Instant,
+}
+
+impl ResyncPacer {
+    fn new(me: Rank, n: usize, cfg: &RunConfig) -> Self {
+        ResyncPacer {
+            slots: (0..n).map(|_| None).collect(),
+            // A resync is one wire round-trip, same scale as a
+            // retransmission; reuse the transport's envelope.
+            initial: cfg.retransmit_timeout,
+            cap: cfg.retransmit_cap,
+            seed: 0x5EED_5EED ^ ((me as u64) << 32),
+        }
+    }
+
+    /// Filter the protocol's drained requests down to the ones whose
+    /// schedule allows a send now. First request per source goes out
+    /// immediately; later ones wait out the jittered deadline.
+    fn admit(&mut self, requests: &[Rank], now: std::time::Instant) -> Vec<Rank> {
+        let mut due = Vec::new();
+        for &src in requests {
+            if src >= self.slots.len() {
+                continue;
+            }
+            match &mut self.slots[src] {
+                slot @ None => {
+                    let mut backoff =
+                        RetryBackoff::new(self.initial, self.cap, self.seed ^ src as u64);
+                    let wait = self.initial / 2 + backoff.next_wait();
+                    *slot = Some(ResyncSlot {
+                        backoff,
+                        deadline: now + wait,
+                    });
+                    due.push(src);
+                }
+                Some(slot) => {
+                    if now >= slot.deadline {
+                        let wait = self.initial / 2 + slot.backoff.next_wait();
+                        slot.deadline = now + wait;
+                        due.push(src);
+                    }
+                }
+            }
+        }
+        due
+    }
+
+    /// A snapshot from `src` arrived: restart that source's schedule
+    /// so the *next* desync gets a fresh fast first request.
+    fn settle(&mut self, src: Rank) {
+        if let Some(slot) = self.slots.get_mut(src) {
+            *slot = None;
+        }
     }
 }
 
@@ -1757,5 +1868,135 @@ mod tests {
         ingester.join().unwrap();
         assert_eq!(k0.snapshot().stats.sends, sends);
         assert_eq!(k1.snapshot().stats.delivers, sends);
+    }
+
+    #[test]
+    fn resync_pacer_admits_boundedly_and_resets_on_settle() {
+        let cfg = RunConfig::new(ProtocolKind::TdiSparse(64));
+        let mut pacer = ResyncPacer::new(1, 2, &cfg);
+        let t0 = std::time::Instant::now();
+        // The protocol re-queues the request on every gate check, so
+        // the pacer sees the same source once per tick. One simulated
+        // tick per millisecond for 400 ms.
+        let mut admitted = 0usize;
+        let mut first_admitted = false;
+        for ms in 0..400u64 {
+            let now = t0 + Duration::from_millis(ms);
+            let due = pacer.admit(&[0], now);
+            if ms == 0 {
+                first_admitted = !due.is_empty();
+            }
+            admitted += due.len();
+        }
+        assert!(first_admitted, "first request must go out immediately");
+        assert!(admitted >= 2, "deadline passing must re-request: {admitted}");
+        assert!(
+            admitted <= 20,
+            "request storm: {admitted} sends in 400 ticks"
+        );
+        // Snapshot arrived: the schedule restarts, so the next desync
+        // gets a fresh immediate first request.
+        pacer.settle(0);
+        let due = pacer.admit(&[0], t0 + Duration::from_millis(400));
+        assert_eq!(due, vec![0]);
+    }
+
+    #[test]
+    fn lost_resync_snap_converges_without_request_storm() {
+        use crate::clock::Clock;
+        use lclog_simnet::SimClock;
+
+        // Two kernels under TDI-S on a virtual clock. Rank 1's sparse
+        // receiver is put into the needs-resync state the same way the
+        // codec's own unit test does it — a delta frame whose FULL
+        // predecessor it never saw — then the *kernel* machinery runs
+        // for real: tick() drains the protocol's re-requests, the
+        // pacer gates them, and the RESYNC_REQ/RESYNC_SNAP round-trip
+        // crosses the wire.
+        let n = 2;
+        let sim = SimClock::new();
+        let net = SimNet::new(n + 1, NetConfig::direct());
+        let store = CheckpointStore::new(Arc::new(MemStore::new()));
+        let endpoints: Vec<_> = (0..n).map(|r| net.attach(r)).collect();
+        let kernels: Vec<Kernel> = (0..n)
+            .map(|r| {
+                let cfg = RunConfig::new(ProtocolKind::TdiSparse(64))
+                    .with_clock(Clock::Sim(sim.clone()));
+                Kernel::new(r, n, cfg, net.clone(), store.clone())
+            })
+            .collect();
+
+        // A throwaway sender protocol manufactures a mid-chain delta
+        // frame (its first frame per channel is FULL, later ones are
+        // deltas).
+        let mut side_sender = make_protocol(ProtocolKind::TdiSparse(64), 0, n);
+        let _full = side_sender.on_send(1, 1);
+        let delta = side_sender.on_send(1, 2).piggyback;
+        assert_eq!(
+            kernels[1]
+                .tracking
+                .lock()
+                .protocol
+                .deliverable(0, 2, &delta),
+            DeliveryVerdict::Wait,
+            "delta without base must wait and queue a resync request"
+        );
+        // Rank 0's kernel must answer snapshot requests with the state
+        // that actually produced the delta, so install the side sender
+        // as its live protocol.
+        kernels[0].tracking.lock().protocol = side_sender;
+
+        // Simulate the stall: rank 1's app keeps polling (each gate
+        // check re-queues the request) and the kernel ticks once per
+        // simulated millisecond. Rank 0 receives the REQ and answers
+        // with a SNAP, but rank 1 never ingests it — the lost-snapshot
+        // window.
+        for _ in 0..400 {
+            sim.advance(Duration::from_millis(1));
+            let _ = kernels[1]
+                .tracking
+                .lock()
+                .protocol
+                .deliverable(0, 2, &delta);
+            kernels[1].tick();
+            while let Ok(env) = endpoints[0].try_recv() {
+                kernels[0].ingest(env);
+            }
+            kernels[0].tick();
+            // The SNAP replies (and rank 0's acks) park unread at
+            // rank 1's endpoint — the lost-snapshot window.
+        }
+        // The pacer's backoff attempt counter is exactly the number of
+        // `RESYNC_REQ` frames the kernel *originated* (transport-level
+        // retransmission of unacked frames is bounded separately by
+        // the retransmit budget, so it is excluded here on purpose).
+        let originated = {
+            let pacer = kernels[1].resync_pacer.lock();
+            pacer.slots[0].as_ref().expect("slot live while desynced").backoff.attempt()
+        };
+        assert!(
+            originated >= 2,
+            "a lost snapshot must be re-requested: {originated}"
+        );
+        assert!(
+            originated <= 25,
+            "request storm: {originated} REQ frames originated in 400 ticks"
+        );
+
+        // The "lost" snapshot finally arrives (any retransmitted copy
+        // will do): the channel heals and the pacer schedule resets.
+        while let Ok(env) = endpoints[1].try_recv() {
+            kernels[1].ingest(env);
+        }
+        assert_eq!(
+            kernels[1]
+                .tracking
+                .lock()
+                .protocol
+                .deliverable(0, 2, &delta),
+            DeliveryVerdict::Deliver,
+            "installed snapshot must unblock the parked delta"
+        );
+        assert!(kernels[1].resync_pacer.lock().slots[0].is_none());
     }
 }

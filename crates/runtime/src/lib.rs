@@ -85,7 +85,7 @@ pub use process::{RankApp, RankCtx};
 pub use tasks::{run_tasks, BlockingTaskApp, TaskApp, TaskCtx, TaskPoll};
 pub use recvq::{Pending, RecvQueue};
 pub use replicator::{Replicator, ReplicatorConfig, ReplicatorStats};
-pub use transport::{payload_is_data_frame, DataPlaneStats};
+pub use transport::{payload_is_app_frame, payload_is_data_frame, DataPlaneStats};
 
 /// Rank identifier (re-exported from the protocol layer).
 pub use lclog_core::Rank;

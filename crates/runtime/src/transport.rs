@@ -204,6 +204,40 @@ pub fn payload_is_data_frame(payload: &[u8]) -> bool {
     payload.len() > CRC_LEN && payload[CRC_LEN] == DATA_TAG
 }
 
+/// Whether a raw fabric payload is a sequenced data frame whose inner
+/// message is an **application send** (`WireMsg::App`), as opposed to
+/// kernel-to-kernel protocol traffic that merely rides the sequenced
+/// stream (acks, checkpoint advances, rollback/response recovery
+/// frames, membership views, resync traffic).
+///
+/// The deterministic schedule explorer branches only on these:
+/// application frames are the payloads whose arrival order the
+/// order-insensitivity claim quantifies over, while protocol frames
+/// are flushed eagerly — with virtual time frozen their relative
+/// order is already forced, and branching on them would pad the
+/// schedule tree without changing application-visible behavior.
+pub fn payload_is_app_frame(payload: &[u8]) -> bool {
+    if !payload_is_data_frame(payload) {
+        return false;
+    }
+    // Skip CRC, DATA tag, epoch, seq, hint, then the varint length
+    // prefix; the next byte is the inner WireMsg discriminant
+    // (`0` = App — see `impl_wire_enum!` in message.rs).
+    let mut idx = CRC_LEN + 1 + 24;
+    loop {
+        match payload.get(idx) {
+            Some(b) => {
+                idx += 1;
+                if b & 0x80 == 0 {
+                    break;
+                }
+            }
+            None => return false,
+        }
+    }
+    payload.get(idx) == Some(&0)
+}
+
 /// Bytes the data-frame header occupies after the CRC prefix for an
 /// inner payload of `inner_len` bytes.
 fn data_header_len(inner_len: usize) -> usize {
@@ -1454,6 +1488,47 @@ mod tests {
         // And stale frames from epoch 1 are now ignored.
         send_blob(&t0, 1, b"stale");
         assert!(drain(&t1, &ep1).is_empty());
+    }
+
+    #[test]
+    fn app_frame_classifier_peeks_inner_discriminant() {
+        use crate::message::{AppWire, CkptAdvanceWire, WireMsg};
+        let (_net, t0, _t1, _ep0, ep1) = pair(NetConfig::direct());
+        // A >127-byte piggyback forces a multi-byte inner length
+        // varint, exercising the classifier's varint skip.
+        let app = WireMsg::App(AppWire {
+            tag: 7,
+            send_index: 1,
+            piggyback: Bytes::from(vec![0xAA; 200]),
+            needs_ack: false,
+            data: Bytes::from_static(b"x"),
+        });
+        let adv = WireMsg::CkptAdvance(CkptAdvanceWire {
+            delivered_from_you: 3,
+            total_delivered: 9,
+        });
+        for msg in [&app, &adv] {
+            send_blob(&t0, 1, &encode_to_vec(msg));
+        }
+        t0.send_heartbeat(1);
+        // Classify whole frames, the way the explorer sees them via
+        // `SimNet::held_head` — `send_encoded` splits header and inner
+        // message across the envelope's two segments.
+        let mut frames = Vec::new();
+        while let Ok(env) = ep1.try_recv() {
+            frames.push([&env.payload[..], &env.body[..]].concat());
+        }
+        assert_eq!(frames.len(), 3);
+        // App send: data frame and app frame.
+        assert!(payload_is_data_frame(&frames[0]));
+        assert!(payload_is_app_frame(&frames[0]));
+        // Checkpoint advance: rides the sequenced stream but is
+        // protocol traffic, not an application send.
+        assert!(payload_is_data_frame(&frames[1]));
+        assert!(!payload_is_app_frame(&frames[1]));
+        // Heartbeat: pure transport control, neither.
+        assert!(!payload_is_data_frame(&frames[2]));
+        assert!(!payload_is_app_frame(&frames[2]));
     }
 
     // The membership-epoch safety property. Model the real lifecycle:

@@ -392,9 +392,21 @@ impl SimNet {
     /// not in held mode.
     pub fn held_head(&self, src: Rank, dst: Rank) -> Option<bytes::Bytes> {
         let held = self.fabric.held.as_ref()?;
-        held.lock()[src * self.fabric.n + dst]
-            .front()
-            .map(|env| env.payload.clone())
+        held.lock()[src * self.fabric.n + dst].front().map(|env| {
+            if env.body.is_empty() {
+                // Contiguous frame: hand back the buffer as-is.
+                env.payload.clone()
+            } else {
+                // Two-segment frame (zero-copy resend): the inner
+                // message — and so its discriminant — lives in the
+                // body, which classification must be able to see.
+                let mut joined =
+                    bytes::BytesMut::with_capacity(env.payload.len() + env.body.len());
+                joined.extend_from_slice(&env.payload);
+                joined.extend_from_slice(&env.body);
+                joined.freeze()
+            }
+        })
     }
 
     /// Release the head envelope of the `(src, dst)` channel into the
