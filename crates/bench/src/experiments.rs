@@ -1174,6 +1174,112 @@ fn send_latency_ns(contended: bool, iters: u64) -> f64 {
     }
 }
 
+/// Mean successful `try_deliver` latency in nanoseconds.
+/// Uncontended: one thread alternates untimed feeding (send + ingest)
+/// with timed delivery chunks. Contended: a feeder thread keeps
+/// sending on rank 0 and ingesting into rank 1 — hammering the
+/// tracking layer — while the timed thread only delivers. The 3-phase
+/// deliver path (at most one layer lock held at any instant) is what
+/// keeps the contended number near the uncontended one; before the
+/// lock split, every ingest serialized against the whole delivery.
+fn deliver_latency_ns(contended: bool, iters: u64) -> f64 {
+    use lclog_runtime::RecvSpec;
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::sync::Arc;
+    use std::time::Instant;
+    let data = bytes::Bytes::from(vec![7u8; 256]);
+    let p = hot_pair();
+    if !contended {
+        let mut timed = Duration::ZERO;
+        let mut delivered = 0u64;
+        let mut ckpts = 0u64;
+        while delivered < iters {
+            let chunk = 64.min(iters - delivered);
+            for _ in 0..chunk {
+                p.k0.app_send(1, 0, data.clone(), false);
+            }
+            let mut batch = Vec::new();
+            while let Ok(env) = p.ep1.try_recv() {
+                batch.push(env);
+            }
+            p.k1.ingest_batch(batch);
+            let t0 = Instant::now();
+            for _ in 0..chunk {
+                assert!(p.k1.try_deliver(RecvSpec::any()).is_some());
+            }
+            timed += t0.elapsed();
+            delivered += chunk;
+            if delivered / HP_CKPT_EVERY > ckpts {
+                ckpts = delivered / HP_CKPT_EVERY;
+                p.k1.do_checkpoint(Vec::new(), ckpts);
+            }
+            let mut acks = Vec::new();
+            while let Ok(env) = p.ep0.try_recv() {
+                acks.push(env);
+            }
+            if !acks.is_empty() {
+                p.k0.ingest_batch(acks);
+            }
+        }
+        timed.as_nanos() as f64 / iters as f64
+    } else {
+        let k1 = Arc::clone(&p.k1);
+        let stop = Arc::new(AtomicBool::new(false));
+        let delivered = Arc::new(AtomicU64::new(0));
+        let feeder = {
+            let stop = Arc::clone(&stop);
+            let delivered = Arc::clone(&delivered);
+            std::thread::spawn(move || {
+                let mut sent = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    // Keep a bounded window in flight so memory and the
+                    // sender log stay flat.
+                    if sent.saturating_sub(delivered.load(Ordering::Acquire)) < 4096 {
+                        for _ in 0..64 {
+                            p.k0.app_send(1, 0, data.clone(), false);
+                        }
+                        sent += 64;
+                    }
+                    let mut batch = Vec::new();
+                    while let Ok(env) = p.ep1.try_recv() {
+                        batch.push(env);
+                    }
+                    if !batch.is_empty() {
+                        p.k1.ingest_batch(batch);
+                    }
+                    let mut acks = Vec::new();
+                    while let Ok(env) = p.ep0.try_recv() {
+                        acks.push(env);
+                    }
+                    if !acks.is_empty() {
+                        p.k0.ingest_batch(acks);
+                    }
+                    std::hint::spin_loop();
+                }
+            })
+        };
+        let mut done = 0u64;
+        let mut ckpts = 0u64;
+        let t0 = Instant::now();
+        while done < iters {
+            if k1.try_deliver(RecvSpec::any()).is_some() {
+                done += 1;
+                delivered.store(done, Ordering::Release);
+                if done.is_multiple_of(HP_CKPT_EVERY) {
+                    ckpts += 1;
+                    k1.do_checkpoint(Vec::new(), ckpts);
+                }
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        let ns = t0.elapsed().as_nanos() as f64 / iters as f64;
+        stop.store(true, Ordering::Relaxed);
+        feeder.join().unwrap();
+        ns
+    }
+}
+
 /// Send-side saturation: `producers` threads hammer `app_send` on
 /// the same kernel while one service thread concurrently drains,
 /// delivers, and checkpoints. Returns kframes/s over the producers'
@@ -1269,6 +1375,28 @@ pub fn hotpath_table(quick: bool) -> Table {
             "-".to_string(),
         ]);
     }
+    // The deliver-side counterpart: the contended cell has a feeder
+    // thread ingesting into the same kernel's tracking layer the whole
+    // time — the number the 3-phase `try_deliver` lock split exists
+    // for.
+    for contended in [false, true] {
+        let ns = deliver_latency_ns(contended, iters);
+        t.row(vec![
+            if contended {
+                "deliver_contended"
+            } else {
+                "deliver_uncontended"
+            }
+            .to_string(),
+            if contended { "2" } else { "1" }.to_string(),
+            format!("{ns:.0}"),
+            "-".to_string(),
+            "threads".to_string(),
+            "tdi".to_string(),
+            "-".to_string(),
+            "-".to_string(),
+        ]);
+    }
     let per_producer: u64 = if quick { 20_000 } else { 100_000 };
     for producers in [1usize, 2, 4, 8] {
         let kfps = saturation_kfps(producers, per_producer);
@@ -1352,6 +1480,150 @@ pub fn hotpath_table(quick: bool) -> Table {
             faulty.kills.to_string(),
             (faulty.kills >= 1 && faulty.digests == clean.digests).to_string(),
         ]);
+    }
+    t
+}
+
+/// SV1 (persistent service): J concurrent tenant jobs multiplexed
+/// onto one warm `lclog-serve` runtime, driven through the real TCP
+/// front end. Faults escalate across rows (none → process kill → node
+/// loss → node loss with a torn upload); the faulted tenant must land
+/// on its fault-free digests through the service's shared
+/// storage/replication plane, and every co-resident tenant must be
+/// byte-identical to its own fault-free run with zero kills — the
+/// zero-interference gate.
+pub fn serve_table(quick: bool) -> Table {
+    use lclog_serve::{Client, JobSpec, Service, ServiceConfig};
+    use std::time::Instant;
+
+    let mut t = Table::new(
+        "SV1 — persistent service: concurrent tenants × mid-job fault",
+        &[
+            "jobs",
+            "fault",
+            "wall_ms",
+            "jobs_per_s",
+            "faulted_wall_ms",
+            "kills",
+            "digests_ok",
+            "co_resident_ok",
+        ],
+    );
+    let rounds: u64 = if quick { 8 } else { 16 };
+    let job_counts: &[usize] = if quick { &[4] } else { &[4, 8] };
+    let protos = ["tdi", "tdis", "tag"];
+    let kinds = ["ring", "pairs"];
+    let parse = |s: &str| JobSpec::parse(s.split_whitespace()).expect("SV1 spec parses");
+    for &jobs in job_counts {
+        // The tenant mix is fixed across the fault column so rows are
+        // comparable; only the injected fault changes.
+        let specs: Vec<String> = (0..jobs)
+            .map(|i| {
+                format!(
+                    "kind={} n={} proto={} rounds={rounds}",
+                    kinds[i % kinds.len()],
+                    4 + i % 3,
+                    protos[i % protos.len()],
+                )
+            })
+            .collect();
+        let expected: Vec<String> = specs
+            .iter()
+            .map(|s| {
+                let spec = parse(s);
+                run_tasks(&spec.cluster_config(0), spec.workload())
+                    .expect("SV1 fault-free baseline")
+                    .digests
+                    .iter()
+                    .map(|d| format!("{d:016x}"))
+                    .collect::<Vec<_>>()
+                    .join(",")
+            })
+            .collect();
+        for fault in ["none", "kill", "kill_wipe", "kill_wipe_corrupt"] {
+            let victim_job = jobs / 2;
+            let service = Service::start(ServiceConfig::default());
+            let addr = service.listen("127.0.0.1:0").expect("SV1 bind loopback");
+            let mut client = Client::connect(addr).expect("SV1 connect");
+            let start = Instant::now();
+            let ids: Vec<String> = specs
+                .iter()
+                .enumerate()
+                .map(|(i, s)| {
+                    let fault_args = if i == victim_job {
+                        match fault {
+                            "kill" => format!(" kill=1@{}", rounds / 2),
+                            "kill_wipe" => format!(" kill=1@{} wipe=on", rounds / 2),
+                            "kill_wipe_corrupt" => {
+                                format!(" kill=1@{} corrupt=on", rounds / 2)
+                            }
+                            _ => String::new(),
+                        }
+                    } else {
+                        String::new()
+                    };
+                    client
+                        .request_field(&format!("SUBMIT {s}{fault_args}"), "id")
+                        .expect("SV1 submit")
+                })
+                .collect();
+            let deadline = Instant::now() + Duration::from_secs(300);
+            for id in &ids {
+                loop {
+                    let status = client
+                        .request(&format!("STATUS {id}"))
+                        .expect("SV1 status");
+                    if status.contains("state=finished") {
+                        break;
+                    }
+                    assert!(
+                        !status.contains("state=failed") && Instant::now() < deadline,
+                        "SV1 job wedged: {status}"
+                    );
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            }
+            let wall = start.elapsed();
+            let mut digests_ok = true;
+            let mut co_resident_ok = true;
+            let mut kills = 0u64;
+            let mut faulted_wall_ms = "-".to_string();
+            for (i, id) in ids.iter().enumerate() {
+                let digests = client
+                    .request(&format!("DIGESTS {id}"))
+                    .expect("SV1 digests");
+                let ok = digests.ends_with(&expected[i]);
+                let job_kills: u64 = client
+                    .request_field(&format!("REPORT {id}"), "kills")
+                    .expect("SV1 report")
+                    .parse()
+                    .unwrap_or(0);
+                kills += job_kills;
+                if i == victim_job {
+                    digests_ok &= ok;
+                    faulted_wall_ms = client
+                        .request_field(&format!("REPORT {id}"), "wall_ms")
+                        .expect("SV1 wall");
+                } else {
+                    // A co-resident tenant diverging or dying is the
+                    // interference the service must never exhibit.
+                    co_resident_ok &= ok && job_kills == 0;
+                    digests_ok &= ok;
+                }
+            }
+            let (_, synced) = service.drain(Duration::from_secs(30));
+            service.shutdown();
+            t.row(vec![
+                jobs.to_string(),
+                fault.to_string(),
+                wall.as_millis().to_string(),
+                format!("{:.1}", jobs as f64 / wall.as_secs_f64()),
+                faulted_wall_ms,
+                kills.to_string(),
+                (digests_ok && synced).to_string(),
+                co_resident_ok.to_string(),
+            ]);
+        }
     }
     t
 }

@@ -4,7 +4,7 @@
 //! reproduce [--quick] [fig6|fig7|fig8|ablation-rate|ablation-replay|
 //!                       ablation-ckpt|ablation-protocols|ablation-f|
 //!                       ablation-chaos|data-plane|detector|explore|
-//!                       log-ship|scaling|hotpath|all]
+//!                       log-ship|scaling|hotpath|serve|all]
 //! reproduce explore --replay <case-file>
 //! ```
 //!
@@ -16,7 +16,8 @@
 use lclog_bench::experiments::{
     ablation_chaos, ablation_ckpt, ablation_detector, ablation_f_bound, ablation_protocols,
     ablation_rate, ablation_replay, data_plane_table, explore_table, fig6_table, fig7_table,
-    fig8_table, hotpath_table, log_ship_table, overhead_matrix, scaling_table, ExpConfig,
+    fig8_table, hotpath_table, log_ship_table, overhead_matrix, scaling_table, serve_table,
+    ExpConfig,
 };
 use lclog_bench::Table;
 use std::path::Path;
@@ -199,6 +200,12 @@ fn main() {
         let t = hotpath_table(quick);
         print!("{}", t.render());
         save(&t, "hotpath");
+        println!();
+    }
+    if all || which.contains(&"serve") {
+        let t = serve_table(quick);
+        print!("{}", t.render());
+        save(&t, "serve");
         println!();
     }
 }

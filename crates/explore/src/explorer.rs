@@ -325,10 +325,7 @@ impl Decider for DporDecider {
         let pick = if self.pos < self.plan.len() {
             self.plan[self.pos]
         } else {
-            match alts.iter().position(|a| !self.sleep.contains(a)) {
-                Some(i) => i,
-                None => return None,
-            }
+            alts.iter().position(|a| !self.sleep.contains(a))?
         };
         if self.pos >= self.plan.len() {
             let b = alts[pick];

@@ -394,7 +394,7 @@ impl<'w> World<'w> {
             return;
         };
         let pc = self.pc[r] as u64;
-        if pc > 0 && pc % every == 0 {
+        if pc > 0 && pc.is_multiple_of(every) {
             let mut bytes = Vec::with_capacity(16);
             bytes.extend_from_slice(&pc.to_le_bytes());
             bytes.extend_from_slice(&self.state[r].to_le_bytes());
@@ -526,7 +526,7 @@ impl<'w> World<'w> {
         k.set_incarnation(self.incarnation[rank]);
         let (pc, state) = match k.load_checkpoint() {
             Some(image) => {
-                let (step, app) = k.restore(image);
+                let (step, app) = k.restore(image).expect("explorer images restore");
                 let mut s = [0u8; 8];
                 s.copy_from_slice(&app[8..16]);
                 (step as usize, u64::from_le_bytes(s))

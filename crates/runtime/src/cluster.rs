@@ -298,6 +298,14 @@ pub struct ClusterConfig {
     /// Durable log shipping to a remote store (`None` = local-only
     /// stable storage, the paper's baseline).
     pub remote: Option<RemoteConfig>,
+    /// Global-rank offset of this job's rank namespace. The runtime
+    /// itself always sees local ranks `0..n`; the offset shifts every
+    /// durable artefact (checkpoint generations, remote manifest
+    /// entries, node-loss restores) into `rank_base..rank_base + n`,
+    /// so concurrent tenant jobs can share one storage backend and one
+    /// replication pipeline without colliding. Leave 0 for standalone
+    /// runs.
+    pub rank_base: usize,
 }
 
 impl ClusterConfig {
@@ -312,7 +320,15 @@ impl ClusterConfig {
             trace: false,
             max_wall: Duration::from_secs(60),
             remote: None,
+            rank_base: 0,
         }
+    }
+
+    /// Builder-style rank-namespace override (see
+    /// [`ClusterConfig::rank_base`]).
+    pub fn with_rank_base(mut self, base: usize) -> Self {
+        self.rank_base = base;
+        self
     }
 
     /// Builder-style fabric override.
@@ -452,9 +468,15 @@ enum Outcome {
 /// offered (non-blocking) after landing locally. Deletes are local
 /// only — remote retention is the manifest's business, and keeping
 /// superseded generations remotely deepens the restore fallback.
-struct ShippingStorage {
+pub(crate) struct ShippingStorage {
     inner: Arc<dyn StableStorage>,
     repl: Arc<Replicator>,
+}
+
+impl ShippingStorage {
+    pub(crate) fn new(inner: Arc<dyn StableStorage>, repl: Arc<Replicator>) -> Self {
+        ShippingStorage { inner, repl }
+    }
 }
 
 impl StableStorage for ShippingStorage {
@@ -523,17 +545,17 @@ impl Cluster {
                     Arc::clone(&rc.store),
                     rc.replicator.clone(),
                     sink.clone(),
-                    crate::logger_rank(n),
+                    cfg.rank_base + crate::logger_rank(n),
                 );
-                let wrapped: Arc<dyn StableStorage> = Arc::new(ShippingStorage {
-                    inner: Arc::clone(&raw_storage),
-                    repl: Arc::clone(&repl),
-                });
+                let wrapped: Arc<dyn StableStorage> = Arc::new(ShippingStorage::new(
+                    Arc::clone(&raw_storage),
+                    Arc::clone(&repl),
+                ));
                 (Some(repl), wrapped)
             }
             None => (None, Arc::clone(&raw_storage)),
         };
-        let ckpts = CheckpointStore::new(Arc::clone(&storage));
+        let ckpts = CheckpointStore::new(Arc::clone(&storage)).with_rank_base(cfg.rank_base);
         // Replicated checkpoints imply a node-loss restore may fall
         // back one generation; survivors must then keep one extra
         // generation of sender-log entries resendable.
@@ -645,10 +667,10 @@ impl Cluster {
                         if let Some(repl) = &replicator {
                             repl.wait_synced(Duration::from_secs(2));
                             if corrupt_remote {
-                                repl.corrupt_newest_remote_generation(rank);
+                                repl.corrupt_newest_remote_generation(cfg.rank_base + rank);
                             }
                         }
-                        let prefix = CheckpointStore::prefix(rank);
+                        let prefix = CheckpointStore::prefix(cfg.rank_base + rank);
                         let gens = raw_storage.keys_with_prefix(&prefix);
                         for key in &gens {
                             raw_storage.delete(key);
@@ -831,6 +853,7 @@ fn rank_main<A: RankApp>(
             }
         }
     }
+    let global_rank = ckpts.rank_base() + rank;
     let mut kernel = Kernel::new(rank, n, run, net, ckpts);
     kernel.set_incarnation(incarnation);
     kernel.set_event_sink(sink.clone());
@@ -845,22 +868,27 @@ fn rank_main<A: RankApp>(
         if image.is_none() {
             // An empty local store after a death is the node-loss
             // signature: pull the newest fully-certified generation
-            // from the remote, then read it back as usual.
+            // from the remote, then read it back as usual. Remote
+            // manifests speak global rank (the job's namespace).
             if let Some(repl) = &replicator {
-                if repl.restore_rank(rank, raw_storage.as_ref()).is_some() {
+                if repl
+                    .restore_rank(global_rank, raw_storage.as_ref())
+                    .is_some()
+                {
                     image = kernel.load_checkpoint();
                 }
             }
         }
-        let restored = match image {
-            Some(image) => {
-                let (step, app_bytes) = kernel.restore(image);
-                let state = lclog_wire::decode_from_slice(&app_bytes)
-                    .expect("checkpointed app state decodes");
-                (step, state)
-            }
-            None => (0u64, app.init(rank, n)),
-        };
+        // An image whose protocol or application state does not decode
+        // is treated like no image at all: restart from the initial
+        // state and roll forward through recovery (restore leaves the
+        // kernel untouched on error).
+        let restored = image.and_then(|image| {
+            let (step, app_bytes) = kernel.restore(image).ok()?;
+            let state = lclog_wire::decode_from_slice(&app_bytes).ok()?;
+            Some((step, state))
+        });
+        let restored = restored.unwrap_or_else(|| (0u64, app.init(rank, n)));
         kernel.begin_recovery();
         restored
     };

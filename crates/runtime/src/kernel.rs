@@ -33,8 +33,12 @@
 //!
 //! (any contiguous-or-gapped subset, never a back edge). Below the
 //! hierarchy sit only terminal leaves that never acquire anything:
-//! the transport's per-peer channel shards and the failure detector's
-//! own small mutex. Sends are legal from under any layer lock.
+//! the transport's per-peer channel shards, the resync pacer, and the
+//! failure detector's own small mutex. Sends are legal from under any
+//! layer lock. In debug builds the order is machine-checked: every
+//! layer acquisition goes through [`crate::lockcheck`], which keeps a
+//! thread-local held-set and asserts on any back edge before the
+//! mutex can deadlock.
 //!
 //! The send hot path is **tracking-only**: `app_send` takes the
 //! tracking lock for the protocol piggyback, bumps the atomic send
@@ -43,7 +47,13 @@
 //! neither the `recovery` nor the `delivery` lock. The ingest hot
 //! path (`App` frames) is **delivery-only** and batched: frames are
 //! staged per source and admitted under one `delivery` acquisition
-//! per batch.
+//! per batch. The deliver hot path holds **at most one** layer lock
+//! at a time: `try_deliver` snapshots FIFO-eligible candidates under
+//! `delivery`, gates and merges under `tracking`, then extracts the
+//! winner under `delivery` again — the comm thread's ingest batches
+//! and the app thread's protocol merges never contend on a combined
+//! critical section (see the method docs for why the phase split is
+//! race-free).
 //!
 //! # Batching epochs
 //!
@@ -94,6 +104,8 @@ use crate::config::RunConfig;
 use crate::delivery::{Admit, Delivery};
 use crate::detector::Detector;
 use crate::events::{EventKind, EventSink};
+use crate::fault::Fault;
+use crate::lockcheck;
 use crate::log::{LogEntry, SenderLog};
 use crate::message::{
     AppMsg, AppWire, CkptAdvanceWire, RecvSpec, ResponseWire, RollbackWire, SuspectWire, WireMsg,
@@ -244,6 +256,76 @@ pub struct Kernel {
     events: EventSink,
 }
 
+/// A layer-lock guard that carries its debug-build lock-order token:
+/// acquiring one registers the layer with [`crate::lockcheck`] (so a
+/// back-edge acquisition asserts instead of deadlocking), dropping
+/// one releases the mutex and then clears the thread's held-bit.
+/// Derefs to the layer state, so guard-based call sites read exactly
+/// like raw `MutexGuard` ones.
+struct LayerGuard<'a, T> {
+    guard: parking_lot::MutexGuard<'a, T>,
+    /// Declared after `guard`: fields drop in declaration order, so
+    /// the mutex is released before the held-bit clears — the audit
+    /// window covers the whole critical section.
+    _held: lockcheck::Held,
+}
+
+impl<T> std::ops::Deref for LayerGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+impl<T> std::ops::DerefMut for LayerGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.guard
+    }
+}
+
+impl Kernel {
+    /// Acquire the `recovery` layer (order-audited). All kernel code
+    /// goes through these helpers rather than locking the fields
+    /// directly, so every acquisition is checked in debug builds.
+    fn lock_recovery(&self) -> LayerGuard<'_, RecoveryLayer> {
+        let held = lockcheck::acquire(lockcheck::RECOVERY, "recovery");
+        LayerGuard {
+            guard: self.recovery.lock(),
+            _held: held,
+        }
+    }
+
+    /// Acquire the `tracking` layer (order-audited).
+    fn lock_tracking(&self) -> LayerGuard<'_, Tracking> {
+        let held = lockcheck::acquire(lockcheck::TRACKING, "tracking");
+        LayerGuard {
+            guard: self.tracking.lock(),
+            _held: held,
+        }
+    }
+
+    /// Acquire the `delivery` layer (order-audited).
+    fn lock_delivery(&self) -> LayerGuard<'_, Delivery> {
+        let held = lockcheck::acquire(lockcheck::DELIVERY, "delivery");
+        LayerGuard {
+            guard: self.delivery.lock(),
+            _held: held,
+        }
+    }
+
+    /// Try-acquire the `recovery` layer (order-audited on success; a
+    /// try-lock cannot deadlock, but a back-edge try-acquire is still
+    /// an ordering bug worth catching).
+    fn try_lock_recovery(&self) -> Option<LayerGuard<'_, RecoveryLayer>> {
+        let guard = self.recovery.try_lock()?;
+        let held = lockcheck::acquire(lockcheck::RECOVERY, "recovery(try)");
+        Some(LayerGuard {
+            guard,
+            _held: held,
+        })
+    }
+}
+
 impl Kernel {
     /// Fresh kernel for `me` of `n` (initial incarnation state).
     pub fn new(me: Rank, n: usize, cfg: RunConfig, net: SimNet, ckpt_store: CheckpointStore) -> Self {
@@ -353,10 +435,10 @@ impl Kernel {
         // complete picture, then canonical lock order:
         // recovery → tracking → delivery.
         self.drain_ingress();
-        let mut rec = self.recovery.lock();
+        let mut rec = self.lock_recovery();
         self.drain_log_rings(&mut rec);
-        let trk = self.tracking.lock();
-        let del = self.delivery.lock();
+        let trk = self.lock_tracking();
+        let del = self.lock_delivery();
         let mut stats = trk.snapshot_stats();
         stats.log_bytes_peak = stats
             .log_bytes_peak
@@ -377,7 +459,7 @@ impl Kernel {
 
     /// Where the recovery state machine stands.
     pub fn recovery_phase(&self) -> RecoveryPhase {
-        self.recovery.lock().machine.phase().clone()
+        self.lock_recovery().machine.phase().clone()
     }
 
     /// True while this incarnation is still collecting recovery
@@ -408,13 +490,13 @@ impl Kernel {
     /// (§III.E): every legal delivery schedule must converge to the
     /// same vector.
     pub fn interval_vector(&self) -> Option<Vec<u64>> {
-        self.tracking.lock().protocol.interval_vector()
+        self.lock_tracking().protocol.interval_vector()
     }
 
     /// Protocol send gate (pessimistic logging holds sends while
     /// determinants are unstable).
     pub fn send_ready(&self) -> bool {
-        self.tracking.lock().protocol.send_ready()
+        self.lock_tracking().protocol.send_ready()
     }
 
     fn send_wire(&self, dst: Rank, msg: &WireMsg) {
@@ -485,7 +567,7 @@ impl Kernel {
     /// move in from the send without a decode pass. A suppressed send
     /// encodes once into the log and transmits nothing.
     pub fn app_send(&self, dst: Rank, tag: u32, data: Bytes, needs_ack: bool) -> (u64, bool) {
-        let mut trk = self.tracking.lock();
+        let mut trk = self.lock_tracking();
         let send_index = self.last_send_index.bump(dst);
         let artifacts = trk.on_send(dst, send_index);
         drop(trk);
@@ -506,7 +588,7 @@ impl Kernel {
         // Suppression slow path: the bound says this send was already
         // delivered by the peer's pre-crash observation of us. Confirm
         // under the recovery lock, where all bound writes serialize.
-        let mut rec = self.recovery.lock();
+        let mut rec = self.lock_recovery();
         self.drain_log_rings(&mut rec);
         let transmit = send_index > self.rollback_last_send_index.get(dst);
         let entry = if transmit {
@@ -536,7 +618,7 @@ impl Kernel {
         match ring.try_push(entry) {
             Ok(()) => self.log_staged.store(true, Ordering::Release),
             Err(entry) => {
-                let mut rec = self.recovery.lock();
+                let mut rec = self.lock_recovery();
                 self.drain_log_rings(&mut rec);
                 rec.log.insert(entry);
                 self.note_log_peak(&rec);
@@ -575,7 +657,7 @@ impl Kernel {
     /// rendezvous sends are ever waited on.
     pub fn resend_unacked(&self, dst: Rank, send_index: u64) {
         let wire = {
-            let mut rec = self.recovery.lock();
+            let mut rec = self.lock_recovery();
             self.drain_log_rings(&mut rec);
             let found = rec
                 .log
@@ -627,7 +709,7 @@ impl Kernel {
     fn finish_batch(&self) {
         self.drain_ingress();
         if self.log_staged.load(Ordering::Acquire) {
-            if let Some(mut rec) = self.recovery.try_lock() {
+            if let Some(mut rec) = self.try_lock_recovery() {
                 self.drain_log_rings(&mut rec);
             }
         }
@@ -669,7 +751,7 @@ impl Kernel {
             WireMsg::Response(w) => self.handle_response(src, w),
             WireMsg::CkptAdvance(w) => {
                 {
-                    let mut rec = self.recovery.lock();
+                    let mut rec = self.lock_recovery();
                     // Staged entries must be in the locked log before
                     // the release pass, or covered entries could
                     // outlive their GC horizon.
@@ -691,19 +773,18 @@ impl Kernel {
                     }
                     rec.log.release(src, horizon);
                 }
-                self.tracking
-                    .lock()
+                self.lock_tracking()
                     .protocol
                     .on_peer_checkpoint(src, w.total_delivered);
                 // Checkpointed delivery counts double as acks.
                 self.reliability.note_consumed(src, w.delivered_from_you);
             }
-            WireMsg::LogAck(upto) => self.tracking.lock().protocol.on_logger_ack(upto),
+            WireMsg::LogAck(upto) => self.lock_tracking().protocol.on_logger_ack(upto),
             WireMsg::LogQueryResp(dets) => self.handle_logger_sync(dets),
             WireMsg::Membership(view) => self.handle_membership(view),
             WireMsg::ResyncReq(who) => {
                 debug_assert_eq!(who as Rank, src, "resync request must name its sender");
-                let snap = self.tracking.lock().protocol.resync_snapshot(src);
+                let snap = self.lock_tracking().protocol.resync_snapshot(src);
                 if let Some(bytes) = snap {
                     self.send_wire(src, &WireMsg::ResyncSnap(bytes.into()));
                 }
@@ -714,7 +795,7 @@ impl Kernel {
                 // dropped rather than faulting the rank. Either way the
                 // round-trip completed, so the request pacer restarts
                 // its schedule for this source.
-                let _ = self.tracking.lock().protocol.install_resync(src, &bytes);
+                let _ = self.lock_tracking().protocol.install_resync(src, &bytes);
                 self.resync_pacer.lock().settle(src);
             }
             WireMsg::LogDets(_) | WireMsg::LogQuery(_) | WireMsg::Suspect(_) => {
@@ -742,7 +823,7 @@ impl Kernel {
         match ring.try_push(wire) {
             Ok(()) => self.ingress_pending.store(true, Ordering::Release),
             Err(wire) => {
-                let verdict = self.delivery.lock().admit(src, wire);
+                let verdict = self.lock_delivery().admit(src, wire);
                 if let Admit::Repetitive {
                     needs_ack: true,
                     send_index,
@@ -763,7 +844,7 @@ impl Kernel {
         }
         let mut reacks: Vec<(Rank, u64)> = Vec::new();
         {
-            let mut del = self.delivery.lock();
+            let mut del = self.lock_delivery();
             for (src, slot) in self.ingress.iter().enumerate() {
                 if let Some(ring) = slot.get() {
                     while let Some(wire) = ring.try_pop() {
@@ -787,9 +868,34 @@ impl Kernel {
     /// per-sender FIFO predecessor has been delivered and whose
     /// protocol dependency gate opens (lines 15–31). App thread.
     ///
-    /// Locks: `tracking` + `delivery` (after a standalone `delivery`
-    /// round to drain staged ingress) — never `recovery`, whose role
-    /// here is played by the lock-free `recovering` flag.
+    /// Locks: **at most one layer at a time** — never `recovery`
+    /// (whose role here is played by the lock-free `recovering`
+    /// flag), and never `tracking` and `delivery` together. The old
+    /// combined critical section made every protocol gate + merge
+    /// contend with the comm thread's batched ingress admissions;
+    /// now the two planes only touch through three short
+    /// single-lock phases:
+    ///
+    /// 1. **`delivery`** — drain staged ingress, then snapshot each
+    ///    lane's FIFO-next candidate (`(src, send_index, piggyback)`;
+    ///    the piggyback is a refcounted clone, so nothing borrows the
+    ///    queue).
+    /// 2. **`tracking`** — walk the snapshot in arrival order, gate
+    ///    each candidate against the protocol, and merge the winner's
+    ///    piggyback under the *same* acquisition (gate and merge must
+    ///    see one consistent protocol state).
+    /// 3. **`delivery`** — extract the winner by identity and bump
+    ///    the FIFO counter.
+    ///
+    /// The split is race-free because delivery is single-threaded by
+    /// contract: only the app thread extracts entries or bumps
+    /// `last_deliver_index`, so a phase-1 candidate is still queued
+    /// and still FIFO-next at phase 3. The comm thread's concurrent
+    /// admissions only *add* entries, with later arrival stamps; its
+    /// dedup (`Admit`) keys on the queue, which holds the candidate
+    /// until phase 3 removes it. In debug builds the at-most-one
+    /// invariant is pinned by [`lockcheck::assert_none_held`] at
+    /// every phase boundary.
     pub fn try_deliver(&self, spec: RecvSpec) -> Option<AppMsg> {
         // PWD protocols must not deliver against an incomplete replay
         // script; hold everything until every survivor (and the event
@@ -798,52 +904,74 @@ impl Kernel {
         if self.holds_delivery_in_recovery && self.recovering.load(Ordering::Acquire) {
             return None;
         }
+        lockcheck::assert_none_held("try_deliver entry");
+        // Phase 1: delivery only. At most one entry per lane can be
+        // FIFO-next (send indexes are unique per sender), so the
+        // FIFO-only snapshot finds exactly the candidates the old
+        // combined gate could have matched.
         self.drain_ingress();
-        let mut trk = self.tracking.lock();
-        let mut del = self.delivery.lock();
-        let taken = {
-            let Delivery {
-                queue,
-                last_deliver_index,
-            } = &mut *del;
-            let protocol = &trk.protocol;
-            queue.take_first_matching(spec, |src, idx, piggyback| {
-                idx == last_deliver_index.get(src) + 1
-                    && matches!(
-                        protocol.deliverable(src, idx, piggyback),
-                        DeliveryVerdict::Deliver
-                    )
-            })?
+        let candidates = {
+            let del = self.lock_delivery();
+            let last_deliver_index = &del.last_deliver_index;
+            del.queue
+                .candidate_heads(spec, |src, idx, _| idx == last_deliver_index.get(src) + 1)
         };
-        let src = taken.src;
-        let wire = taken.wire;
-        if trk.on_deliver(src, wire.send_index, &wire.piggyback).is_err() {
+        if candidates.is_empty() {
+            return None;
+        }
+        lockcheck::assert_none_held("try_deliver phase 1 → 2");
+        // Phase 2: tracking only. First candidate (in arrival order)
+        // whose dependency gate opens wins — identical pick to the
+        // old single-section scan, which also took the arrival-first
+        // candidate passing FIFO + protocol.
+        let (src, send_index, merged) = {
+            let mut trk = self.lock_tracking();
+            let (src, send_index, piggyback) = candidates.into_iter().find(|(src, idx, pb)| {
+                matches!(
+                    trk.protocol.deliverable(*src, *idx, pb),
+                    DeliveryVerdict::Deliver
+                )
+            })?;
+            let merged = trk.on_deliver(src, send_index, &piggyback).is_ok();
+            let dets = if merged && self.logger.is_some() {
+                trk.protocol.drain_determinants_for_logger()
+            } else {
+                Vec::new()
+            };
+            (src, send_index, merged.then_some(dets))
+        };
+        lockcheck::assert_none_held("try_deliver phase 2 → 3");
+        // Phase 3: delivery only. Extract by identity.
+        let taken = {
+            let mut del = self.lock_delivery();
+            let taken = del.queue.take_exact(src, send_index);
+            if taken.is_some() && merged.is_some() {
+                del.note_delivered(src);
+            }
+            taken
+        };
+        let Some(dets) = merged else {
             // Gate and merge disagreed (poisoned/stale piggyback): the
             // message is discarded *without* bumping the delivery
             // counter, and the rank is marked desynchronized so its
             // engine faults it (single-rank recovery, not a process
             // abort). No ack either — as far as the sender can tell,
             // the message was never consumed.
-            drop(del);
-            drop(trk);
-            self.events.emit(
-                self.me,
-                EventKind::TrackingDesync {
-                    src,
-                    send_index: wire.send_index,
-                },
-            );
+            self.events
+                .emit(self.me, EventKind::TrackingDesync { src, send_index });
             self.desynced.store(true, Ordering::Release);
             return None;
-        }
-        del.note_delivered(src);
-        let dets = if self.logger.is_some() {
-            trk.protocol.drain_determinants_for_logger()
-        } else {
-            Vec::new()
         };
-        drop(del);
-        drop(trk);
+        let Some(taken) = taken else {
+            // Unreachable while the single-deliverer contract holds
+            // (only this thread removes queue entries): the merge has
+            // consumed a message the app will never see, so treat the
+            // broken contract as a desync rather than diverge quietly.
+            debug_assert!(false, "phase-1 candidate vanished before phase-3 extraction");
+            self.desynced.store(true, Ordering::Release);
+            return None;
+        };
+        let wire = taken.wire;
         // Rendezvous ack at delivery time (§IV.B), then freshly created
         // determinants to the TEL event logger.
         if wire.needs_ack {
@@ -866,14 +994,18 @@ impl Kernel {
     /// by arrival (index 0 is what [`Kernel::try_deliver`] would
     /// take). Each element is a legal alternative next delivery — the
     /// schedule explorer's choice-point set (§III.E: any such order is
-    /// supposed to converge). Read-only; same locks as `try_deliver`.
+    /// supposed to converge). Read-only. Unlike [`Kernel::try_deliver`]
+    /// this *does* hold `tracking` + `delivery` together — it is an
+    /// explorer/diagnostic path, not the hot path, and a combined
+    /// section is the cheapest way to get one consistent eligible-set
+    /// cut. The order is the legal forward one.
     pub fn deliverable_sources(&self, spec: RecvSpec) -> Vec<Rank> {
         if self.holds_delivery_in_recovery && self.recovering.load(Ordering::Acquire) {
             return Vec::new();
         }
         self.drain_ingress();
-        let trk = self.tracking.lock();
-        let del = self.delivery.lock();
+        let trk = self.lock_tracking();
+        let del = self.lock_delivery();
         let protocol = &trk.protocol;
         let last_deliver_index = &del.last_deliver_index;
         del.queue.eligible_sources(spec, |src, idx, piggyback| {
@@ -891,8 +1023,7 @@ impl Kernel {
 
     /// Should a checkpoint be taken now (between steps)?
     pub fn checkpoint_due(&self, step: u64) -> bool {
-        self.recovery
-            .lock()
+        self.lock_recovery()
             .checkpoint_due(self.cfg.checkpoint, step, self.cfg.clock.now())
     }
 
@@ -907,10 +1038,10 @@ impl Kernel {
     /// consistent because only the application thread both sends and
     /// checkpoints.
     pub fn do_checkpoint(&self, app_state: Vec<u8>, step: u64) {
-        let mut rec = self.recovery.lock();
+        let mut rec = self.lock_recovery();
         self.drain_log_rings(&mut rec);
-        let mut trk = self.tracking.lock();
-        let del = self.delivery.lock();
+        let mut trk = self.lock_tracking();
+        let del = self.lock_delivery();
         let image = CheckpointImage {
             step,
             app_state,
@@ -966,15 +1097,22 @@ impl Kernel {
 
     /// Restore state from a checkpoint image (incarnation side,
     /// lines 41–45). Returns `(step, app_state)` for the application
-    /// loop. (Algorithm 1's lines 43–44 restore every vector from
-    /// `checkpoint.depend_interval` — an obvious typo we correct.)
-    pub fn restore(&self, image: CheckpointImage) -> (u64, Vec<u8>) {
-        let mut rec = self.recovery.lock();
-        let mut trk = self.tracking.lock();
-        let mut del = self.delivery.lock();
+    /// loop, or [`Fault::Desync`] when the image's protocol snapshot
+    /// does not decode — a CRC-intact blob whose contents are not a
+    /// protocol state (format drift, a hostile store). On error
+    /// nothing was mutated (every protocol decodes before
+    /// installing), so the caller may fall back to the initial state
+    /// and roll forward through normal recovery instead of aborting
+    /// the process. (Algorithm 1's lines 43–44 restore every vector
+    /// from `checkpoint.depend_interval` — an obvious typo we
+    /// correct.)
+    pub fn restore(&self, image: CheckpointImage) -> Result<(u64, Vec<u8>), Fault> {
+        let mut rec = self.lock_recovery();
+        let mut trk = self.lock_tracking();
+        let mut del = self.lock_delivery();
         trk.protocol
             .restore_from_checkpoint(&image.protocol)
-            .expect("checkpoint protocol state decodes");
+            .map_err(|_| Fault::Desync)?;
         self.last_send_index.load_from(&image.last_send);
         rec.restored_send_index = image.last_send;
         del.last_deliver_index = image.last_deliver.clone();
@@ -987,13 +1125,18 @@ impl Kernel {
             .unwrap_or(rec.ckpt_version);
         rec.steps_at_ckpt = image.step;
         rec.last_ckpt_at = self.cfg.clock.now();
-        (image.step, image.app_state)
+        Ok((image.step, image.app_state))
     }
 
-    /// Load this rank's latest checkpoint image, if any.
+    /// Load this rank's latest checkpoint image, if any. A stored blob
+    /// that passes its CRC seal but does not decode as an image
+    /// (format drift, wrong contents under the key) is as unusable as
+    /// a torn one and reads as "no checkpoint" — the incarnation then
+    /// restarts from the initial state and rolls forward through
+    /// recovery instead of aborting the process.
     pub fn load_checkpoint(&self) -> Option<CheckpointImage> {
-        let (_, bytes) = self.recovery.lock().ckpt_store.load_latest(self.me)?;
-        Some(lclog_wire::decode_from_slice(&bytes).expect("checkpoint image decodes"))
+        let (_, bytes) = self.lock_recovery().ckpt_store.load_latest(self.me)?;
+        lclog_wire::decode_from_slice(&bytes).ok()
     }
 
     /// Begin incarnation recovery: drive the state machine
@@ -1005,7 +1148,7 @@ impl Kernel {
     /// If called twice on one incarnation (the state machine rejects
     /// `begin` outside `Running`).
     pub fn begin_recovery(&self) {
-        let mut rec = self.recovery.lock();
+        let mut rec = self.lock_recovery();
         let tr = rec
             .machine
             .begin(self.me, self.logger.is_some(), self.cfg.clock.now());
@@ -1014,7 +1157,7 @@ impl Kernel {
         self.broadcast_rollback(&mut rec);
         // Degenerate single-rank system: nothing to collect.
         if let Some(done) = rec.machine.try_complete(self.cfg.clock.now()) {
-            let mut trk = self.tracking.lock();
+            let mut trk = self.lock_tracking();
             self.finish_sync(&mut trk, done);
         }
     }
@@ -1024,12 +1167,7 @@ impl Kernel {
     fn broadcast_rollback(&self, rec: &mut RecoveryLayer) {
         rec.rollback_epoch += 1;
         let wire = RollbackWire {
-            last_deliver_index: self
-                .delivery
-                .lock()
-                .last_deliver_index
-                .as_slice()
-                .to_vec(),
+            last_deliver_index: self.lock_delivery().last_deliver_index.as_slice().to_vec(),
             epoch: rec.rollback_epoch,
         };
         let targets = rec.machine.pending_targets();
@@ -1068,7 +1206,7 @@ impl Kernel {
         // and must be forgotten, or we would suppress regenerated
         // messages the incarnation still needs.
         let upto = w.last_deliver_index.get(self.me).copied();
-        let mut rec = self.recovery.lock();
+        let mut rec = self.lock_recovery();
         self.drain_log_rings(&mut rec);
         if let Some(upto) = upto {
             self.rollback_last_send_index.set(src, upto);
@@ -1083,8 +1221,8 @@ impl Kernel {
             .entries_after(src, lost_after)
             .map(|e| e.to_wire())
             .collect();
-        let dets = self.tracking.lock().protocol.determinants_for(src);
-        let delivered_from_you = self.delivery.lock().last_deliver_index.get(src);
+        let dets = self.lock_tracking().protocol.determinants_for(src);
+        let delivered_from_you = self.lock_delivery().last_deliver_index.get(src);
         drop(rec);
         if !resends.is_empty() {
             self.events.emit(
@@ -1121,7 +1259,7 @@ impl Kernel {
     /// barrier possibly lifted with both held); the resupply resends
     /// go out lock-free afterwards.
     fn handle_response(&self, src: Rank, w: ResponseWire) {
-        let mut rec = self.recovery.lock();
+        let mut rec = self.lock_recovery();
         self.drain_log_rings(&mut rec);
         self.rollback_last_send_index
             .max_up(src, w.delivered_from_you);
@@ -1147,7 +1285,7 @@ impl Kernel {
         }
         let done = rec.machine.try_complete(self.cfg.clock.now());
         {
-            let mut trk = self.tracking.lock();
+            let mut trk = self.lock_tracking();
             if !w.dets.is_empty() {
                 trk.protocol.install_recovery_info(w.dets);
             }
@@ -1174,11 +1312,11 @@ impl Kernel {
     /// The event logger answered our `LOG_QUERY` with the failed
     /// incarnation's stable determinants.
     fn handle_logger_sync(&self, dets: Vec<lclog_core::Determinant>) {
-        let mut rec = self.recovery.lock();
+        let mut rec = self.lock_recovery();
         let (_, tr) = rec.machine.note_logger_synced();
         self.emit_transition(tr);
         let done = rec.machine.try_complete(self.cfg.clock.now());
-        let mut trk = self.tracking.lock();
+        let mut trk = self.lock_tracking();
         trk.protocol.install_recovery_info(dets);
         if let Some(done) = done {
             self.finish_sync(&mut trk, done);
@@ -1225,7 +1363,7 @@ impl Kernel {
         if advanced.is_empty() || !self.recovering.load(Ordering::Acquire) {
             return;
         }
-        let mut rec = self.recovery.lock();
+        let mut rec = self.lock_recovery();
         if !rec.machine.is_recovering() {
             return;
         }
@@ -1265,7 +1403,7 @@ impl Kernel {
         // the protocol re-queues the request on every gate check while
         // the snapshot is in flight, and re-sending each tick would be
         // a request storm that the snapshot sender answers in kind.
-        let resyncs = self.tracking.lock().protocol.take_resync_requests();
+        let resyncs = self.lock_tracking().protocol.take_resync_requests();
         if !resyncs.is_empty() {
             let now = self.cfg.clock.now();
             for src in self.resync_pacer.lock().admit(&resyncs, now) {
@@ -1275,7 +1413,7 @@ impl Kernel {
         // Opportunistic log-ring drain: bound how long staged entries
         // can sit in their rings without ever blocking the tick behind
         // a busy recovery lock (whoever holds it drains on entry).
-        if let Some(mut rec) = self.recovery.try_lock() {
+        if let Some(mut rec) = self.try_lock_recovery() {
             self.drain_log_rings(&mut rec);
         }
         self.drain_ingress();
@@ -1337,7 +1475,7 @@ impl Kernel {
             );
         }
         if self.recovering.load(Ordering::Acquire) {
-            let mut rec = self.recovery.lock();
+            let mut rec = self.lock_recovery();
             if rec
                 .machine
                 .rebroadcast_due(self.cfg.retry_interval, self.cfg.clock.now())
@@ -1351,7 +1489,7 @@ impl Kernel {
     /// kernels around the same storage).
     #[cfg(test)]
     pub(crate) fn ckpt_storage(&self) -> std::sync::Arc<dyn lclog_stable::StableStorage> {
-        std::sync::Arc::clone(self.recovery.lock().ckpt_store.storage())
+        std::sync::Arc::clone(self.lock_recovery().ckpt_store.storage())
     }
 }
 
@@ -1435,9 +1573,9 @@ impl ResyncPacer {
 impl std::fmt::Debug for Kernel {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         // Canonical lock order, same as every other multi-layer path.
-        let rec = self.recovery.lock();
-        let trk = self.tracking.lock();
-        let del = self.delivery.lock();
+        let rec = self.lock_recovery();
+        let trk = self.lock_tracking();
+        let del = self.lock_delivery();
         let staged: Vec<(usize, usize, usize)> = self
             .log_stage
             .iter()
@@ -1608,7 +1746,7 @@ mod tests {
         let mut k1b = Kernel::new(1, 2, RunConfig::new(ProtocolKind::Tdi), net.clone(), store);
         k1b.set_incarnation(2);
         let image = k1b.load_checkpoint().expect("checkpoint exists");
-        let (step, _app) = k1b.restore(image);
+        let (step, _app) = k1b.restore(image).expect("image restores");
         assert_eq!(step, 1);
         assert_eq!(k1b.recovery_phase(), RecoveryPhase::Running);
         k1b.begin_recovery();
@@ -1626,6 +1764,41 @@ mod tests {
         assert_eq!(&m.data[..], b"b");
         let m = k1b.try_deliver(RecvSpec::any()).unwrap();
         assert_eq!(&m.data[..], b"c");
+    }
+
+    /// Regression: a stored generation that passes its CRC seal but is
+    /// not a checkpoint image (format drift, wrong contents under the
+    /// key) used to abort the process with an `expect`; it must read
+    /// as "no checkpoint" so the incarnation restarts from the initial
+    /// state and rolls forward through recovery.
+    #[test]
+    fn crc_valid_garbage_generation_reads_as_no_checkpoint() {
+        let (mut ks, _net, _eps) = harness(1, ProtocolKind::Tdi);
+        let k0 = ks.pop().unwrap();
+        // CheckpointStore::save seals whatever bytes it is given, so
+        // this plants a CRC-intact blob that is not an image.
+        CheckpointStore::new(k0.ckpt_storage()).save(0, 1, b"not a checkpoint image");
+        assert!(k0.load_checkpoint().is_none());
+    }
+
+    /// Regression: an image whose protocol snapshot does not decode
+    /// used to abort the process inside `restore`; it must surface as
+    /// a typed fault, leaving the kernel untouched so the caller can
+    /// fall back to the initial state and recover normally.
+    #[test]
+    fn restore_with_undecodable_protocol_state_is_a_typed_fault() {
+        let (mut ks, _net, eps) = harness(2, ProtocolKind::Tdi);
+        let k1 = ks.pop().unwrap();
+        let k0 = ks.pop().unwrap();
+        k1.do_checkpoint(b"app".to_vec(), 1);
+        let mut image = k1.load_checkpoint().expect("checkpoint exists");
+        image.protocol = vec![0xFF; 3]; // not a TDI depend vector
+        assert_eq!(k1.restore(image), Err(Fault::Desync));
+        // The kernel is still functional after the failed restore.
+        k0.app_send(1, 7, Bytes::from_static(b"still alive"), false);
+        pump(&k1, &eps[1]);
+        let m = k1.try_deliver(RecvSpec::any()).expect("deliverable");
+        assert_eq!(&m.data[..], b"still alive");
     }
 
     #[test]
@@ -1688,7 +1861,7 @@ mod tests {
         let mut k0b = Kernel::new(0, 2, RunConfig::new(ProtocolKind::Tdi), net.clone(), store);
         k0b.set_incarnation(2);
         let image = k0b.load_checkpoint().expect("checkpoint exists");
-        k0b.restore(image);
+        k0b.restore(image).expect("image restores");
         k0b.begin_recovery();
         pump(&k1, &eps[1]); // ROLLBACK in, RESPONSE (delivered 0) out
         while let Ok(env) = ep0b.try_recv() {

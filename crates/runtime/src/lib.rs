@@ -52,6 +52,7 @@ mod engine;
 pub mod events;
 mod fault;
 mod kernel;
+pub mod lockcheck;
 mod log;
 mod message;
 mod process;
@@ -82,7 +83,7 @@ pub use message::{
     ANY_SOURCE, ANY_TAG,
 };
 pub use process::{RankApp, RankCtx};
-pub use tasks::{run_tasks, BlockingTaskApp, TaskApp, TaskCtx, TaskPoll};
+pub use tasks::{run_tasks, BlockingTaskApp, TaskApp, TaskCtx, TaskJob, TaskPoll, TasksEnv};
 pub use recvq::{Pending, RecvQueue};
 pub use replicator::{Replicator, ReplicatorConfig, ReplicatorStats};
 pub use transport::{payload_is_app_frame, payload_is_data_frame, DataPlaneStats};

@@ -1,0 +1,145 @@
+//! Debug-build lock-order auditor for the kernel's layer locks.
+//!
+//! The kernel's three layer mutexes have a fixed acquisition order —
+//! `recovery → tracking → delivery` (any subset, never a back edge;
+//! see the `kernel` module docs). The order used to
+//! be enforced by review only; this module makes every acquisition
+//! check it at runtime in debug builds. Each layer lock is wrapped so
+//! that acquiring it registers the layer in a thread-local held-set
+//! and asserts that no *higher* layer is already held by this thread.
+//! Release builds compile the whole thing to nothing.
+//!
+//! The auditor is what keeps the `try_deliver` bugfix honest: the
+//! delivery hot path is required to hold **at most one** layer lock at
+//! a time, and [`assert_none_held`] pins that down at its phase
+//! boundaries.
+
+/// Layer indices in acquisition order. Lower acquires before higher.
+pub const RECOVERY: u8 = 0;
+/// See [`RECOVERY`].
+pub const TRACKING: u8 = 1;
+/// See [`RECOVERY`].
+pub const DELIVERY: u8 = 2;
+
+#[cfg(debug_assertions)]
+mod imp {
+    use std::cell::Cell;
+
+    thread_local! {
+        /// Bitmask of layer locks held by this thread.
+        static HELD: Cell<u8> = const { Cell::new(0) };
+    }
+
+    /// RAII token for one held layer lock; dropping it clears the bit.
+    #[must_use]
+    pub struct Held {
+        bit: u8,
+    }
+
+    /// Register `layer` as about-to-be-held and verify the order:
+    /// acquiring layer `k` is legal only while no layer ≥ `k` is held
+    /// (re-entry on the same layer is also a violation — parking_lot
+    /// mutexes are not reentrant and would deadlock). Called *before*
+    /// blocking on the mutex, so a violation asserts instead of
+    /// deadlocking.
+    pub fn acquire(layer: u8, name: &'static str) -> Held {
+        HELD.with(|h| {
+            let held = h.get();
+            assert!(
+                held >> layer == 0,
+                "lock-order violation: acquiring `{name}` (layer {layer}) \
+                 while holding mask {held:#05b} (order is recovery → tracking → delivery)"
+            );
+            h.set(held | 1 << layer);
+        });
+        Held { bit: 1 << layer }
+    }
+
+    impl Drop for Held {
+        fn drop(&mut self) {
+            HELD.with(|h| h.set(h.get() & !self.bit));
+        }
+    }
+
+    /// Assert this thread holds no layer lock at all — the
+    /// `try_deliver` phase-boundary invariant.
+    pub fn assert_none_held(ctx: &'static str) {
+        HELD.with(|h| {
+            let held = h.get();
+            assert!(
+                held == 0,
+                "{ctx}: expected no layer lock held, but mask is {held:#05b}"
+            );
+        });
+    }
+}
+
+#[cfg(not(debug_assertions))]
+mod imp {
+    /// Zero-sized in release builds.
+    #[must_use]
+    pub struct Held;
+
+    /// No-op in release builds (auditing is debug-only).
+    #[inline(always)]
+    pub fn acquire(_layer: u8, _name: &'static str) -> Held {
+        Held
+    }
+
+    /// No-op in release builds (auditing is debug-only).
+    #[inline(always)]
+    pub fn assert_none_held(_ctx: &'static str) {}
+}
+
+pub use imp::{acquire, assert_none_held, Held};
+
+#[cfg(all(test, debug_assertions))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_order_is_legal() {
+        let _r = acquire(RECOVERY, "recovery");
+        let _t = acquire(TRACKING, "tracking");
+        let _d = acquire(DELIVERY, "delivery");
+    }
+
+    #[test]
+    fn gapped_subsets_are_legal() {
+        {
+            let _r = acquire(RECOVERY, "recovery");
+            let _d = acquire(DELIVERY, "delivery");
+        }
+        assert_none_held("after drop");
+        let _t = acquire(TRACKING, "tracking");
+    }
+
+    #[test]
+    #[should_panic(expected = "lock-order violation")]
+    fn back_edge_asserts() {
+        let _d = acquire(DELIVERY, "delivery");
+        let _t = acquire(TRACKING, "tracking");
+    }
+
+    #[test]
+    #[should_panic(expected = "lock-order violation")]
+    fn reentry_asserts() {
+        let _t1 = acquire(TRACKING, "tracking");
+        let _t2 = acquire(TRACKING, "tracking");
+    }
+
+    #[test]
+    fn drop_releases_for_this_thread_only() {
+        {
+            let _d = acquire(DELIVERY, "delivery");
+        }
+        // A fresh forward acquisition succeeds after release.
+        let _r = acquire(RECOVERY, "recovery");
+        std::thread::spawn(|| {
+            // Other threads have their own held-set.
+            let _d = acquire(DELIVERY, "delivery");
+        })
+        .join()
+        .unwrap();
+    }
+}

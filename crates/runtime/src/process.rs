@@ -92,11 +92,15 @@ impl<'a> RankCtx<'a> {
         self.engine.recv(spec)
     }
 
-    /// Receive and decode a value, asserting it decodes cleanly.
+    /// Receive and decode a value. A payload that does not decode as
+    /// `T` is wire input this incarnation cannot trust — it surfaces
+    /// as [`Fault::Desync`] (crash-and-rebuild through the rollback
+    /// path) rather than a process abort.
     pub fn recv_value<T: Decode>(&mut self, spec: RecvSpec) -> Result<(Rank, T), Fault> {
         let msg = self.engine.recv(spec)?;
-        let value =
-            lclog_wire::decode_from_slice(&msg.data).expect("message payload decodes as T");
-        Ok((msg.src, value))
+        match lclog_wire::decode_from_slice(&msg.data) {
+            Ok(value) => Ok((msg.src, value)),
+            Err(_) => Err(Fault::Desync),
+        }
     }
 }

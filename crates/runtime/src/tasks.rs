@@ -12,29 +12,46 @@
 //! is a scheduler-advanced virtual clock.
 //!
 //! Sharding is by rank (`rank % workers`), so a kernel is only ever
-//! touched by its owning worker and no cross-worker locking exists
-//! beyond the fabric itself. One sweep per worker:
+//! touched by the worker currently holding its shard and no
+//! cross-worker locking exists beyond the fabric itself. One sweep per
+//! shard:
 //!
 //! 1. drain the fabric inbox of every owned rank into its kernel;
 //! 2. crash/respawn owned ranks the failure plan says to kill (held
 //!    frames toward the dead slot are flushed while it is dead, so
-//!    in-flight messages are lost exactly as in the thread engine);
+//!    in-flight messages are lost exactly as in the thread engine;
+//!    `wipe` kills also lose the rank's local generations and restore
+//!    from the remote);
 //! 3. poll each live rank's state machine up to a bounded budget
 //!    (checkpointing between steps, exactly like the thread loop);
 //! 4. tick the kernel (retransmission timers, resync-request drain,
 //!    rollback rebroadcast).
 //!
-//! Worker 0 additionally releases all held fabric channels, advances
-//! the virtual clock, and arms the watchdog. Completion leaves a rank
-//! serving its peers (drain + tick) until every rank is done — the
-//! cooperative version of `serve_until_shutdown`.
+//! The leader duties ([`TaskJob::advance`]) release all held fabric
+//! channels, advance the virtual clock, and arm the watchdog.
+//! Completion leaves a rank serving its peers (drain + tick) until
+//! every rank is done — the cooperative version of
+//! `serve_until_shutdown`.
 //!
-//! Unsupported in tasks mode (use the thread engine): event-logger
-//! protocols (TEL/PES — the stable service is a thread), detected
-//! failures, remote log shipping, node-loss (`wipe`) kills, and fabric
-//! chaos (the fabric is forced to held delivery).
+//! The engine comes in two shapes:
+//!
+//! * [`run_tasks`] — the standalone entry point: one scoped worker
+//!   pool per run, worker `w` permanently owning shard `w`;
+//! * [`TaskJob`] — the same machine exposed as a sweepable object for
+//!   long-running hosts (the `lclog-serve` service), where one shared
+//!   worker pool multiplexes *many* concurrent jobs: any pool thread
+//!   may [`TaskJob::sweep`] any shard of any job (shard mutexes keep
+//!   kernels single-threaded), and a [`TasksEnv`] lets co-resident
+//!   jobs share one stable-storage backend and one replication
+//!   pipeline, namespaced by [`ClusterConfig::rank_base`].
+//!
+//! Unsupported in tasks mode (clean config errors from
+//! [`TaskJob::new`]; use the thread engine): event-logger protocols
+//! (TEL/PES — the stable service is a thread), detected failures,
+//! latency delivery models (the fabric is forced to held delivery),
+//! and fabric chaos (which rides the courier model).
 
-use crate::cluster::{ClusterConfig, RunReport, StorageKind};
+use crate::cluster::{ClusterConfig, RunReport, ShippingStorage, StorageKind};
 use crate::clock::Clock;
 use crate::config::EngineMode;
 use crate::engine::Engine;
@@ -43,10 +60,11 @@ use crate::fault::{Fault, StepStatus};
 use crate::kernel::Kernel;
 use crate::message::{AppMsg, RecvSpec};
 use crate::process::{RankApp, RankCtx};
+use crate::replicator::Replicator;
 use crate::transport::DataPlaneStats;
 use bytes::Bytes;
 use lclog_core::{Rank, TrackingStats};
-use lclog_simnet::{Endpoint, NetConfig, SimClock, SimNet};
+use lclog_simnet::{DeliveryModel, Endpoint, NetConfig, SimClock, SimNet};
 use lclog_stable::{CheckpointStore, DiskStore, MemStore, StableStorage};
 use lclog_wire::{Decode, Encode};
 use parking_lot::Mutex;
@@ -174,16 +192,21 @@ impl<'a> TaskCtx<'a> {
         }
     }
 
-    /// Receive and decode a value, asserting it decodes cleanly.
+    /// Receive and decode a value. A payload that does not decode as
+    /// `T` is wire input this incarnation cannot trust — it surfaces as
+    /// [`Fault::Desync`] (crash-and-rebuild through the rollback path)
+    /// rather than a process abort.
     pub fn try_recv_value<T: Decode>(
         &mut self,
         spec: RecvSpec,
     ) -> Result<Option<(Rank, T)>, Fault> {
-        Ok(self.try_recv(spec)?.map(|msg| {
-            let value =
-                lclog_wire::decode_from_slice(&msg.data).expect("message payload decodes as T");
-            (msg.src, value)
-        }))
+        match self.try_recv(spec)? {
+            None => Ok(None),
+            Some(msg) => match lclog_wire::decode_from_slice(&msg.data) {
+                Ok(value) => Ok(Some((msg.src, value))),
+                Err(_) => Err(Fault::Desync),
+            },
+        }
     }
 }
 
@@ -239,185 +262,208 @@ const POLL_BUDGET: usize = 32;
 /// timers make progress over tens of sweeps without ever dominating.
 const SWEEP_ADVANCE: Duration = Duration::from_micros(50);
 
-/// Run `app` on `cfg.n` ranks as cooperative tasks on a sharded worker
-/// pool (see the module docs for the sweep loop and the list of
-/// configurations that require the thread engine instead).
-pub fn run_tasks<A: TaskApp>(cfg: &ClusterConfig, app: A) -> Result<RunReport, String> {
-    let n = cfg.n;
-    assert!(n > 0, "cluster needs at least one rank");
-    if cfg.run.protocol.uses_event_logger() {
-        return Err(format!(
-            "protocol {} needs the event-logger service thread; use the thread engine",
-            cfg.run.protocol
-        ));
-    }
-    if cfg.run.detector.is_some() {
-        return Err("detected failures are not supported in tasks mode".into());
-    }
-    if cfg.remote.is_some() {
-        return Err("remote log shipping is not supported in tasks mode".into());
-    }
-
-    let workers = match cfg.run.engine {
-        EngineMode::Tasks { workers } => workers.max(1),
-        EngineMode::Threads => 4,
-    }
-    .min(n);
-    let clock = SimClock::new();
-    let mut run_cfg = cfg.run.clone();
-    run_cfg.clock = Clock::Sim(clock.clone());
-    // Held delivery is what makes sweeps deterministic and lets one
-    // thread serve many ranks; chaos injection (which rides the
-    // courier model) is not available here.
-    let net = SimNet::new(n + 1, NetConfig::held());
-    let storage: Arc<dyn StableStorage> = match &cfg.storage {
-        StorageKind::Memory => Arc::new(MemStore::new()),
-        StorageKind::Disk(dir) => {
-            Arc::new(DiskStore::open(dir).map_err(|e| format!("open disk store: {e}"))?)
-        }
-    };
-    let ckpts = CheckpointStore::new(storage);
-    let sink = if cfg.trace {
-        EventSink::recording()
-    } else {
-        EventSink::disabled()
-    };
-    // Attach every endpoint before any worker starts, then shard
-    // round-robin.
-    let endpoints: Vec<Endpoint> = (0..n).map(|rank| net.attach(rank)).collect();
-    let mut shards: Vec<Vec<Slot<A>>> = (0..workers).map(|_| Vec::new()).collect();
-    for (rank, endpoint) in endpoints.into_iter().enumerate() {
-        let mut kernel = Kernel::new(rank, n, run_cfg.clone(), net.clone(), ckpts.clone());
-        kernel.set_incarnation(1);
-        kernel.set_event_sink(sink.clone());
-        sink.emit(rank, EventKind::Spawned { incarnation: 1 });
-        shards[rank % workers].push(Slot {
-            rank,
-            incarnation: 1,
-            endpoint,
-            kernel,
-            state: app.init(rank, n),
-            step: 0,
-            done: false,
-            digest: 0,
-            stats: TrackingStats::default(),
-            data_plane: DataPlaneStats::default(),
-        });
-    }
-
-    let done_count = AtomicUsize::new(0);
-    let kills = AtomicU32::new(0);
-    let finished = AtomicBool::new(false);
-    let failure: Mutex<Option<String>> = Mutex::new(None);
-    let start = Instant::now();
-    let app = &app;
-    let run_cfg = &run_cfg;
-    let max_wall = cfg.max_wall;
-
-    let shard_results: Vec<Vec<Slot<A>>> = std::thread::scope(|s| {
-        let handles: Vec<_> = shards
-            .into_iter()
-            .enumerate()
-            .map(|(w, mut slots)| {
-                let net = net.clone();
-                let ckpts = ckpts.clone();
-                let sink = sink.clone();
-                let clock = clock.clone();
-                let (done_count, kills, finished, failure) =
-                    (&done_count, &kills, &finished, &failure);
-                s.spawn(move || {
-                    worker_sweeps(WorkerCtx {
-                        worker: w,
-                        slots: &mut slots,
-                        app,
-                        cfg,
-                        run_cfg,
-                        net: &net,
-                        ckpts: &ckpts,
-                        sink: &sink,
-                        clock: &clock,
-                        done_count,
-                        kills,
-                        finished,
-                        failure,
-                        start,
-                        max_wall,
-                    });
-                    slots
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("task worker panicked"))
-            .collect()
-    });
-    if let Some(msg) = failure.into_inner() {
-        return Err(msg);
-    }
-
-    let mut digests = vec![0u64; n];
-    let mut per_rank_stats = vec![TrackingStats::default(); n];
-    let mut per_rank_data_plane = vec![DataPlaneStats::default(); n];
-    for slot in shard_results.into_iter().flatten() {
-        debug_assert!(slot.done, "run completed with an unfinished rank");
-        digests[slot.rank] = slot.digest;
-        per_rank_stats[slot.rank] = slot.stats;
-        per_rank_data_plane[slot.rank] = slot.data_plane;
-    }
-    let mut stats = TrackingStats::default();
-    for s in &per_rank_stats {
-        stats.merge(s);
-    }
-    let mut data_plane = DataPlaneStats::default();
-    for d in &per_rank_data_plane {
-        data_plane.merge(d);
-    }
-    Ok(RunReport {
-        digests,
-        per_rank_stats,
-        stats,
-        wall: start.elapsed(),
-        kills: kills.load(Ordering::Relaxed),
-        net_msgs: net.stats().msgs_sent(),
-        net_bytes: net.stats().bytes_sent(),
-        retransmits: net.stats().retransmits(),
-        chaos_dropped: net.stats().chaos_dropped(),
-        chaos_duplicated: net.stats().chaos_duplicated(),
-        chaos_corrupted: net.stats().chaos_corrupted(),
-        per_rank_data_plane,
-        data_plane,
-        timeline: sink.take(),
-        detector: None,
-        replicator: None,
-    })
+/// The durable environment a [`TaskJob`] runs against. A standalone
+/// run builds its own ([`TaskJob::new`]); a hosting service builds one
+/// shared environment and hands it to every job
+/// ([`TaskJob::with_env`]), so co-resident tenants write into one
+/// backend (namespaced by [`ClusterConfig::rank_base`]) and ship
+/// through one replication pipeline.
+pub struct TasksEnv {
+    /// Local stable storage shared by the jobs.
+    pub storage: Arc<dyn StableStorage>,
+    /// Shared replication pipeline (`None` = local-only durability).
+    /// The job offers its checkpoint generations into it and restores
+    /// node-loss wipes from it, but never calls `finish` — lifecycle
+    /// belongs to the host.
+    pub replicator: Option<Arc<Replicator>>,
 }
 
-/// Everything one worker's sweep loop needs (bundled to keep the
-/// function signature legible).
-struct WorkerCtx<'a, A: TaskApp> {
-    worker: usize,
-    slots: &'a mut Vec<Slot<A>>,
-    app: &'a A,
-    cfg: &'a ClusterConfig,
-    run_cfg: &'a crate::config::RunConfig,
-    net: &'a SimNet,
-    ckpts: &'a CheckpointStore,
-    sink: &'a EventSink,
-    clock: &'a SimClock,
-    done_count: &'a AtomicUsize,
-    kills: &'a AtomicU32,
-    finished: &'a AtomicBool,
-    failure: &'a Mutex<Option<String>>,
+/// One tasks-engine run as a sweepable object: construction validates
+/// the config and builds every kernel; any thread may then drive
+/// [`TaskJob::sweep`] / [`TaskJob::advance`] until
+/// [`TaskJob::is_finished`], and [`TaskJob::report`] assembles the
+/// [`RunReport`]. [`run_tasks`] wraps this in a dedicated scoped pool;
+/// the `lclog-serve` service multiplexes many jobs onto one pool.
+pub struct TaskJob<A: TaskApp> {
+    app: A,
+    n: usize,
+    rank_base: usize,
+    protocol: String,
+    failures: crate::cluster::FailurePlan,
+    run_cfg: crate::config::RunConfig,
+    net: SimNet,
+    clock: SimClock,
+    ckpts: CheckpointStore,
+    raw_storage: Arc<dyn StableStorage>,
+    replicator: Option<Arc<Replicator>>,
+    owns_replicator: bool,
+    sink: EventSink,
+    shards: Vec<Mutex<Vec<Slot<A>>>>,
+    done_count: AtomicUsize,
+    kills: AtomicU32,
+    finished: AtomicBool,
+    failure: Mutex<Option<String>>,
     start: Instant,
     max_wall: Duration,
 }
 
-fn worker_sweeps<A: TaskApp>(w: WorkerCtx<'_, A>) {
-    let n = w.cfg.n;
-    loop {
+impl<A: TaskApp> TaskJob<A> {
+    /// Build a standalone job: its own storage backend (from
+    /// `cfg.storage`) and, when `cfg.remote` is set, its own
+    /// replication pipeline (finished when the job's report is taken).
+    pub fn new(cfg: &ClusterConfig, app: A) -> Result<Self, String> {
+        let storage: Arc<dyn StableStorage> = match &cfg.storage {
+            StorageKind::Memory => Arc::new(MemStore::new()),
+            StorageKind::Disk(dir) => {
+                Arc::new(DiskStore::open(dir).map_err(|e| format!("open disk store: {e}"))?)
+            }
+        };
+        let replicator = cfg.remote.as_ref().map(|rc| {
+            Replicator::spawn(
+                Arc::clone(&rc.store),
+                rc.replicator.clone(),
+                EventSink::disabled(),
+                cfg.rank_base + crate::logger_rank(cfg.n),
+            )
+        });
+        Self::build(cfg, app, storage, replicator, true)
+    }
+
+    /// Build a job against a host-owned environment (see [`TasksEnv`]).
+    /// `cfg.remote` is ignored: remote durability is whatever the
+    /// shared `env.replicator` provides.
+    pub fn with_env(cfg: &ClusterConfig, app: A, env: &TasksEnv) -> Result<Self, String> {
+        Self::build(
+            cfg,
+            app,
+            Arc::clone(&env.storage),
+            env.replicator.clone(),
+            false,
+        )
+    }
+
+    fn build(
+        cfg: &ClusterConfig,
+        app: A,
+        raw_storage: Arc<dyn StableStorage>,
+        replicator: Option<Arc<Replicator>>,
+        owns_replicator: bool,
+    ) -> Result<Self, String> {
+        let n = cfg.n;
+        assert!(n > 0, "cluster needs at least one rank");
+        validate(cfg)?;
+
+        let workers = match cfg.run.engine {
+            EngineMode::Tasks { workers } => workers.max(1),
+            EngineMode::Threads => 4,
+        }
+        .min(n);
+        let clock = SimClock::new();
+        let mut run_cfg = cfg.run.clone();
+        run_cfg.clock = Clock::Sim(clock.clone());
+        // Replicated checkpoints imply a node-loss restore may fall
+        // back one generation; survivors must then keep one extra
+        // generation of sender-log entries resendable.
+        if replicator.is_some() {
+            run_cfg.log_gc_lag = true;
+        }
+        // Held delivery is what makes sweeps deterministic and lets one
+        // thread serve many ranks (validate() rejected configs that
+        // asked for anything the held fabric cannot honour).
+        let net = SimNet::new(n + 1, NetConfig::held());
+        // Durable writes flow through the shipping wrapper when a
+        // replicator exists; restores install straight into the raw
+        // store (avoiding a re-ship of what just came down).
+        let ckpt_storage: Arc<dyn StableStorage> = match &replicator {
+            Some(repl) => Arc::new(ShippingStorage::new(
+                Arc::clone(&raw_storage),
+                Arc::clone(repl),
+            )),
+            None => Arc::clone(&raw_storage),
+        };
+        let ckpts = CheckpointStore::new(ckpt_storage).with_rank_base(cfg.rank_base);
+        let sink = if cfg.trace {
+            EventSink::recording()
+        } else {
+            EventSink::disabled()
+        };
+        // Attach every endpoint before any sweep runs, then shard
+        // round-robin.
+        let endpoints: Vec<Endpoint> = (0..n).map(|rank| net.attach(rank)).collect();
+        let mut shards: Vec<Vec<Slot<A>>> = (0..workers).map(|_| Vec::new()).collect();
+        for (rank, endpoint) in endpoints.into_iter().enumerate() {
+            let mut kernel = Kernel::new(rank, n, run_cfg.clone(), net.clone(), ckpts.clone());
+            kernel.set_incarnation(1);
+            kernel.set_event_sink(sink.clone());
+            sink.emit(rank, EventKind::Spawned { incarnation: 1 });
+            shards[rank % workers].push(Slot {
+                rank,
+                incarnation: 1,
+                endpoint,
+                kernel,
+                state: app.init(rank, n),
+                step: 0,
+                done: false,
+                digest: 0,
+                stats: TrackingStats::default(),
+                data_plane: DataPlaneStats::default(),
+            });
+        }
+        Ok(TaskJob {
+            app,
+            n,
+            rank_base: cfg.rank_base,
+            protocol: cfg.run.protocol.to_string(),
+            failures: cfg.failures.clone(),
+            run_cfg,
+            net,
+            clock,
+            ckpts,
+            raw_storage,
+            replicator,
+            owns_replicator,
+            sink,
+            shards: shards.into_iter().map(Mutex::new).collect(),
+            done_count: AtomicUsize::new(0),
+            kills: AtomicU32::new(0),
+            finished: AtomicBool::new(false),
+            failure: Mutex::new(None),
+            start: Instant::now(),
+            max_wall: cfg.max_wall,
+        })
+    }
+
+    /// Number of shards (= worker slots this job can use in parallel).
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Number of application ranks.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// `(done ranks, total ranks)` — a cheap progress probe.
+    pub fn progress(&self) -> (usize, usize) {
+        (self.done_count.load(Ordering::Relaxed), self.n)
+    }
+
+    /// Injected/earned crash count so far.
+    pub fn kills_fired(&self) -> u32 {
+        self.kills.load(Ordering::Relaxed)
+    }
+
+    /// One sweep over shard `shard` (see the module docs for the four
+    /// sweep stages). Returns true if anything progressed. Non-blocking
+    /// with respect to other drivers: a shard currently swept by
+    /// another thread is skipped (`false`), which is what lets a shared
+    /// pool serve many jobs fairly without convoying on a busy one.
+    pub fn sweep(&self, shard: usize) -> bool {
+        let Some(mut slots) = self.shards[shard].try_lock() else {
+            return false;
+        };
         let mut progressed = false;
-        for slot in w.slots.iter_mut() {
+        for slot in slots.iter_mut() {
             // 1. Drain the fabric inbox as one batch (one delivery
             // acquisition, coalesced acks).
             let mut batch = Vec::new();
@@ -429,23 +475,26 @@ fn worker_sweeps<A: TaskApp>(w: WorkerCtx<'_, A>) {
                 progressed = true;
             }
             if !slot.done {
-                if w.cfg.failures.should_kill(slot.rank, slot.incarnation, slot.step) {
-                    w.kills.fetch_add(1, Ordering::Relaxed);
-                    crash_and_respawn(slot, w.app, w.net, w.ckpts, w.run_cfg, w.sink, n);
+                if self
+                    .failures
+                    .should_kill(slot.rank, slot.incarnation, slot.step)
+                {
+                    self.kills.fetch_add(1, Ordering::Relaxed);
+                    self.crash_and_respawn(slot);
                     progressed = true;
                 } else if slot.kernel.is_fenced() || slot.kernel.is_desynced() {
                     // No detector runs in tasks mode, but the desync
                     // path (tracking merge rejected a gate-approved
                     // message) is still reachable; rebuild through the
                     // rollback path like the thread engine does.
-                    w.kills.fetch_add(1, Ordering::Relaxed);
-                    crash_and_respawn(slot, w.app, w.net, w.ckpts, w.run_cfg, w.sink, n);
+                    self.kills.fetch_add(1, Ordering::Relaxed);
+                    self.crash_and_respawn(slot);
                     progressed = true;
                 } else {
                     // 3. Poll up to the budget.
                     for _ in 0..POLL_BUDGET {
                         let mut ctx = TaskCtx::for_kernel(&slot.kernel, slot.step);
-                        match w.app.poll(&mut ctx, &mut slot.state) {
+                        match self.app.poll(&mut ctx, &mut slot.state) {
                             Ok(TaskPoll::Pending) => break,
                             Ok(TaskPoll::Step) => {
                                 slot.step += 1;
@@ -459,7 +508,7 @@ fn worker_sweeps<A: TaskApp>(w: WorkerCtx<'_, A>) {
                                 // Kills fire on step boundaries; leave
                                 // the budget so the next sweep's kill
                                 // check sees the new step promptly.
-                                if w.cfg.failures.should_kill(
+                                if self.failures.should_kill(
                                     slot.rank,
                                     slot.incarnation,
                                     slot.step,
@@ -468,7 +517,8 @@ fn worker_sweeps<A: TaskApp>(w: WorkerCtx<'_, A>) {
                                 }
                             }
                             Ok(TaskPoll::Done) => {
-                                w.sink.emit(slot.rank, EventKind::Done { step: slot.step });
+                                self.sink
+                                    .emit(slot.rank, EventKind::Done { step: slot.step });
                                 // A final checkpoint lets every peer
                                 // release the last log entries
                                 // referring to us.
@@ -476,21 +526,19 @@ fn worker_sweeps<A: TaskApp>(w: WorkerCtx<'_, A>) {
                                     lclog_wire::encode_to_vec(&slot.state),
                                     slot.step,
                                 );
-                                slot.digest = w.app.digest(&slot.state);
+                                slot.digest = self.app.digest(&slot.state);
                                 let snap = slot.kernel.snapshot();
                                 slot.stats.merge(&snap.stats);
                                 slot.data_plane.merge(&snap.data_plane);
                                 slot.done = true;
-                                w.done_count.fetch_add(1, Ordering::Relaxed);
+                                self.done_count.fetch_add(1, Ordering::Relaxed);
                                 progressed = true;
                                 break;
                             }
                             Err(Fault::Shutdown) => break,
                             Err(_) => {
-                                w.kills.fetch_add(1, Ordering::Relaxed);
-                                crash_and_respawn(
-                                    slot, w.app, w.net, w.ckpts, w.run_cfg, w.sink, n,
-                                );
+                                self.kills.fetch_add(1, Ordering::Relaxed);
+                                self.crash_and_respawn(slot);
                                 progressed = true;
                                 break;
                             }
@@ -503,88 +551,249 @@ fn worker_sweeps<A: TaskApp>(w: WorkerCtx<'_, A>) {
             // `serve_until_shutdown`.
             slot.kernel.tick();
         }
-        if w.worker == 0 {
-            // 2'. Release everything in flight, advance virtual time,
-            // arm the watchdog.
-            if w.net.held_deliver_all() > 0 {
-                progressed = true;
+        progressed
+    }
+
+    /// The leader duties, run once per sweep round by exactly one
+    /// driver: release everything in flight, advance virtual time,
+    /// check completion, arm the watchdog. Returns true if held frames
+    /// moved.
+    pub fn advance(&self) -> bool {
+        let progressed = self.net.held_deliver_all() > 0;
+        self.clock.advance(SWEEP_ADVANCE);
+        if self.done_count.load(Ordering::Relaxed) == self.n {
+            self.finished.store(true, Ordering::Release);
+        } else if self.start.elapsed() > self.max_wall {
+            *self.failure.lock() = Some(format!(
+                "tasks watchdog fired after {:?} (protocol {}, {} ranks, {} shards)",
+                self.max_wall,
+                self.protocol,
+                self.n,
+                self.shards.len()
+            ));
+            self.finished.store(true, Ordering::Release);
+        }
+        progressed
+    }
+
+    /// True once every rank is done (or the watchdog fired). Sweeping
+    /// a finished job is a no-op.
+    pub fn is_finished(&self) -> bool {
+        self.finished.load(Ordering::Acquire)
+    }
+
+    /// Assemble the run's [`RunReport`] (or the watchdog failure).
+    /// Call after [`TaskJob::is_finished`]; a job-owned replicator is
+    /// drained and joined here, a host-owned one is left running and
+    /// only snapshotted.
+    pub fn report(&self) -> Result<RunReport, String> {
+        if self.owns_replicator {
+            if let Some(repl) = &self.replicator {
+                repl.finish();
             }
-            w.clock.advance(SWEEP_ADVANCE);
-            if w.done_count.load(Ordering::Relaxed) == n {
-                w.finished.store(true, Ordering::Release);
-            } else if w.start.elapsed() > w.max_wall {
-                *w.failure.lock() = Some(format!(
-                    "tasks watchdog fired after {:?} (protocol {}, {} ranks, {} workers)",
-                    w.max_wall,
-                    w.cfg.run.protocol,
-                    n,
-                    w.slots.len().max(1)
-                ));
-                w.finished.store(true, Ordering::Release);
+        }
+        if let Some(msg) = self.failure.lock().clone() {
+            return Err(msg);
+        }
+        let mut digests = vec![0u64; self.n];
+        let mut per_rank_stats = vec![TrackingStats::default(); self.n];
+        let mut per_rank_data_plane = vec![DataPlaneStats::default(); self.n];
+        for shard in &self.shards {
+            for slot in shard.lock().iter() {
+                debug_assert!(slot.done, "report taken with an unfinished rank");
+                digests[slot.rank] = slot.digest;
+                per_rank_stats[slot.rank] = slot.stats.clone();
+                per_rank_data_plane[slot.rank] = slot.data_plane.clone();
             }
         }
-        if w.finished.load(Ordering::Acquire) {
-            return;
+        let mut stats = TrackingStats::default();
+        for s in &per_rank_stats {
+            stats.merge(s);
         }
-        if !progressed {
-            std::thread::yield_now();
+        let mut data_plane = DataPlaneStats::default();
+        for d in &per_rank_data_plane {
+            data_plane.merge(d);
         }
+        Ok(RunReport {
+            digests,
+            per_rank_stats,
+            stats,
+            wall: self.start.elapsed(),
+            kills: self.kills.load(Ordering::Relaxed),
+            net_msgs: self.net.stats().msgs_sent(),
+            net_bytes: self.net.stats().bytes_sent(),
+            retransmits: self.net.stats().retransmits(),
+            chaos_dropped: self.net.stats().chaos_dropped(),
+            chaos_duplicated: self.net.stats().chaos_duplicated(),
+            chaos_corrupted: self.net.stats().chaos_corrupted(),
+            per_rank_data_plane,
+            data_plane,
+            timeline: self.sink.take(),
+            detector: None,
+            replicator: self.replicator.as_ref().map(|r| r.stats()),
+        })
+    }
+
+    /// Garbage-collect every checkpoint generation this job wrote,
+    /// returning how many were deleted. For hosts retiring a tenant
+    /// whose report has been fetched — a job's ranks never restore
+    /// after that, and a long-running service must not accumulate dead
+    /// tenants' generations.
+    pub fn clear_generations(&self) -> usize {
+        (0..self.n).map(|rank| self.ckpts.clear_rank(rank)).sum()
+    }
+
+    /// Crash `slot`'s incarnation and bring up its successor through
+    /// the normal rollback path — the tasks-mode equivalent of the
+    /// thread engine's `crash` + respawn cycle, including node loss
+    /// (`wipe`): local generations die with the node and the respawn
+    /// restores from the remote manifest.
+    fn crash_and_respawn(&self, slot: &mut Slot<A>) {
+        let n = self.n;
+        let kill = self.failures.kill_for(slot.rank, slot.incarnation);
+        let wipe = kill.map(|k| k.wipe).unwrap_or(false);
+        let corrupt_remote = kill.map(|k| k.corrupt_remote).unwrap_or(false);
+        let global_rank = self.rank_base + slot.rank;
+        self.sink.emit(slot.rank, EventKind::Crashed { step: slot.step });
+        self.net.kill(slot.rank);
+        // Flush held frames toward the dead slot — they are dropped at
+        // delivery, reproducing the thread engine's loss of in-flight
+        // messages at a crash (survivors resend from their logs).
+        for src in 0..n + 1 {
+            while self.net.held_deliver(src, slot.rank) {}
+        }
+        let snap = slot.kernel.snapshot();
+        slot.stats.merge(&snap.stats);
+        slot.data_plane.merge(&snap.data_plane);
+        // Node loss: the local store dies with the node. Let the
+        // replicator drain before the replacement comes up — the
+        // respawn must not restore against a manifest staler than what
+        // survivors can still replay. For the torn-upload variant,
+        // then damage the newest remote generation, which after the
+        // drain is the one the victim just checkpointed.
+        if wipe {
+            if let Some(repl) = &self.replicator {
+                repl.wait_synced(Duration::from_secs(2));
+                if corrupt_remote {
+                    repl.corrupt_newest_remote_generation(global_rank);
+                }
+            }
+            let gens = self.ckpts.clear_rank(slot.rank);
+            self.sink
+                .emit(slot.rank, EventKind::StoreWiped { generations: gens });
+        }
+        slot.incarnation += 1;
+        slot.endpoint = self.net.respawn(slot.rank);
+        let mut kernel = Kernel::new(
+            slot.rank,
+            n,
+            self.run_cfg.clone(),
+            self.net.clone(),
+            self.ckpts.clone(),
+        );
+        kernel.set_incarnation(slot.incarnation);
+        kernel.set_event_sink(self.sink.clone());
+        self.sink.emit(
+            slot.rank,
+            EventKind::Spawned {
+                incarnation: slot.incarnation,
+            },
+        );
+        let mut image = kernel.load_checkpoint();
+        if image.is_none() {
+            // An empty local store after a death is the node-loss
+            // signature: pull the newest fully-certified generation
+            // from the remote (manifests speak global rank), then read
+            // it back as usual.
+            if let Some(repl) = &self.replicator {
+                if repl
+                    .restore_rank(global_rank, self.raw_storage.as_ref())
+                    .is_some()
+                {
+                    image = kernel.load_checkpoint();
+                }
+            }
+        }
+        // An image whose protocol or application state does not decode
+        // is treated like no image at all: restart from the initial
+        // state and roll forward through recovery (restore leaves the
+        // kernel untouched on error).
+        let restored = image.and_then(|image| {
+            let (step, app_bytes) = kernel.restore(image).ok()?;
+            let state = lclog_wire::decode_from_slice(&app_bytes).ok()?;
+            Some((step, state))
+        });
+        let (step, state) = restored.unwrap_or_else(|| (0u64, self.app.init(slot.rank, n)));
+        kernel.begin_recovery();
+        slot.kernel = kernel;
+        slot.state = state;
+        slot.step = step;
     }
 }
 
-/// Crash `slot`'s incarnation and bring up its successor through the
-/// normal rollback path — the tasks-mode equivalent of the thread
-/// engine's `crash` + respawn cycle.
-fn crash_and_respawn<A: TaskApp>(
-    slot: &mut Slot<A>,
-    app: &A,
-    net: &SimNet,
-    ckpts: &CheckpointStore,
-    run_cfg: &crate::config::RunConfig,
-    sink: &EventSink,
-    n: usize,
-) {
-    sink.emit(slot.rank, EventKind::Crashed { step: slot.step });
-    net.kill(slot.rank);
-    // Flush held frames toward the dead slot — they are dropped at
-    // delivery, reproducing the thread engine's loss of in-flight
-    // messages at a crash (survivors resend from their logs).
-    for src in 0..n + 1 {
-        while net.held_deliver(src, slot.rank) {}
+/// Reject configuration knobs the tasks engine cannot honour, with an
+/// error naming the knob and the alternative.
+fn validate(cfg: &ClusterConfig) -> Result<(), String> {
+    if cfg.run.protocol.uses_event_logger() {
+        return Err(format!(
+            "protocol {} needs the event-logger service thread; use the thread engine",
+            cfg.run.protocol
+        ));
     }
-    let snap = slot.kernel.snapshot();
-    slot.stats.merge(&snap.stats);
-    slot.data_plane.merge(&snap.data_plane);
-    slot.incarnation += 1;
-    slot.endpoint = net.respawn(slot.rank);
-    let mut kernel = Kernel::new(slot.rank, n, run_cfg.clone(), net.clone(), ckpts.clone());
-    kernel.set_incarnation(slot.incarnation);
-    kernel.set_event_sink(sink.clone());
-    sink.emit(
-        slot.rank,
-        EventKind::Spawned {
-            incarnation: slot.incarnation,
-        },
-    );
-    let (step, state) = match kernel.load_checkpoint() {
-        Some(image) => {
-            let (step, app_bytes) = kernel.restore(image);
-            let state = lclog_wire::decode_from_slice(&app_bytes)
-                .expect("checkpointed app state decodes");
-            (step, state)
+    if cfg.run.detector.is_some() {
+        return Err(
+            "detected failures are not supported in tasks mode; use the thread engine".into(),
+        );
+    }
+    if cfg.net.chaos.is_some() {
+        return Err(
+            "fabric chaos injection rides the courier model, which tasks mode replaces \
+             with held delivery; use the thread engine"
+                .into(),
+        );
+    }
+    if matches!(
+        cfg.net.delivery,
+        DeliveryModel::Delayed { .. } | DeliveryModel::SharedBus { .. }
+    ) {
+        return Err(
+            "latency delivery models are not honoured in tasks mode (the fabric is \
+             forced to held delivery); use the thread engine"
+                .into(),
+        );
+    }
+    Ok(())
+}
+
+/// Run `app` on `cfg.n` ranks as cooperative tasks on a dedicated
+/// sharded worker pool (see the module docs for the sweep loop and the
+/// list of configurations that require the thread engine instead).
+pub fn run_tasks<A: TaskApp>(cfg: &ClusterConfig, app: A) -> Result<RunReport, String> {
+    let job = TaskJob::new(cfg, app)?;
+    std::thread::scope(|s| {
+        for w in 0..job.shards() {
+            let job = &job;
+            s.spawn(move || loop {
+                let mut progressed = job.sweep(w);
+                if w == 0 && job.advance() {
+                    progressed = true;
+                }
+                if job.is_finished() {
+                    return;
+                }
+                if !progressed {
+                    std::thread::yield_now();
+                }
+            });
         }
-        None => (0u64, app.init(slot.rank, n)),
-    };
-    kernel.begin_recovery();
-    slot.kernel = kernel;
-    slot.state = state;
-    slot.step = step;
+    });
+    job.report()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::cluster::{Cluster, FailurePlan};
+    use crate::cluster::{Cluster, FailurePlan, RemoteConfig};
     use crate::config::{CheckpointPolicy, RunConfig};
     use lclog_core::ProtocolKind;
     use lclog_wire::impl_wire_struct;
@@ -699,11 +908,142 @@ mod tests {
     }
 
     #[test]
-    fn tasks_mode_rejects_service_protocols() {
-        assert!(run_tasks(&tasks_cfg(3, ProtocolKind::Tel), ExchangeRing { rounds: 2 }).is_err());
-        assert!(
-            run_tasks(&tasks_cfg(3, ProtocolKind::Pessim), ExchangeRing { rounds: 2 }).is_err()
+    fn tasks_mode_ships_to_remote_and_recovers_a_wiped_rank() {
+        let clean = run_tasks(
+            &tasks_cfg(4, ProtocolKind::Tdi),
+            ExchangeRing { rounds: 8 },
+        )
+        .unwrap();
+        let wiped = run_tasks(
+            &tasks_cfg(4, ProtocolKind::Tdi)
+                .with_remote(RemoteConfig::in_memory())
+                .with_failures(FailurePlan::kill_wipe_at(2, 4)),
+            ExchangeRing { rounds: 8 },
+        )
+        .unwrap();
+        assert!(wiped.kills >= 1, "the wipe kill must fire");
+        assert_eq!(
+            wiped.digests, clean.digests,
+            "node-loss recovery must reproduce the fault-free digests"
         );
+        let repl = wiped.replicator.expect("remote run reports replicator stats");
+        assert!(
+            repl.objects_shipped > 0,
+            "checkpoint generations must have shipped"
+        );
+        assert!(repl.restores >= 1, "the wipe must trigger a remote restore");
+    }
+
+    #[test]
+    fn tasks_job_under_shared_env_uses_rank_namespace() {
+        // Two jobs, one backend: rank namespaces keep their
+        // generations apart, and retiring one GCs only its own.
+        let backend: Arc<dyn StableStorage> = Arc::new(MemStore::new());
+        let env = TasksEnv {
+            storage: Arc::clone(&backend),
+            replicator: None,
+        };
+        let run = |base: usize| {
+            let cfg = tasks_cfg(3, ProtocolKind::Tdi).with_rank_base(base);
+            let job = TaskJob::with_env(&cfg, ExchangeRing { rounds: 4 }, &env).unwrap();
+            while !job.is_finished() {
+                for w in 0..job.shards() {
+                    job.sweep(w);
+                }
+                job.advance();
+            }
+            job
+        };
+        let a = run(0);
+        let b = run(100);
+        assert_eq!(
+            a.report().unwrap().digests,
+            b.report().unwrap().digests,
+            "rank_base must not change the computation"
+        );
+        assert!(!backend.keys_with_prefix("ckpt/100/").is_empty());
+        assert!(!backend.keys_with_prefix("ckpt/0/").is_empty());
+        assert!(b.clear_generations() > 0);
+        assert!(backend.keys_with_prefix("ckpt/100/").is_empty());
+        assert!(
+            !backend.keys_with_prefix("ckpt/0/").is_empty(),
+            "retiring one tenant must not GC another's generations"
+        );
+    }
+
+    /// Regression: a gate-approved message whose payload does not
+    /// decode as the requested type used to abort the process with an
+    /// `expect`; it is wire input, so it must surface as the typed
+    /// [`Fault::Desync`] (crash-and-rebuild through rollback).
+    #[test]
+    fn undecodable_payload_is_a_typed_desync_not_an_abort() {
+        let net = SimNet::new(3, NetConfig::direct());
+        let store = CheckpointStore::new(Arc::new(MemStore::new()));
+        let _ep0 = net.attach(0);
+        let ep1 = net.attach(1);
+        let k0 = Kernel::new(0, 2, RunConfig::new(ProtocolKind::Tdi), net.clone(), store.clone());
+        let k1 = Kernel::new(1, 2, RunConfig::new(ProtocolKind::Tdi), net.clone(), store);
+        // An empty payload can never decode as u64.
+        k0.app_send(1, TAG, Bytes::new(), false);
+        while let Ok(env) = ep1.try_recv() {
+            k1.ingest(env);
+        }
+        let mut ctx = TaskCtx::for_kernel(&k1, 0);
+        assert_eq!(
+            ctx.try_recv_value::<u64>(RecvSpec::from(0, TAG)),
+            Err(Fault::Desync)
+        );
+    }
+
+    #[test]
+    fn tasks_mode_rejects_service_protocols() {
+        for kind in [ProtocolKind::Tel, ProtocolKind::Pessim] {
+            let err = run_tasks(&tasks_cfg(3, kind), ExchangeRing { rounds: 2 }).unwrap_err();
+            assert!(err.contains("event-logger"), "{kind}: {err}");
+            assert!(err.contains("thread engine"), "{kind}: {err}");
+        }
+    }
+
+    #[test]
+    fn tasks_mode_rejects_detector_configs() {
+        let mut cfg = tasks_cfg(3, ProtocolKind::Tdi);
+        cfg.run = cfg.run.with_detector(crate::detector::DetectorConfig::default());
+        let err = run_tasks(&cfg, ExchangeRing { rounds: 2 }).unwrap_err();
+        assert!(err.contains("detected failures"), "{err}");
+        assert!(err.contains("thread engine"), "{err}");
+    }
+
+    #[test]
+    fn tasks_mode_rejects_chaos_fabric() {
+        let chaos = lclog_simnet::ChaosConfig::seeded(7).with_drop(0.01);
+        let cfg = tasks_cfg(3, ProtocolKind::Tdi).with_net(NetConfig::direct().with_chaos(chaos));
+        let err = run_tasks(&cfg, ExchangeRing { rounds: 2 }).unwrap_err();
+        assert!(err.contains("chaos"), "{err}");
+        assert!(err.contains("thread engine"), "{err}");
+    }
+
+    #[test]
+    fn tasks_mode_rejects_latency_delivery_models() {
+        let delayed = NetConfig::delayed(
+            Duration::from_micros(10),
+            Duration::from_micros(1),
+            Duration::ZERO,
+            1,
+        );
+        let err = run_tasks(
+            &tasks_cfg(3, ProtocolKind::Tdi).with_net(delayed),
+            ExchangeRing { rounds: 2 },
+        )
+        .unwrap_err();
+        assert!(err.contains("latency delivery"), "{err}");
+        assert!(err.contains("thread engine"), "{err}");
+        // Direct (the config default) and held are both fine: the held
+        // fabric preserves their semantics under sweeps.
+        assert!(run_tasks(
+            &tasks_cfg(3, ProtocolKind::Tdi).with_net(NetConfig::held()),
+            ExchangeRing { rounds: 2 },
+        )
+        .is_ok());
     }
 
     #[test]

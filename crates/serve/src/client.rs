@@ -1,0 +1,75 @@
+//! A minimal blocking client for the service's line protocol — used
+//! by the SV1 reproduction table, the soak tests, and scripts.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// One connection to a running `lclog-serve` instance.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connect to the service.
+    pub fn connect(addr: SocketAddr) -> std::io::Result<Self> {
+        let stream = TcpStream::connect_timeout(&addr, Duration::from_secs(5))?;
+        // One-line request/response round trips: Nagle + delayed ACK
+        // would add ~40 ms to every exchange.
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            reader,
+            writer: stream,
+        })
+    }
+
+    /// Send one request line, read one response line. Multi-line
+    /// responses (METRICS, MEMBERS) are read through their `END`
+    /// terminator and returned joined by `\n`.
+    pub fn request(&mut self, line: &str) -> std::io::Result<String> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        let multi = matches!(
+            line.split_whitespace().next(),
+            Some("METRICS") | Some("MEMBERS")
+        );
+        let mut out = String::new();
+        loop {
+            let mut response = String::new();
+            if self.reader.read_line(&mut response)? == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "service closed the connection",
+                ));
+            }
+            let response = response.trim_end_matches('\n');
+            if !multi {
+                return Ok(response.to_string());
+            }
+            if response == "END" {
+                return Ok(out);
+            }
+            if !out.is_empty() {
+                out.push('\n');
+            }
+            out.push_str(response);
+        }
+    }
+
+    /// Request, then split an `OK key=value ...` response into the
+    /// value of `key` (errors on `ERR` responses or a missing key).
+    pub fn request_field(&mut self, line: &str, key: &str) -> Result<String, String> {
+        let response = self.request(line).map_err(|e| e.to_string())?;
+        if !response.starts_with("OK") {
+            return Err(response);
+        }
+        let prefix = format!("{key}=");
+        response
+            .split_whitespace()
+            .find_map(|w| w.strip_prefix(&prefix))
+            .map(str::to_string)
+            .ok_or_else(|| format!("no {key}= in {response:?}"))
+    }
+}

@@ -1,0 +1,64 @@
+//! `lclog-serve` — run the persistent cluster service.
+//!
+//! ```text
+//! lclog-serve [--addr 127.0.0.1:7117] [--workers 4]
+//! ```
+//!
+//! Talk to it with anything that speaks lines over TCP:
+//!
+//! ```text
+//! $ printf 'SUBMIT kind=ring n=8 proto=tdi rounds=12\nSTATUS 1\n' | nc 127.0.0.1 7117
+//! ```
+
+use lclog_serve::{Service, ServiceConfig};
+
+fn main() {
+    let mut addr = "127.0.0.1:7117".to_string();
+    let mut workers = 4usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => {
+                addr = args.next().unwrap_or_else(|| {
+                    eprintln!("--addr requires a host:port");
+                    std::process::exit(2);
+                })
+            }
+            "--workers" => {
+                workers = args
+                    .next()
+                    .and_then(|w| w.parse().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("--workers requires a number");
+                        std::process::exit(2);
+                    })
+            }
+            "--help" | "-h" => {
+                println!("lclog-serve [--addr 127.0.0.1:7117] [--workers 4]");
+                return;
+            }
+            other => {
+                eprintln!("unknown argument {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let service = Service::start(ServiceConfig {
+        workers,
+        ..ServiceConfig::default()
+    });
+    match service.listen(&addr) {
+        Ok(bound) => {
+            println!("lclog-serve listening on {bound} ({workers} sweep workers)");
+            println!("commands: SUBMIT STATUS REPORT DIGESTS METRICS MEMBERS SNAPSHOT DRAIN RETIRE PING");
+        }
+        Err(e) => {
+            eprintln!("cannot bind {addr}: {e}");
+            std::process::exit(1);
+        }
+    }
+    // The accept loop owns the process from here; park the main thread.
+    loop {
+        std::thread::park();
+    }
+}

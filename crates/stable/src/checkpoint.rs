@@ -11,10 +11,22 @@ use std::sync::Arc;
 /// the last `retention` generations are kept (default 2), and
 /// [`CheckpointStore::load_latest`] falls back to the newest *intact*
 /// generation, skipping torn or corrupted ones.
+///
+/// # Rank namespaces
+///
+/// A store may carry a `rank_base` offset: instance methods address
+/// rank `r` under the key space of *global* rank `rank_base + r`.
+/// This is how concurrent tenant jobs share one storage backend (and
+/// one replication pipeline) without colliding — each job's runtime
+/// sees local ranks `0..n`, while its keys, remote manifest entries,
+/// and node-loss restores all live under the job's own global range.
+/// The associated-function key helpers ([`CheckpointStore::key`],
+/// [`CheckpointStore::prefix`]) always speak global rank.
 #[derive(Clone)]
 pub struct CheckpointStore {
     storage: Arc<dyn StableStorage>,
     retention: usize,
+    rank_base: usize,
 }
 
 impl CheckpointStore {
@@ -23,6 +35,7 @@ impl CheckpointStore {
         CheckpointStore {
             storage,
             retention: 2,
+            rank_base: 0,
         }
     }
 
@@ -35,13 +48,26 @@ impl CheckpointStore {
         self
     }
 
-    /// Storage key of checkpoint `version` for `rank`. Zero-padded so
-    /// lexicographic order == numeric order.
+    /// Offset every rank this store addresses by `base` (see the
+    /// type-level docs on rank namespaces).
+    pub fn with_rank_base(mut self, base: usize) -> Self {
+        self.rank_base = base;
+        self
+    }
+
+    /// The configured rank-namespace offset.
+    pub fn rank_base(&self) -> usize {
+        self.rank_base
+    }
+
+    /// Storage key of checkpoint `version` for **global** rank `rank`.
+    /// Zero-padded so lexicographic order == numeric order.
     pub fn key(rank: usize, version: u64) -> String {
         format!("ckpt/{rank}/v{version:020}")
     }
 
-    /// Key prefix under which every generation of `rank` lives.
+    /// Key prefix under which every generation of **global** rank
+    /// `rank` lives.
     pub fn prefix(rank: usize) -> String {
         format!("ckpt/{rank}/v")
     }
@@ -55,6 +81,7 @@ impl CheckpointStore {
     /// CRC-32 trailer), then prune generations beyond the retention
     /// window. Versions must increase per rank.
     pub fn save(&self, rank: usize, version: u64, image: &[u8]) {
+        let rank = self.rank_base + rank;
         self.storage.put(&Self::key(rank, version), &seal(image));
         let keys = self.storage.keys_with_prefix(&Self::prefix(rank));
         let keep_from = keys.len().saturating_sub(self.retention);
@@ -68,7 +95,9 @@ impl CheckpointStore {
     /// does not verify — torn writes, truncation, media corruption —
     /// are skipped in favour of the next older one.
     pub fn load_latest(&self, rank: usize) -> Option<(u64, Vec<u8>)> {
-        let keys = self.storage.keys_with_prefix(&Self::prefix(rank));
+        let keys = self
+            .storage
+            .keys_with_prefix(&Self::prefix(self.rank_base + rank));
         for key in keys.iter().rev() {
             let Some(blob) = self.storage.get(key) else {
                 continue;
@@ -83,6 +112,22 @@ impl CheckpointStore {
     /// Newest intact checkpoint version for `rank`, if any.
     pub fn latest_version(&self, rank: usize) -> Option<u64> {
         self.load_latest(rank).map(|(v, _)| v)
+    }
+
+    /// Delete every retained generation of `rank` from the backend,
+    /// returning how many were removed. This is the generation GC run
+    /// at job-retirement boundaries: once a tenant job's report has
+    /// been fetched, its ranks will never restore again, and a
+    /// long-running service would otherwise accumulate dead tenants'
+    /// generations forever.
+    pub fn clear_rank(&self, rank: usize) -> usize {
+        let keys = self
+            .storage
+            .keys_with_prefix(&Self::prefix(self.rank_base + rank));
+        for key in &keys {
+            self.storage.delete(key);
+        }
+        keys.len()
     }
 
     /// Access the underlying storage (for co-locating other durable
@@ -176,6 +221,35 @@ mod tests {
         blob[2] ^= 0x10;
         s.storage().put(key, &blob);
         assert_eq!(s.load_latest(3), Some((7, b"intact image".to_vec())));
+    }
+
+    #[test]
+    fn rank_base_namespaces_keys_without_changing_local_view() {
+        let backend: Arc<MemStore> = Arc::new(MemStore::new());
+        let job_a = CheckpointStore::new(backend.clone());
+        let job_b = CheckpointStore::new(backend.clone()).with_rank_base(8);
+        job_a.save(0, 1, b"tenant a");
+        job_b.save(0, 1, b"tenant b");
+        // Same local rank, disjoint global key spaces.
+        assert_eq!(job_a.load_latest(0), Some((1, b"tenant a".to_vec())));
+        assert_eq!(job_b.load_latest(0), Some((1, b"tenant b".to_vec())));
+        assert!(backend.get("ckpt/0/v00000000000000000001").is_some());
+        assert!(backend.get("ckpt/8/v00000000000000000001").is_some());
+    }
+
+    #[test]
+    fn clear_rank_garbage_collects_only_that_tenants_generations() {
+        let backend: Arc<MemStore> = Arc::new(MemStore::new());
+        let job_a = CheckpointStore::new(backend.clone());
+        let job_b = CheckpointStore::new(backend.clone()).with_rank_base(4);
+        job_a.save(0, 1, b"keep");
+        job_b.save(0, 1, b"gc v1");
+        job_b.save(0, 2, b"gc v2");
+        assert_eq!(job_b.clear_rank(0), 2);
+        assert!(job_b.load_latest(0).is_none());
+        assert_eq!(job_a.load_latest(0), Some((1, b"keep".to_vec())));
+        // Idempotent on an already-cleared rank.
+        assert_eq!(job_b.clear_rank(0), 0);
     }
 
     #[test]
